@@ -1,0 +1,56 @@
+"""Ablation — the two-phase pruning of ModelRace.
+
+Compares the full configuration (early termination + t-test pruning)
+against a no-early-termination variant: the same elite quality should be
+reached while evaluating (and paying for) more pipeline fits without the
+first pruning phase.
+"""
+
+import numpy as np
+
+from conftest import BENCH_CLASSIFIERS, emit
+from repro.core import ADarts, ModelRaceConfig
+from repro.datasets import holdout_split
+from repro.pipeline.metrics import f1_weighted
+
+
+def _run_variant(X, y, margin: float):
+    f1s, evals, runtimes = [], [], []
+    for seed in range(3):
+        X_tr, X_te, y_tr, y_te = holdout_split(
+            X, y, test_ratio=0.35, random_state=seed
+        )
+        engine = ADarts(
+            config=ModelRaceConfig(
+                n_partial_sets=2, n_folds=3, max_elite=5,
+                early_termination_margin=margin, random_state=seed,
+            ),
+            classifier_names=list(BENCH_CLASSIFIERS),
+        )
+        engine.fit_features(X_tr, y_tr)
+        f1s.append(f1_weighted(y_te, engine.predict(X_te)))
+        evals.append(engine.race_result.n_evaluations)
+        runtimes.append(engine.race_result.runtime)
+    return float(np.mean(f1s)), float(np.mean(evals)), float(np.mean(runtimes))
+
+
+def test_ablation_two_phase_pruning(benchmark, category_features):
+    X, y = category_features["Power"]
+
+    def compare():
+        with_early = _run_variant(X, y, margin=0.2)
+        without_early = _run_variant(X, y, margin=1e9)  # never early-terminate
+        return with_early, without_early
+
+    (f1_on, evals_on, t_on), (f1_off, evals_off, t_off) = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    lines = [
+        f"{'variant':<22}{'F1':>8}{'evals':>8}{'time(s)':>9}",
+        f"{'early-term + t-test':<22}{f1_on:>8.3f}{evals_on:>8.0f}{t_on:>9.2f}",
+        f"{'t-test only':<22}{f1_off:>8.3f}{evals_off:>8.0f}{t_off:>9.2f}",
+    ]
+    emit("Ablation — two-phase pruning", lines)
+    # Early termination saves evaluations without losing quality.
+    assert evals_on <= evals_off
+    assert f1_on >= f1_off - 0.08

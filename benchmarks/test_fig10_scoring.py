@@ -1,0 +1,72 @@
+"""E8 / Fig. 10 — pipeline scoring coefficients (alpha and gamma sweeps).
+
+Sweeps one coefficient of the Alg. 1 line-9 scoring function while holding
+the others fixed, recording F1 and race runtime.  Paper shapes: raising
+alpha lifts F1 (and CPU) with diminishing returns past ~0.5; gamma is
+harmless up to ~0.75 and degrades F1 at 1.0 while pushing runtime down.
+"""
+
+import numpy as np
+
+from conftest import BENCH_CLASSIFIERS, emit
+from repro.core import ADarts, ModelRaceConfig
+from repro.datasets import holdout_split
+from repro.pipeline import ScoreWeights
+from repro.pipeline.metrics import f1_weighted
+
+SWEEP = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _evaluate(X, y, weights: ScoreWeights) -> tuple[float, float]:
+    f1s, runtimes = [], []
+    for seed in range(2):
+        X_tr, X_te, y_tr, y_te = holdout_split(
+            X, y, test_ratio=0.35, random_state=seed
+        )
+        engine = ADarts(
+            config=ModelRaceConfig(
+                n_partial_sets=2, n_folds=2, max_elite=5,
+                weights=weights, random_state=seed,
+            ),
+            classifier_names=list(BENCH_CLASSIFIERS),
+        )
+        engine.fit_features(X_tr, y_tr)
+        f1s.append(f1_weighted(y_te, engine.predict(X_te)))
+        runtimes.append(engine.race_result.runtime)
+    return float(np.mean(f1s)), float(np.mean(runtimes))
+
+
+def _sweep(X, y):
+    alpha_rows = [
+        (a, *_evaluate(X, y, ScoreWeights(alpha=a, beta=0.25, gamma=0.75)))
+        for a in SWEEP
+    ]
+    gamma_rows = [
+        (g, *_evaluate(X, y, ScoreWeights(alpha=0.5, beta=0.25, gamma=g)))
+        for g in SWEEP
+    ]
+    return alpha_rows, gamma_rows
+
+
+def test_fig10_score_coefficients(benchmark, category_features):
+    X, y = category_features["Water"]
+    alpha_rows, gamma_rows = benchmark.pedantic(
+        _sweep, args=(X, y), rounds=1, iterations=1
+    )
+    lines = [f"{'alpha':>6}{'F1':>8}{'CPU(s)':>9}"]
+    for a, f1, cpu in alpha_rows:
+        lines.append(f"{a:>6.2f}{f1:>8.3f}{cpu:>9.2f}")
+    lines.append(f"{'gamma':>6}{'F1':>8}{'CPU(s)':>9}")
+    for g, f1, cpu in gamma_rows:
+        lines.append(f"{g:>6.2f}{f1:>8.3f}{cpu:>9.2f}")
+    emit("Fig. 10 — scoring coefficient sweeps (alpha, gamma)", lines)
+    # alpha >= 0.5 is at least as good as alpha = 0 (F1 matters).
+    f1_of_alpha = {a: f1 for a, f1, _ in alpha_rows}
+    assert max(f1_of_alpha[0.5], f1_of_alpha[0.75], f1_of_alpha[1.0]) >= (
+        f1_of_alpha[0.0] - 0.05
+    )
+    # Moderate gamma (<= 0.75) does not substantially hurt F1.
+    f1_of_gamma = {g: f1 for g, f1, _ in gamma_rows}
+    assert min(f1_of_gamma[g] for g in (0.0, 0.25, 0.5, 0.75)) >= (
+        max(f1_of_gamma.values()) - 0.15
+    )

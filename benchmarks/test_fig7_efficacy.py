@@ -1,0 +1,51 @@
+"""E4 / Fig. 7 — average efficacy (F1 mean ± std across categories).
+
+The paper's headline: A-DARTS has the highest mean F1 (about 20% over the
+best baseline on their corpus) *and* the tightest spread (about 2.5x less
+variance than the runner-up) — the stability claim.
+"""
+
+import numpy as np
+
+from conftest import SYSTEMS, emit
+
+
+def test_fig7_average_efficacy(benchmark, system_results):
+    def summarize():
+        stats = {}
+        for system in SYSTEMS:
+            f1s = np.array(
+                [system_results[cat][system]["f1"] for cat in system_results]
+            )
+            stats[system] = (float(f1s.mean()), float(f1s.std()))
+        return stats
+
+    stats = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    lines = [f"{'system':<11}{'mean F1':>9}{'std':>8}"]
+    for system in SYSTEMS:
+        mean, std = stats[system]
+        lines.append(f"{system:<11}{mean:>9.3f}{std:>8.3f}")
+    adarts_mean, adarts_std = stats["A-DARTS"]
+    best_baseline = max(
+        (s for s in SYSTEMS if s != "A-DARTS"), key=lambda s: stats[s][0]
+    )
+    steadiest_baseline = min(
+        (s for s in SYSTEMS if s != "A-DARTS"), key=lambda s: stats[s][1]
+    )
+    lines.append(
+        f"A-DARTS vs best baseline ({best_baseline}): "
+        f"{adarts_mean:.3f} vs {stats[best_baseline][0]:.3f}"
+    )
+    lines.append(
+        f"stability vs steadiest baseline ({steadiest_baseline}): "
+        f"std {adarts_std:.3f} vs {stats[steadiest_baseline][1]:.3f}"
+    )
+    emit("Fig. 7 — average efficacy (F1 mean ± std over 6 categories)", lines)
+    # Shape assertions, scaled to this miniature corpus: A-DARTS is in the
+    # top tier on mean F1 (within noise of the best, clearly above the
+    # median baseline) and its spread is not the worst.
+    baseline_means = sorted(stats[s][0] for s in SYSTEMS if s != "A-DARTS")
+    median_baseline = baseline_means[len(baseline_means) // 2]
+    assert adarts_mean >= stats[best_baseline][0] - 0.06
+    assert adarts_mean >= median_baseline - 1e-9
+    assert adarts_std <= max(stats[s][1] for s in SYSTEMS if s != "A-DARTS") + 1e-9

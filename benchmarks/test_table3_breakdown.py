@@ -1,0 +1,45 @@
+"""E5 / Table III — per-category efficacy breakdown (A, P, R, F1, MRR).
+
+Reproduces the full comparison table.  Shape expectations: A-DARTS wins (or
+ties within noise) on every category's F1, and only A-DARTS and RAHA report
+MRR (the ranked-results-availability observation).
+"""
+
+from conftest import SYSTEMS, emit
+
+
+def test_table3_per_category_breakdown(benchmark, system_results):
+    result = benchmark.pedantic(
+        lambda: system_results, rounds=1, iterations=1
+    )
+    lines = [
+        f"{'category':<11}{'system':<11}"
+        f"{'A':>7}{'P':>7}{'R':>7}{'F1':>7}{'MRR':>7}"
+    ]
+    wins = 0
+    for category in result:
+        best_f1 = max(result[category][s]["f1"] for s in SYSTEMS)
+        for system in SYSTEMS:
+            metrics = result[category][system]
+            mrr = metrics.get("mrr")
+            lines.append(
+                f"{category:<11}{system:<11}"
+                f"{metrics['accuracy']:>7.2f}{metrics['precision']:>7.2f}"
+                f"{metrics['recall']:>7.2f}{metrics['f1']:>7.2f}"
+                + (f"{mrr:>7.2f}" if mrr is not None else f"{'-':>7}")
+            )
+        if result[category]["A-DARTS"]["f1"] >= best_f1 - 0.07:
+            wins += 1
+    lines.append(f"A-DARTS best-or-tied categories: {wins}/{len(result)}")
+    emit("Table III — per-category efficacy", lines)
+
+    # MRR availability: only A-DARTS and RAHA rank.
+    for category in result:
+        assert "mrr" in result[category]["A-DARTS"]
+        assert "mrr" in result[category]["RAHA"]
+        for system in ("FLAML", "Tune", "AutoFolio"):
+            assert "mrr" not in result[category][system]
+    # A-DARTS should be best or tied on a majority of categories.  (On the
+    # paper's 67K-series corpus it wins all six; at this miniature scale the
+    # small-sample selection noise allows an occasional baseline win.)
+    assert wins >= (len(result) + 1) // 2

@@ -1,0 +1,60 @@
+"""Scenario: repairing anomaly-laden water-quality sensor feeds.
+
+Water-quality series (discharge, conductivity, pH) carry synchronized trends
+*and* sporadic anomalies — the kind of data where the right imputation choice
+matters most (Table III shows the largest gaps on Water).  This example:
+
+1. trains A-DARTS on Water-like data,
+2. simulates a sensor outage (missing block) on a new station,
+3. compares the recommended repair against two naive fallbacks,
+4. shows that recommendations differ per station (configuration-free).
+
+Run:
+    python examples/water_quality_monitoring.py
+"""
+
+import numpy as np
+
+from repro import ADarts, ModelRaceConfig
+from repro.datasets import load_category
+from repro.datasets.generators import generate_water
+from repro.imputation import get_imputer
+from repro.imputation.evaluation import imputation_rmse
+from repro.timeseries import inject_missing_block
+
+
+def main() -> None:
+    # Train on three Water datasets (different rivers, same domain traits).
+    engine = ADarts(
+        config=ModelRaceConfig(n_partial_sets=2, n_folds=2, max_elite=3),
+        classifier_names=["knn", "decision_tree", "gradient_boosting", "ridge"],
+    )
+    engine.fit_datasets(load_category("Water", n_series=16, n_datasets=3))
+
+    # A new monitoring station comes online with an outage.
+    station = generate_water(n_series=10, length=300, random_state=99, name="rhine")
+    truth = station.to_matrix()
+    rng = np.random.default_rng(7)
+    print(f"{'station':<10} {'recommended':<12} {'rec RMSE':>9} "
+          f"{'mean RMSE':>10} {'linear RMSE':>12}")
+    for i in range(4):
+        faulty, spec = inject_missing_block(
+            station[i], ratio=0.15, random_state=rng
+        )
+        mask = np.zeros_like(truth, dtype=bool)
+        mask[i, spec.start : spec.stop] = True
+        rec = engine.recommend(faulty)
+        faulty_matrix = truth.copy()
+        faulty_matrix[mask] = np.nan
+        scores = {}
+        for name in (rec.algorithm, "mean", "linear"):
+            completed = get_imputer(name).impute(faulty_matrix)
+            scores[name] = imputation_rmse(truth, completed, mask)
+        print(
+            f"sensor_{i:<3} {rec.algorithm:<12} {scores[rec.algorithm]:>9.4f} "
+            f"{scores['mean']:>10.4f} {scores['linear']:>12.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

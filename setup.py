@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires bdist_wheel support; on minimal offline
+machines ``python setup.py develop`` provides the same editable install.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

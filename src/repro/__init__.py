@@ -1,0 +1,29 @@
+"""repro — reproduction of A-DARTS (ICDE 2025).
+
+A-DARTS automatically selects the best missing-value imputation algorithm
+for a faulty time series.  The public API surface:
+
+* :class:`~repro.core.ADarts` — the recommendation engine facade;
+* :mod:`repro.imputation` — 16 imputation algorithms with a registry;
+* :mod:`repro.features` — statistical + topological feature extraction;
+* :mod:`repro.classifiers` — the 12-family classifier zoo;
+* :mod:`repro.core.modelrace` — the racing pipeline selector;
+* :mod:`repro.clustering` — incremental labeling clustering and K-Shape;
+* :mod:`repro.baselines` — FLAML/Tune/AutoFolio/RAHA-style comparators;
+* :mod:`repro.forecasting` — downstream forecasting substrate.
+"""
+
+from repro.core import ADarts, ModelRace, ModelRaceConfig, Recommendation
+from repro.timeseries import TimeSeries, TimeSeriesDataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADarts",
+    "ModelRace",
+    "ModelRaceConfig",
+    "Recommendation",
+    "TimeSeries",
+    "TimeSeriesDataset",
+    "__version__",
+]

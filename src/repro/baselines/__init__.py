@@ -1,0 +1,32 @@
+"""Scoped reimplementations of the comparator AutoML systems (Section III).
+
+The real frameworks cannot be installed offline; these classes reimplement
+the *selection semantics* that Table I attributes to each system — which is
+exactly the mechanism the paper credits for their instability:
+
+* :class:`FLAMLSelector` — multiple classifier families, cost-frugal search,
+  but a **single winner** and discarding a family discards all its variants;
+* :class:`TuneSelector` — **one** hand-picked classifier family, successive
+  halving over pre-generated configurations;
+* :class:`AutoFolioSelector` — one classifier, single-parameter
+  perturbations evaluated over data partitions;
+* :class:`RAHASelector` — per-feature-cluster classifiers with ranked
+  output (the only baseline that reports MRR).
+
+None of them search feature scalers, keep multiple instances of the same
+family, or vote across winners.
+"""
+
+from repro.baselines.base import BaselineSelector
+from repro.baselines.flaml_like import FLAMLSelector
+from repro.baselines.tune_like import TuneSelector
+from repro.baselines.autofolio_like import AutoFolioSelector
+from repro.baselines.raha_like import RAHASelector
+
+__all__ = [
+    "BaselineSelector",
+    "FLAMLSelector",
+    "TuneSelector",
+    "AutoFolioSelector",
+    "RAHASelector",
+]

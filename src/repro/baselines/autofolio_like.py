@@ -1,0 +1,96 @@
+"""AutoFolio-style selector: single-parameter perturbation over partitions.
+
+Mirrors the documented behaviour (Section III): random seed configurations
+of a single classifier are perturbed *one parameter at a time*; each updated
+configuration is evaluated on several data partitions; configurations that
+do not improve are discarded and the best average performer wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineSelector
+from repro.classifiers import get_classifier
+from repro.classifiers.spaces import param_space, sample_params
+from repro.datasets.splits import stratified_kfold
+from repro.utils.rng import ensure_rng
+
+
+class AutoFolioSelector(BaselineSelector):
+    """One-parameter-at-a-time configuration of one classifier family.
+
+    Parameters
+    ----------
+    family:
+        The single classifier family to configure.
+    n_seeds:
+        Number of random starting configurations.
+    n_perturbations:
+        Perturbation rounds per seed.
+    n_partitions:
+        Cross-validation partitions per evaluation.
+    """
+
+    name = "AutoFolio"
+    supports_ranking = False
+
+    def __init__(
+        self,
+        family: str = "decision_tree",
+        n_seeds: int = 4,
+        n_perturbations: int = 6,
+        n_partitions: int = 3,
+        validation_ratio: float = 0.25,
+        random_state: int | None = 0,
+    ):
+        super().__init__(validation_ratio=validation_ratio, random_state=random_state)
+        self.family = str(family)
+        self.n_seeds = int(n_seeds)
+        self.n_perturbations = int(n_perturbations)
+        self.n_partitions = int(n_partitions)
+
+    def _avg_partition_score(self, params: dict, X, y, rng) -> float:
+        scores = []
+        n_splits = min(self.n_partitions, max(2, X.shape[0] // 4))
+        try:
+            folds = list(stratified_kfold(y, n_splits=n_splits, random_state=rng))
+        except Exception:
+            return float("-inf")
+        for train_idx, test_idx in folds:
+            scores.append(
+                self._evaluate(
+                    self.family, params,
+                    X[train_idx], y[train_idx], X[test_idx], y[test_idx],
+                )
+            )
+        return float(np.mean(scores)) if scores else float("-inf")
+
+    def _perturb(self, params: dict, rng) -> dict:
+        space = param_space(self.family)
+        mutable = [k for k, v in space.items() if len(v) > 1]
+        if not mutable:
+            return dict(params)
+        key = mutable[int(rng.integers(0, len(mutable)))]
+        values = [v for v in space[key] if v != params.get(key)]
+        out = dict(params)
+        out[key] = values[int(rng.integers(0, len(values)))]
+        return out
+
+    def _search(self, X: np.ndarray, y: np.ndarray):
+        rng = ensure_rng(self.random_state)
+        best_params, best_score = None, float("-inf")
+        for _ in range(self.n_seeds):
+            params = sample_params(self.family, random_state=rng)
+            score = self._avg_partition_score(params, X, y, rng)
+            for _ in range(self.n_perturbations):
+                candidate = self._perturb(params, rng)
+                cand_score = self._avg_partition_score(candidate, X, y, rng)
+                # Configurations that do not improve are discarded.
+                if cand_score > score:
+                    params, score = candidate, cand_score
+            if score > best_score:
+                best_params, best_score = params, score
+        winner = get_classifier(self.family, **(best_params or {}))
+        winner.fit(X, y)
+        return winner

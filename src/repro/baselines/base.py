@@ -1,0 +1,89 @@
+"""Common interface of the baseline model selectors."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.classifiers import get_classifier
+from repro.datasets.splits import holdout_split
+from repro.exceptions import NotFittedError, ValidationError
+from repro.pipeline.metrics import f1_weighted
+
+
+class BaselineSelector(ABC):
+    """A model selector: fit on labeled features, predict imputer labels.
+
+    Subclasses implement :meth:`_search`, returning the winning fitted
+    model; the base class handles validation splits and the predict API.
+
+    Attributes
+    ----------
+    name:
+        Display name used in experiment tables.
+    supports_ranking:
+        Whether :meth:`predict_rankings` returns meaningful rankings (only
+        RAHA among the baselines; see Table III's MRR column).
+    """
+
+    name: str = "baseline"
+    supports_ranking: bool = False
+
+    def __init__(self, validation_ratio: float = 0.25, random_state: int | None = 0):
+        if not 0 < validation_ratio < 1:
+            raise ValidationError(
+                f"validation_ratio must be in (0, 1), got {validation_ratio}"
+            )
+        self.validation_ratio = float(validation_ratio)
+        self.random_state = random_state
+        self._model = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "BaselineSelector":
+        """Run the selector's search and keep the winning model."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValidationError("X and y disagree on sample count")
+        self._model = self._search(X, y)
+        if self._model is None:
+            raise ValidationError(f"{self.name}: search produced no model")
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted imputer labels."""
+        if self._model is None:
+            raise NotFittedError(f"{self.name} is not fitted")
+        return self._model.predict(np.asarray(X, dtype=float))
+
+    def predict_rankings(self, X) -> list[list]:
+        """Per-sample label rankings (meaningful only if supports_ranking)."""
+        if self._model is None:
+            raise NotFittedError(f"{self.name} is not fitted")
+        proba = self._model.predict_proba(np.asarray(X, dtype=float))
+        classes = self._model.classes_
+        order = np.argsort(proba, axis=1)[:, ::-1]
+        return [[classes[j] for j in row] for row in order]
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _search(self, X: np.ndarray, y: np.ndarray):
+        """Return the winning model, fitted on all of (X, y)."""
+
+    # Shared utilities -------------------------------------------------
+    def _validation_split(self, X: np.ndarray, y: np.ndarray):
+        return holdout_split(
+            X, y, test_ratio=self.validation_ratio,
+            random_state=self.random_state,
+        )
+
+    @staticmethod
+    def _evaluate(classifier_name: str, params: dict, X_tr, y_tr, X_va, y_va) -> float:
+        """Validation F1 of one configuration; -inf if it crashes."""
+        try:
+            model = get_classifier(classifier_name, **params)
+            model.fit(X_tr, y_tr)
+            return f1_weighted(y_va, model.predict(X_va))
+        except Exception:
+            return float("-inf")

@@ -1,0 +1,148 @@
+"""FLAML-style selector: cost-frugal multi-family search, single winner.
+
+Mirrors the documented FLAML behaviour (Section III): configurations are
+generated on the fly per classifier family, training samples grow when the
+cost/error trend justifies it, and — crucially — *a family discarded early
+never comes back*, and exactly one configuration wins.  No scaler search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineSelector
+from repro.classifiers import get_classifier
+from repro.classifiers.spaces import default_params, param_space
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+
+#: Families FLAML races by default (its classic learner list, mapped to ours).
+_DEFAULT_FAMILIES = (
+    "knn",
+    "decision_tree",
+    "random_forest",
+    "extra_trees",
+    "gradient_boosting",
+    "softmax",
+)
+
+
+class FLAMLSelector(BaselineSelector):
+    """Cost-frugal AutoML with one winning pipeline.
+
+    Parameters
+    ----------
+    families:
+        Classifier families to race.
+    n_rounds:
+        Search rounds; each round tries one mutation of the current best
+        config of the most promising family.
+    sample_schedule:
+        Growing training-sample fractions (FLAML's resource schedule).
+    time_weight:
+        Weight of normalized runtime in the cost ( cost = (1 - F1) +
+        time_weight * norm_time ).
+    """
+
+    name = "FLAML"
+    supports_ranking = False
+
+    def __init__(
+        self,
+        families=_DEFAULT_FAMILIES,
+        n_rounds: int = 24,
+        sample_schedule=(0.4, 0.7, 1.0),
+        time_weight: float = 0.1,
+        validation_ratio: float = 0.25,
+        random_state: int | None = 0,
+    ):
+        super().__init__(validation_ratio=validation_ratio, random_state=random_state)
+        self.families = tuple(families)
+        self.n_rounds = int(n_rounds)
+        self.sample_schedule = tuple(sample_schedule)
+        self.time_weight = float(time_weight)
+
+    def _mutate(self, family: str, params: dict, rng) -> dict:
+        space = param_space(family)
+        mutable = [k for k, v in space.items() if len(v) > 1]
+        if not mutable:
+            return dict(params)
+        key = mutable[int(rng.integers(0, len(mutable)))]
+        values = space[key]
+        current = params.get(key)
+        if current in values:
+            idx = values.index(current)
+            choices = [i for i in (idx - 1, idx + 1) if 0 <= i < len(values)]
+            new = values[choices[int(rng.integers(0, len(choices)))]]
+        else:
+            new = values[int(rng.integers(0, len(values)))]
+        out = dict(params)
+        out[key] = new
+        return out
+
+    def _cost(self, family: str, params: dict, X_tr, y_tr, X_va, y_va,
+              time_scale: float) -> tuple[float, float]:
+        timer = Timer()
+        try:
+            with timer:
+                model = get_classifier(family, **params)
+                model.fit(X_tr, y_tr)
+                pred = model.predict(X_va)
+        except Exception:
+            return float("inf"), 0.0
+        from repro.pipeline.metrics import f1_weighted
+
+        f1 = f1_weighted(y_va, pred)
+        norm_time = min(1.0, timer.elapsed / max(time_scale, 1e-9))
+        return (1.0 - f1) + self.time_weight * norm_time, timer.elapsed
+
+    def _search(self, X: np.ndarray, y: np.ndarray):
+        rng = ensure_rng(self.random_state)
+        X_tr, X_va, y_tr, y_va = self._validation_split(X, y)
+        n = X_tr.shape[0]
+        # State per family: (best_cost, best_params); families get discarded
+        # when their cost stagnates versus the global best.
+        state: dict[str, dict] = {
+            fam: {"params": default_params(fam), "cost": np.inf}
+            for fam in self.families
+        }
+        time_scale = 1.0
+        alive = set(self.families)
+        schedule = list(self.sample_schedule)
+        rounds_per_stage = max(1, self.n_rounds // len(schedule))
+        round_idx = 0
+        for frac in schedule:
+            size = max(4, int(frac * n))
+            idx = rng.permutation(n)[:size]
+            Xs, ys = X_tr[idx], y_tr[idx]
+            for _ in range(rounds_per_stage):
+                if not alive:
+                    break
+                round_idx += 1
+                # Pick the most promising family (lowest cost; unseen first).
+                fam = min(alive, key=lambda f: state[f]["cost"])
+                candidate = (
+                    state[fam]["params"]
+                    if not np.isfinite(state[fam]["cost"])
+                    else self._mutate(fam, state[fam]["params"], rng)
+                )
+                cost, elapsed = self._cost(
+                    fam, candidate, Xs, ys, X_va, y_va, time_scale
+                )
+                time_scale = max(time_scale, elapsed)
+                if cost < state[fam]["cost"]:
+                    state[fam] = {"params": candidate, "cost": cost}
+                # FLAML-style elimination: a family far behind the global
+                # best is discarded — along with all its future variants.
+                global_best = min(s["cost"] for s in state.values())
+                for f in list(alive):
+                    if (
+                        np.isfinite(state[f]["cost"])
+                        and state[f]["cost"] > global_best + 0.25
+                        and len(alive) > 1
+                    ):
+                        alive.discard(f)
+        best_family = min(state, key=lambda f: state[f]["cost"])
+        winner = get_classifier(best_family, **state[best_family]["params"])
+        winner.fit(X, y)
+        return winner

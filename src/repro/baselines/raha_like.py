@@ -1,0 +1,119 @@
+"""RAHA-style selector: per-feature-cluster classifiers with ranked output.
+
+RAHA (Mahdavi et al., SIGMOD'19) clusters similar data columns and trains a
+separate classifier per cluster on a labeled fraction.  Adapted to our task
+(as the paper does in Section III): training samples are k-means-clustered
+in feature space; each cluster trains its own classifier on its labeled
+members; a test sample is routed to its nearest cluster's classifier.  Being
+probability-based, RAHA can rank algorithms — the only baseline with MRR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineSelector
+from repro.classifiers import get_classifier
+from repro.exceptions import NotFittedError
+from repro.utils.rng import ensure_rng
+
+
+class _ClusteredModel:
+    """Router + per-cluster classifiers (the object RAHA's search returns)."""
+
+    def __init__(self, centers, models, classes, fallback):
+        self._centers = centers
+        self._models = models
+        self.classes_ = classes
+        self._fallback = fallback
+
+    def _route(self, X: np.ndarray) -> np.ndarray:
+        d = ((X[:, None, :] - self._centers[None, :, :]) ** 2).sum(axis=2)
+        return d.argmin(axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        routes = self._route(X)
+        out = np.zeros((X.shape[0], len(self.classes_)))
+        col_of = {c: j for j, c in enumerate(self.classes_.tolist())}
+        for cluster_id in np.unique(routes):
+            rows = np.flatnonzero(routes == cluster_id)
+            model = self._models.get(int(cluster_id), self._fallback)
+            proba = model.predict_proba(X[rows])
+            for j, cls in enumerate(model.classes_.tolist()):
+                out[np.ix_(rows, [col_of[cls]])] += proba[:, [j]]
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class RAHASelector(BaselineSelector):
+    """Per-cluster classifiers in feature space.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of feature-space clusters.
+    family:
+        Classifier family trained per cluster (RAHA uses simple bases).
+    label_fraction:
+        Fraction of each cluster's samples used for training ("user labels"
+        in the original system are expensive, so RAHA trains on a fraction).
+    """
+
+    name = "RAHA"
+    supports_ranking = True
+
+    def __init__(
+        self,
+        n_clusters: int = 4,
+        family: str = "gaussian_nb",
+        label_fraction: float = 0.6,
+        validation_ratio: float = 0.25,
+        random_state: int | None = 0,
+    ):
+        super().__init__(validation_ratio=validation_ratio, random_state=random_state)
+        self.n_clusters = int(n_clusters)
+        self.family = str(family)
+        self.label_fraction = float(label_fraction)
+
+    def _kmeans(self, X: np.ndarray, k: int, rng) -> tuple[np.ndarray, np.ndarray]:
+        # Standardize for distance sanity.
+        mu, sigma = X.mean(axis=0), X.std(axis=0)
+        sigma[sigma == 0] = 1.0
+        Z = (X - mu) / sigma
+        centers = Z[rng.choice(Z.shape[0], size=min(k, Z.shape[0]), replace=False)]
+        assign = np.zeros(Z.shape[0], dtype=int)
+        for _ in range(25):
+            d = ((Z[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            new_assign = d.argmin(axis=1)
+            if (new_assign == assign).all():
+                break
+            assign = new_assign
+            for c in range(centers.shape[0]):
+                members = Z[assign == c]
+                if members.shape[0]:
+                    centers[c] = members.mean(axis=0)
+        # Return centers in the original feature space for routing.
+        return centers * sigma + mu, assign
+
+    def _search(self, X: np.ndarray, y: np.ndarray):
+        rng = ensure_rng(self.random_state)
+        centers, assign = self._kmeans(X, self.n_clusters, rng)
+        fallback = get_classifier(self.family)
+        fallback.fit(X, y)
+        models: dict[int, object] = {}
+        for cluster_id in np.unique(assign):
+            rows = np.flatnonzero(assign == cluster_id)
+            take = max(2, int(round(self.label_fraction * rows.size)))
+            picked = rng.choice(rows, size=min(take, rows.size), replace=False)
+            if np.unique(y[picked]).size < 1 or picked.size < 2:
+                continue
+            model = get_classifier(self.family)
+            try:
+                model.fit(X[picked], y[picked])
+            except Exception:
+                continue
+            models[int(cluster_id)] = model
+        return _ClusteredModel(centers, models, np.unique(y), fallback)

@@ -1,0 +1,78 @@
+"""Tune-style selector: successive halving over one classifier family.
+
+Mirrors the documented behaviour (Section III): the user hand-picks a single
+classifier; a large set of random configurations is pre-generated; each
+bracket evaluates all survivors on a uniform budget and discards the worst
+half until one configuration remains.  Fast, but blind to every other
+family and to feature scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineSelector
+from repro.classifiers import get_classifier
+from repro.classifiers.spaces import sample_params
+from repro.utils.rng import ensure_rng
+
+
+class TuneSelector(BaselineSelector):
+    """Successive halving (Hyperband-lite) over one family.
+
+    Parameters
+    ----------
+    family:
+        The single classifier family to tune.
+    n_configs:
+        Size of the pre-generated random configuration set.
+    """
+
+    name = "Tune"
+    supports_ranking = False
+
+    def __init__(
+        self,
+        family: str = "random_forest",
+        n_configs: int = 16,
+        validation_ratio: float = 0.25,
+        random_state: int | None = 0,
+    ):
+        super().__init__(validation_ratio=validation_ratio, random_state=random_state)
+        self.family = str(family)
+        self.n_configs = int(n_configs)
+
+    def _search(self, X: np.ndarray, y: np.ndarray):
+        rng = ensure_rng(self.random_state)
+        X_tr, X_va, y_tr, y_va = self._validation_split(X, y)
+        configs = [
+            sample_params(self.family, random_state=rng)
+            for _ in range(self.n_configs)
+        ]
+        # Deduplicate pre-generated configs.
+        unique, seen = [], set()
+        for cfg in configs:
+            key = tuple(sorted((k, str(v)) for k, v in cfg.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(cfg)
+        configs = unique
+        n = X_tr.shape[0]
+        budget_frac = 0.3
+        while len(configs) > 1:
+            size = max(4, int(budget_frac * n))
+            idx = rng.permutation(n)[:size]
+            scored = [
+                (
+                    self._evaluate(self.family, cfg, X_tr[idx], y_tr[idx], X_va, y_va),
+                    pos,
+                )
+                for pos, cfg in enumerate(configs)
+            ]
+            scored.sort(reverse=True)
+            keep = max(1, len(configs) // 2)
+            configs = [configs[pos] for _, pos in scored[:keep]]
+            budget_frac = min(1.0, budget_frac * 2)
+        winner = get_classifier(self.family, **configs[0])
+        winner.fit(X, y)
+        return winner

@@ -1,0 +1,51 @@
+"""From-scratch classifier zoo (the 12 classifier families of Section VII-B)."""
+
+from repro.classifiers.base import (
+    BaseClassifier,
+    CLASSIFIER_REGISTRY,
+    available_classifiers,
+    get_classifier,
+    register_classifier,
+)
+from repro.classifiers.knn import KNNClassifier
+from repro.classifiers.tree import DecisionTreeClassifier
+from repro.classifiers.forest import RandomForestClassifier, ExtraTreesClassifier
+from repro.classifiers.boosting import GradientBoostingClassifier, AdaBoostClassifier
+from repro.classifiers.linear import (
+    SoftmaxRegressionClassifier,
+    RidgeClassifier,
+    LinearSVMClassifier,
+)
+from repro.classifiers.mlp import MLPClassifier
+from repro.classifiers.bayes import GaussianNBClassifier
+from repro.classifiers.centroid import NearestCentroidClassifier
+from repro.classifiers.spaces import (
+    CLASSIFIER_PARAM_SPACES,
+    default_params,
+    param_space,
+    sample_params,
+)
+
+__all__ = [
+    "BaseClassifier",
+    "CLASSIFIER_REGISTRY",
+    "available_classifiers",
+    "get_classifier",
+    "register_classifier",
+    "KNNClassifier",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "ExtraTreesClassifier",
+    "GradientBoostingClassifier",
+    "AdaBoostClassifier",
+    "SoftmaxRegressionClassifier",
+    "RidgeClassifier",
+    "LinearSVMClassifier",
+    "MLPClassifier",
+    "GaussianNBClassifier",
+    "NearestCentroidClassifier",
+    "CLASSIFIER_PARAM_SPACES",
+    "default_params",
+    "param_space",
+    "sample_params",
+]

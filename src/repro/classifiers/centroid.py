@@ -1,0 +1,60 @@
+"""Nearest-centroid classifier with optional shrinkage."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import BaseClassifier, register_classifier
+from repro.exceptions import ValidationError
+
+
+@register_classifier
+class NearestCentroidClassifier(BaseClassifier):
+    """Classify by distance to class centroids.
+
+    Parameters
+    ----------
+    metric:
+        ``"euclidean"`` or ``"manhattan"`` (centroid becomes the median).
+    shrink:
+        Shrink centroids toward the global mean by this fraction —
+        a light regularizer for small classes.
+    """
+
+    name = "nearest_centroid"
+
+    def __init__(self, metric: str = "euclidean", shrink: float = 0.0):
+        super().__init__()
+        if metric not in ("euclidean", "manhattan"):
+            raise ValidationError(
+                f"metric must be euclidean/manhattan, got {metric!r}"
+            )
+        if not 0.0 <= shrink < 1.0:
+            raise ValidationError(f"shrink must be in [0, 1), got {shrink}")
+        self.metric = metric
+        self.shrink = float(shrink)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        k = self.n_classes_
+        center = np.median if self.metric == "manhattan" else np.mean
+        global_center = center(X, axis=0)
+        self._centroids = np.empty((k, X.shape[1]))
+        for c in range(k):
+            members = X[y == c]
+            centroid = center(members, axis=0)
+            self._centroids[c] = (
+                (1 - self.shrink) * centroid + self.shrink * global_center
+            )
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.metric == "euclidean":
+            dist = np.sqrt(
+                np.maximum(
+                    ((X[:, None, :] - self._centroids[None, :, :]) ** 2).sum(axis=2),
+                    0.0,
+                )
+            )
+        else:
+            dist = np.abs(X[:, None, :] - self._centroids[None, :, :]).sum(axis=2)
+        # Convert distances to soft scores.
+        return 1.0 / (dist + 1e-9)

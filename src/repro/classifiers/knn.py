@@ -1,0 +1,66 @@
+"""k-nearest-neighbour classifier with distance weighting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import BaseClassifier, register_classifier
+from repro.exceptions import ValidationError
+
+
+@register_classifier
+class KNNClassifier(BaseClassifier):
+    """kNN with uniform or inverse-distance vote weighting.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours.
+    weights:
+        ``"uniform"`` or ``"distance"`` (inverse-distance vote weights).
+    p:
+        Minkowski exponent: 1 = Manhattan, 2 = Euclidean.
+    """
+
+    name = "knn"
+
+    def __init__(self, k: int = 5, weights: str = "distance", p: int = 2):
+        super().__init__()
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if weights not in ("uniform", "distance"):
+            raise ValidationError(f"weights must be uniform/distance, got {weights!r}")
+        if p not in (1, 2):
+            raise ValidationError(f"p must be 1 or 2, got {p}")
+        self.k = int(k)
+        self.weights = weights
+        self.p = int(p)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._X = X
+        self._y = y
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        if self.p == 2:
+            # Squared Euclidean via the expansion trick (monotone in distance).
+            d = (
+                (X**2).sum(axis=1)[:, None]
+                + (self._X**2).sum(axis=1)[None, :]
+                - 2.0 * X @ self._X.T
+            )
+            return np.sqrt(np.maximum(d, 0.0))
+        return np.abs(X[:, None, :] - self._X[None, :, :]).sum(axis=2)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        dist = self._distances(X)
+        k = min(self.k, self._X.shape[0])
+        nn_idx = np.argpartition(dist, k - 1, axis=1)[:, :k]
+        proba = np.zeros((X.shape[0], self.n_classes_))
+        for i in range(X.shape[0]):
+            neighbours = nn_idx[i]
+            if self.weights == "distance":
+                w = 1.0 / (dist[i, neighbours] + 1e-9)
+            else:
+                w = np.ones(k)
+            np.add.at(proba[i], self._y[neighbours], w)
+        return proba

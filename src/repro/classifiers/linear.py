@@ -1,0 +1,148 @@
+"""Linear classifiers: softmax regression, ridge, and linear SVM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import BaseClassifier, register_classifier
+from repro.exceptions import ValidationError
+
+
+def _add_bias(X: np.ndarray) -> np.ndarray:
+    return np.hstack([X, np.ones((X.shape[0], 1))])
+
+
+@register_classifier
+class SoftmaxRegressionClassifier(BaseClassifier):
+    """Multinomial logistic regression trained by full-batch gradient descent.
+
+    Parameters
+    ----------
+    l2:
+        Ridge penalty on the weights (bias excluded).
+    lr:
+        Learning rate.
+    max_iter:
+        Gradient steps.
+    """
+
+    name = "softmax"
+
+    def __init__(self, l2: float = 0.01, lr: float = 0.5, max_iter: int = 200):
+        super().__init__()
+        if l2 < 0:
+            raise ValidationError(f"l2 must be >= 0, got {l2}")
+        self.l2 = float(l2)
+        self.lr = float(lr)
+        self.max_iter = int(max_iter)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        Xb = _add_bias(X)
+        n, d = Xb.shape
+        k = self.n_classes_
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y] = 1.0
+        W = np.zeros((d, k))
+        for _ in range(self.max_iter):
+            logits = Xb @ W
+            logits -= logits.max(axis=1, keepdims=True)
+            proba = np.exp(logits)
+            proba /= proba.sum(axis=1, keepdims=True)
+            grad = Xb.T @ (proba - onehot) / n
+            grad[:-1] += self.l2 * W[:-1]
+            W -= self.lr * grad
+        self._W = W
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        logits = _add_bias(X) @ self._W
+        logits -= logits.max(axis=1, keepdims=True)
+        proba = np.exp(logits)
+        return proba / proba.sum(axis=1, keepdims=True)
+
+
+@register_classifier
+class RidgeClassifier(BaseClassifier):
+    """One-hot ridge regression classifier (closed form).
+
+    Parameters
+    ----------
+    alpha:
+        Ridge penalty.
+    """
+
+    name = "ridge"
+
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        if alpha < 0:
+            raise ValidationError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        Xb = _add_bias(X)
+        n, d = Xb.shape
+        onehot = np.zeros((n, self.n_classes_))
+        onehot[np.arange(n), y] = 1.0
+        reg = self.alpha * np.eye(d)
+        reg[-1, -1] = 0.0  # don't penalize bias
+        self._W = np.linalg.solve(Xb.T @ Xb + reg, Xb.T @ onehot)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = _add_bias(X) @ self._W
+        # Regression scores aren't probabilities; softmax them for ranking.
+        scores -= scores.max(axis=1, keepdims=True)
+        proba = np.exp(scores * 3.0)  # temperature sharpens flat scores
+        return proba / proba.sum(axis=1, keepdims=True)
+
+
+@register_classifier
+class LinearSVMClassifier(BaseClassifier):
+    """One-vs-rest linear SVM trained by sub-gradient descent on hinge loss.
+
+    Parameters
+    ----------
+    C:
+        Inverse regularization strength.
+    lr:
+        Learning rate.
+    max_iter:
+        Sub-gradient steps.
+    """
+
+    name = "linear_svm"
+
+    def __init__(self, C: float = 1.0, lr: float = 0.1, max_iter: int = 200):
+        super().__init__()
+        if C <= 0:
+            raise ValidationError(f"C must be > 0, got {C}")
+        self.C = float(C)
+        self.lr = float(lr)
+        self.max_iter = int(max_iter)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        Xb = _add_bias(X)
+        n, d = Xb.shape
+        k = self.n_classes_
+        W = np.zeros((d, k))
+        targets = np.where(
+            np.arange(k)[None, :] == y[:, None], 1.0, -1.0
+        )  # (n, k) in {-1, +1}
+        lam = 1.0 / (self.C * n)
+        for step in range(self.max_iter):
+            lr = self.lr / (1 + 0.01 * step)
+            margins = targets * (Xb @ W)
+            active = margins < 1.0  # violating samples per class
+            grad = np.zeros_like(W)
+            for c in range(k):
+                rows = active[:, c]
+                if rows.any():
+                    grad[:, c] = -(targets[rows, c][None, :] @ Xb[rows]).ravel() / n
+            grad[:-1] += lam * W[:-1]
+            W -= lr * grad
+        self._W = W
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = _add_bias(X) @ self._W
+        scores -= scores.max(axis=1, keepdims=True)
+        proba = np.exp(scores)
+        return proba / proba.sum(axis=1, keepdims=True)

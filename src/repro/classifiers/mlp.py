@@ -1,0 +1,115 @@
+"""Multi-layer perceptron classifier (one or two hidden layers, numpy SGD)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import BaseClassifier, register_classifier
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+
+
+@register_classifier
+class MLPClassifier(BaseClassifier):
+    """Feed-forward network with ReLU hidden layers and softmax output.
+
+    Parameters
+    ----------
+    hidden:
+        Tuple of hidden-layer widths (one or two layers supported).
+    lr:
+        Learning rate for mini-batch SGD with momentum.
+    epochs:
+        Training epochs.
+    batch_size:
+        Mini-batch size.
+    l2:
+        Weight decay.
+    random_state:
+        Seed for initialization and shuffling.
+    """
+
+    name = "mlp"
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (32,),
+        lr: float = 0.05,
+        epochs: int = 120,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        random_state: int | None = 0,
+    ):
+        super().__init__()
+        hidden = tuple(int(h) for h in hidden)
+        if not hidden or len(hidden) > 2 or any(h < 1 for h in hidden):
+            raise ValidationError(
+                f"hidden must be 1-2 positive layer widths, got {hidden}"
+            )
+        self.hidden = hidden
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.l2 = float(l2)
+        self.random_state = random_state
+
+    def _init_params(self, sizes: list[int], rng: np.random.Generator):
+        weights, biases = [], []
+        for n_in, n_out in zip(sizes[:-1], sizes[1:]):
+            weights.append(rng.normal(0.0, np.sqrt(2.0 / n_in), size=(n_in, n_out)))
+            biases.append(np.zeros(n_out))
+        return weights, biases
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = ensure_rng(self.random_state)
+        n, d = X.shape
+        k = self.n_classes_
+        # Standardize inputs internally: MLPs are scale-sensitive and the
+        # pipeline's scaler choice should tune, not break, training.
+        self._mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        sigma[sigma == 0] = 1.0
+        self._sigma = sigma
+        Z = (X - self._mu) / self._sigma
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y] = 1.0
+        sizes = [d, *self.hidden, k]
+        W, b = self._init_params(sizes, rng)
+        vel_W = [np.zeros_like(w) for w in W]
+        vel_b = [np.zeros_like(v) for v in b]
+        batch = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                acts = [Z[idx]]
+                for layer, (w, bias) in enumerate(zip(W, b)):
+                    pre = acts[-1] @ w + bias
+                    if layer < len(W) - 1:
+                        acts.append(np.maximum(pre, 0.0))
+                    else:
+                        pre -= pre.max(axis=1, keepdims=True)
+                        proba = np.exp(pre)
+                        proba /= proba.sum(axis=1, keepdims=True)
+                        acts.append(proba)
+                delta = (acts[-1] - onehot[idx]) / idx.size
+                for layer in range(len(W) - 1, -1, -1):
+                    gw = acts[layer].T @ delta + self.l2 * W[layer]
+                    gb = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ W[layer].T) * (acts[layer] > 0)
+                    vel_W[layer] = 0.9 * vel_W[layer] - self.lr * gw
+                    vel_b[layer] = 0.9 * vel_b[layer] - self.lr * gb
+                    W[layer] += vel_W[layer]
+                    b[layer] += vel_b[layer]
+        self._W, self._b = W, b
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        act = (X - self._mu) / self._sigma
+        for layer, (w, bias) in enumerate(zip(self._W, self._b)):
+            act = act @ w + bias
+            if layer < len(self._W) - 1:
+                act = np.maximum(act, 0.0)
+        act -= act.max(axis=1, keepdims=True)
+        proba = np.exp(act)
+        return proba / proba.sum(axis=1, keepdims=True)

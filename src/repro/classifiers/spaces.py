@@ -1,0 +1,115 @@
+"""Hyperparameter search spaces for the classifier zoo.
+
+The paper counts "12 classifiers, 1650 possible parameterizations and 60
+different feature scaling options, leading to 99,000 possible pipelines".
+These discrete grids define the parameterization axis; combined with
+:func:`repro.features.scaling.scaler_search_space` they span a search space
+of the same order of magnitude.
+
+Each space maps parameter name to the ordered list of candidate values; the
+synthesizer mutates one parameter at a time along these lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+
+CLASSIFIER_PARAM_SPACES: dict[str, dict[str, list]] = {
+    "knn": {
+        "k": [1, 3, 5, 7, 9, 11, 15, 21],
+        "weights": ["uniform", "distance"],
+        "p": [1, 2],
+    },
+    "decision_tree": {
+        "max_depth": [2, 4, 6, 8, 12, 16],
+        "min_samples_split": [2, 4, 8],
+        "min_samples_leaf": [1, 2, 4],
+        "criterion": ["gini", "entropy"],
+    },
+    "random_forest": {
+        "n_estimators": [10, 20, 30, 50],
+        "max_depth": [4, 8, 12],
+        "min_samples_leaf": [1, 2, 4],
+        "max_features": ["sqrt", "log2", "all"],
+        "criterion": ["gini", "entropy"],
+    },
+    "extra_trees": {
+        "n_estimators": [10, 20, 30, 50],
+        "max_depth": [4, 8, 12],
+        "min_samples_leaf": [1, 2, 4],
+        "max_features": ["sqrt", "log2", "all"],
+        "criterion": ["gini", "entropy"],
+    },
+    "gradient_boosting": {
+        "n_estimators": [20, 40, 60],
+        "learning_rate": [0.05, 0.1, 0.2, 0.3],
+        "max_depth": [2, 3, 4],
+        "subsample": [0.7, 1.0],
+    },
+    "adaboost": {
+        "n_estimators": [10, 20, 30, 50],
+        "max_depth": [1, 2, 3],
+        "learning_rate": [0.5, 1.0],
+    },
+    "softmax": {
+        "l2": [0.0, 0.001, 0.01, 0.1],
+        "lr": [0.1, 0.5, 1.0],
+        "max_iter": [100, 200, 400],
+    },
+    "ridge": {
+        "alpha": [0.01, 0.1, 0.5, 1.0, 5.0, 10.0],
+    },
+    "linear_svm": {
+        "C": [0.1, 0.5, 1.0, 5.0, 10.0],
+        "lr": [0.05, 0.1, 0.2],
+        "max_iter": [100, 200],
+    },
+    "mlp": {
+        "hidden": [(16,), (32,), (64,), (32, 16), (64, 32)],
+        "lr": [0.01, 0.05, 0.1],
+        "epochs": [60, 120],
+        "l2": [0.0, 1e-4, 1e-3],
+    },
+    "gaussian_nb": {
+        "var_smoothing": [1e-9, 1e-6, 1e-3, 1e-1],
+    },
+    "nearest_centroid": {
+        "metric": ["euclidean", "manhattan"],
+        "shrink": [0.0, 0.1, 0.3, 0.5],
+    },
+}
+
+
+def param_space(classifier_name: str) -> dict[str, list]:
+    """Return the (copied) parameter grid of one classifier family."""
+    try:
+        space = CLASSIFIER_PARAM_SPACES[classifier_name]
+    except KeyError:
+        raise ValidationError(
+            f"no parameter space for classifier {classifier_name!r}"
+        ) from None
+    return {k: list(v) for k, v in space.items()}
+
+
+def default_params(classifier_name: str) -> dict:
+    """Mid-grid default parameterization for one classifier family."""
+    space = param_space(classifier_name)
+    return {k: v[len(v) // 2] for k, v in space.items()}
+
+
+def sample_params(classifier_name: str, random_state=None) -> dict:
+    """Draw one random parameterization from a classifier's grid."""
+    rng = ensure_rng(random_state)
+    space = param_space(classifier_name)
+    return {k: v[int(rng.integers(0, len(v)))] for k, v in space.items()}
+
+
+def total_parameterizations() -> int:
+    """Total number of distinct parameterizations across all classifiers."""
+    total = 0
+    for space in CLASSIFIER_PARAM_SPACES.values():
+        total += int(np.prod([len(v) for v in space.values()]))
+    return total

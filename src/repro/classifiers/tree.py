@@ -1,0 +1,225 @@
+"""CART decision tree (gini/entropy) with vectorized split search.
+
+Shared by :mod:`repro.classifiers.forest` and
+:mod:`repro.classifiers.boosting`, so the split machinery lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import BaseClassifier, register_classifier
+from repro.exceptions import ValidationError
+
+
+def _impurity(counts: np.ndarray, criterion: str) -> np.ndarray:
+    """Impurity per row of class counts; supports gini and entropy."""
+    totals = counts.sum(axis=-1, keepdims=True)
+    p = counts / np.maximum(totals, 1e-12)
+    if criterion == "gini":
+        return 1.0 - (p**2).sum(axis=-1)
+    return -(p * np.log2(p + 1e-12)).sum(axis=-1)
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "proba")
+
+    def __init__(self, proba):
+        self.feature = -1
+        self.threshold = 0.0
+        self.left = None
+        self.right = None
+        self.proba = proba
+
+
+def best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    criterion: str,
+    feature_indices: np.ndarray,
+    min_leaf: int,
+    rng: np.random.Generator | None = None,
+    extra_random: bool = False,
+) -> tuple[int, float, float] | None:
+    """Find the best (feature, threshold, gain) over the given features.
+
+    ``extra_random`` draws a single random threshold per feature
+    (Extra-Trees style) instead of scanning all candidate thresholds.
+    Returns None when no split improves impurity.
+    """
+    n = X.shape[0]
+    parent_counts = np.bincount(y, minlength=n_classes).astype(float)
+    parent_imp = float(_impurity(parent_counts[None, :], criterion)[0])
+    best: tuple[int, float, float] | None = None
+    best_gain = 1e-12
+    for feat in feature_indices:
+        col = X[:, feat]
+        if extra_random:
+            lo, hi = col.min(), col.max()
+            if hi <= lo:
+                continue
+            assert rng is not None
+            thresholds = np.array([rng.uniform(lo, hi)])
+            order = None
+        else:
+            order = np.argsort(col, kind="stable")
+            sorted_col = col[order]
+            distinct = np.flatnonzero(np.diff(sorted_col) > 0)
+            if distinct.size == 0:
+                continue
+            thresholds = None
+        if extra_random:
+            for thr in thresholds:
+                left_mask = col <= thr
+                n_left = int(left_mask.sum())
+                if n_left < min_leaf or n - n_left < min_leaf:
+                    continue
+                left_counts = np.bincount(y[left_mask], minlength=n_classes).astype(
+                    float
+                )
+                right_counts = parent_counts - left_counts
+                gain = parent_imp - (
+                    n_left / n * float(_impurity(left_counts[None, :], criterion)[0])
+                    + (n - n_left)
+                    / n
+                    * float(_impurity(right_counts[None, :], criterion)[0])
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feat), float(thr), gain)
+            continue
+        # Exhaustive scan: prefix class counts along the sorted order.
+        sorted_y = y[order]
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), sorted_y] = 1.0
+        prefix = onehot.cumsum(axis=0)
+        # Candidate split after position i (1-indexed sizes).
+        sizes_left = distinct + 1
+        valid = (sizes_left >= min_leaf) & (n - sizes_left >= min_leaf)
+        if not valid.any():
+            continue
+        cand = distinct[valid]
+        left_counts = prefix[cand]
+        right_counts = parent_counts[None, :] - left_counts
+        n_left = (cand + 1).astype(float)
+        n_right = n - n_left
+        child_imp = (
+            n_left * _impurity(left_counts, criterion)
+            + n_right * _impurity(right_counts, criterion)
+        ) / n
+        gains = parent_imp - child_imp
+        j = int(np.argmax(gains))
+        if gains[j] > best_gain:
+            sorted_col = col[order]
+            pos = cand[j]
+            thr = 0.5 * (sorted_col[pos] + sorted_col[pos + 1])
+            best_gain = float(gains[j])
+            best = (int(feat), float(thr), best_gain)
+    return best
+
+
+def build_tree(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    max_depth: int,
+    min_split: int,
+    min_leaf: int,
+    criterion: str,
+    max_features: int | None = None,
+    rng: np.random.Generator | None = None,
+    extra_random: bool = False,
+    depth: int = 0,
+) -> _Node:
+    """Recursively grow a CART tree; returns the root node."""
+    counts = np.bincount(y, minlength=n_classes).astype(float)
+    node = _Node(counts / max(counts.sum(), 1e-12))
+    if (
+        depth >= max_depth
+        or X.shape[0] < min_split
+        or np.unique(y).size == 1
+    ):
+        return node
+    n_features = X.shape[1]
+    if max_features is not None and max_features < n_features:
+        assert rng is not None
+        feature_indices = rng.choice(n_features, size=max_features, replace=False)
+    else:
+        feature_indices = np.arange(n_features)
+    split = best_split(
+        X, y, n_classes, criterion, feature_indices, min_leaf,
+        rng=rng, extra_random=extra_random,
+    )
+    if split is None:
+        return node
+    feat, thr, _ = split
+    mask = X[:, feat] <= thr
+    node.feature = feat
+    node.threshold = thr
+    node.left = build_tree(
+        X[mask], y[mask], n_classes, max_depth, min_split, min_leaf, criterion,
+        max_features, rng, extra_random, depth + 1,
+    )
+    node.right = build_tree(
+        X[~mask], y[~mask], n_classes, max_depth, min_split, min_leaf, criterion,
+        max_features, rng, extra_random, depth + 1,
+    )
+    return node
+
+
+def tree_predict_proba(node: _Node, X: np.ndarray, n_classes: int) -> np.ndarray:
+    """Probability matrix from a grown tree (iterative traversal)."""
+    out = np.empty((X.shape[0], n_classes))
+    for i, row in enumerate(X):
+        cur = node
+        while cur.left is not None:
+            cur = cur.left if row[cur.feature] <= cur.threshold else cur.right
+        out[i] = cur.proba
+    return out
+
+
+@register_classifier
+class DecisionTreeClassifier(BaseClassifier):
+    """CART decision tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth.
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    min_samples_leaf:
+        Minimum samples in each child.
+    criterion:
+        ``"gini"`` or ``"entropy"``.
+    """
+
+    name = "decision_tree"
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        criterion: str = "gini",
+    ):
+        super().__init__()
+        if max_depth < 1:
+            raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
+        if criterion not in ("gini", "entropy"):
+            raise ValidationError(f"criterion must be gini/entropy, got {criterion!r}")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = max(2, int(min_samples_split))
+        self.min_samples_leaf = max(1, int(min_samples_leaf))
+        self.criterion = criterion
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._root = build_tree(
+            X, y, self.n_classes_,
+            self.max_depth, self.min_samples_split, self.min_samples_leaf,
+            self.criterion,
+        )
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return tree_predict_proba(self._root, X, self.n_classes_)

@@ -1,0 +1,187 @@
+"""Command-line interface: train, recommend, and repair from CSV files.
+
+CSV convention: one time series per row, comma-separated floats; empty
+fields or the token ``nan`` mark missing values.
+
+Examples
+--------
+Train on the built-in synthetic corpus and save the engine::
+
+    python -m repro train --categories Water Climate --out engine.json
+
+Recommend algorithms for faulty series::
+
+    python -m repro recommend --engine engine.json --data faulty.csv
+
+Repair them in place::
+
+    python -m repro repair --engine engine.json --data faulty.csv \
+        --out repaired.csv
+
+List the available imputation algorithms::
+
+    python -m repro list-imputers
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.core.adarts import ADarts
+from repro.core.config import ModelRaceConfig
+from repro.core.serialization import load_engine, save_engine
+from repro.datasets import CATEGORIES, load_category
+from repro.exceptions import ReproError, ValidationError
+from repro.imputation import available_imputers
+from repro.timeseries.series import TimeSeries
+
+
+def read_series_csv(path) -> list[TimeSeries]:
+    """Read one series per row; blank/'nan' fields are missing values."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such file: {path}")
+    series = []
+    with path.open() as fh:
+        for line_no, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            values = [
+                float("nan") if field.strip() in ("", "nan", "NaN") else float(field)
+                for field in line.split(",")
+            ]
+            series.append(TimeSeries(values, name=f"row_{line_no}"))
+    if not series:
+        raise ValidationError(f"{path} contains no series")
+    return series
+
+
+def write_series_csv(path, series_list) -> None:
+    """Write one series per row (NaN becomes an empty field)."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        for series in series_list:
+            fields = [
+                "" if np.isnan(v) else repr(float(v)) for v in series.values
+            ]
+            fh.write(",".join(fields) + "\n")
+
+
+def _cmd_train(args) -> int:
+    for category in args.categories:
+        if category not in CATEGORIES:
+            raise ValidationError(
+                f"unknown category {category!r}; choose from {CATEGORIES}"
+            )
+    datasets = []
+    for category in args.categories:
+        datasets.extend(
+            load_category(
+                category, n_series=args.series_per_dataset,
+                n_datasets=args.datasets_per_category,
+            )
+        )
+    engine = ADarts(
+        config=ModelRaceConfig(
+            n_partial_sets=args.partial_sets, random_state=args.seed
+        ),
+        random_state=args.seed,
+    )
+    print(
+        f"training on {sum(len(d) for d in datasets)} series "
+        f"from {len(datasets)} datasets ...",
+        file=sys.stderr,
+    )
+    engine.fit_datasets(datasets)
+    save_engine(engine, args.out)
+    print(f"saved engine to {args.out}", file=sys.stderr)
+    for pipeline in engine.winning_pipelines:
+        print(f"winner: {pipeline}", file=sys.stderr)
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    engine = load_engine(args.engine)
+    series_list = read_series_csv(args.data)
+    for series, rec in zip(series_list, engine.recommend_many(series_list)):
+        ranking = ",".join(rec.ranking)
+        print(f"{series.name}\t{rec.algorithm}\t{ranking}")
+    return 0
+
+
+def _cmd_repair(args) -> int:
+    engine = load_engine(args.engine)
+    series_list = read_series_csv(args.data)
+    repaired = []
+    for series, rec in zip(series_list, engine.recommend_many(series_list)):
+        repaired.append(
+            rec.impute(series) if series.has_missing else series
+        )
+        print(f"{series.name}\t{rec.algorithm}", file=sys.stderr)
+    write_series_csv(args.out, repaired)
+    print(f"wrote {len(repaired)} repaired series to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_list_imputers(args) -> int:
+    for name in available_imputers():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A-DARTS: automated data repair for time series",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train an engine on built-in data")
+    train.add_argument(
+        "--categories", nargs="+", default=["Water", "Climate"],
+        help=f"dataset categories to train on (from {', '.join(CATEGORIES)})",
+    )
+    train.add_argument("--out", required=True, help="output engine JSON path")
+    train.add_argument("--series-per-dataset", type=int, default=16)
+    train.add_argument("--datasets-per-category", type=int, default=2)
+    train.add_argument("--partial-sets", type=int, default=3)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=_cmd_train)
+
+    recommend = sub.add_parser(
+        "recommend", help="recommend imputation algorithms for faulty series"
+    )
+    recommend.add_argument("--engine", required=True, help="engine JSON path")
+    recommend.add_argument("--data", required=True, help="faulty series CSV")
+    recommend.set_defaults(func=_cmd_recommend)
+
+    repair = sub.add_parser("repair", help="recommend and impute in one step")
+    repair.add_argument("--engine", required=True, help="engine JSON path")
+    repair.add_argument("--data", required=True, help="faulty series CSV")
+    repair.add_argument("--out", required=True, help="repaired series CSV path")
+    repair.set_defaults(func=_cmd_repair)
+
+    lister = sub.add_parser("list-imputers", help="list available algorithms")
+    lister.set_defaults(func=_cmd_list_imputers)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,204 @@
+"""Incremental correlation-gain clustering (Algorithm 2).
+
+Two phases:
+
+1. **Initial split** — starting from one all-series cluster, any cluster
+   whose average pairwise correlation is below ``delta`` is re-clustered
+   into ``max(2, p * |C|)`` sub-clusters (k-means on correlation profiles);
+   the queue drains when every cluster is sufficiently correlated.
+2. **Refinement** — merge clusters (or move individual series) whenever the
+   *correlation gain* (Eq. 1) is positive, reducing the cluster count while
+   preserving intra-cluster correlation.
+
+The correlation gain extends Louvain modularity to time series:
+
+    dG_ij = (1 / 2m) * ( rho(C_i ∪ C_j) - rho(C_i) * rho(C_j) / m )
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClusteringError, ValidationError
+from repro.timeseries.correlation import pairwise_correlation_matrix
+from repro.timeseries.series import TimeSeries
+from repro.utils.rng import ensure_rng
+
+
+def correlation_gain(
+    rho_union: float, rho_i: float, rho_j: float, m: int
+) -> float:
+    """Eq. 1: gain of merging clusters with the given average correlations."""
+    if m <= 0:
+        raise ValidationError(f"m must be > 0, got {m}")
+    return (rho_union - (rho_i * rho_j) / m) / (2 * m)
+
+
+class IncrementalClustering:
+    """Split-then-refine clustering over a precomputed correlation matrix.
+
+    Parameters
+    ----------
+    delta:
+        Correlation threshold below which a cluster is split further.
+    split_ratio:
+        The ``p`` of Algorithm 2 — sub-cluster count is ``max(2, p * |C|)``.
+    min_cluster_size:
+        Clusters at or below this size are candidates for merging.
+    random_state:
+        Seed for the k-means initializations inside splits.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.75,
+        split_ratio: float = 0.2,
+        min_cluster_size: int = 3,
+        random_state: int | None = 0,
+    ):
+        if not 0 < delta <= 1:
+            raise ValidationError(f"delta must be in (0, 1], got {delta}")
+        if not 0 < split_ratio <= 1:
+            raise ValidationError(f"split_ratio must be in (0, 1], got {split_ratio}")
+        self.delta = float(delta)
+        self.split_ratio = float(split_ratio)
+        self.min_cluster_size = int(min_cluster_size)
+        self.random_state = random_state
+        self.labels_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _avg_corr(self, members: list[int]) -> float:
+        if len(members) <= 1:
+            return 1.0
+        idx = np.asarray(members)
+        sub = self._corr[np.ix_(idx, idx)]
+        iu = np.triu_indices(len(members), k=1)
+        return float(sub[iu].mean())
+
+    def _split(self, members: list[int], k: int, rng) -> list[list[int]]:
+        """k-means on correlation-profile rows of the members."""
+        idx = np.asarray(members)
+        profiles = self._corr[idx]  # row = similarity profile vs. all series
+        k = min(k, len(members))
+        centers = profiles[rng.choice(len(members), size=k, replace=False)]
+        assign = np.zeros(len(members), dtype=int)
+        for _ in range(20):
+            dists = ((profiles[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            new_assign = dists.argmin(axis=1)
+            if (new_assign == assign).all():
+                break
+            assign = new_assign
+            for c in range(k):
+                mask = assign == c
+                if mask.any():
+                    centers[c] = profiles[mask].mean(axis=0)
+        groups = [
+            [members[i] for i in np.flatnonzero(assign == c)] for c in range(k)
+        ]
+        groups = [g for g in groups if g]
+        if len(groups) < 2:  # degenerate k-means: force a balanced bisection
+            half = len(members) // 2
+            groups = [members[:half], members[half:]]
+        return groups
+
+    # ------------------------------------------------------------------
+    def fit(self, series_list: list[TimeSeries]) -> "IncrementalClustering":
+        """Cluster the series; sets ``labels_`` and ``clusters_``."""
+        if not series_list:
+            raise ClusteringError("cannot cluster an empty series list")
+        n = len(series_list)
+        rng = ensure_rng(self.random_state)
+        self._corr = pairwise_correlation_matrix(series_list)
+        m = n  # total number of series (the `m` of Eq. 1)
+
+        # Phase 1: initial splitting (lines 2-9).
+        pending: list[list[int]] = [list(range(n))]
+        final: list[list[int]] = []
+        while pending:
+            cluster = pending.pop()
+            if len(cluster) <= 1 or self._avg_corr(cluster) >= self.delta:
+                final.append(cluster)
+                continue
+            k = max(2, int(round(self.split_ratio * len(cluster))))
+            pending.extend(self._split(cluster, k, rng))
+
+        # Phase 2: refinement by merge/move on correlation gain (lines 10-18).
+        clusters = [list(c) for c in final]
+        changed = True
+        guard = 0
+        while changed and guard < 10 * max(1, len(clusters)):
+            changed = False
+            guard += 1
+            # Merge pass over small clusters.
+            order = sorted(range(len(clusters)), key=lambda i: len(clusters[i]))
+            for i in order:
+                if not clusters[i] or len(clusters[i]) > self.min_cluster_size:
+                    continue
+                rho_i = self._avg_corr(clusters[i])
+                best_gain, best_j = 0.0, -1
+                for j in range(len(clusters)):
+                    if j == i or not clusters[j]:
+                        continue
+                    union = clusters[i] + clusters[j]
+                    rho_union = self._avg_corr(union)
+                    # Guard: a merge must not break the phase-1 correlation
+                    # threshold — for large m the gain's second term vanishes
+                    # and Eq. 1 alone would merge anything positive.
+                    if rho_union < self.delta:
+                        continue
+                    gain = correlation_gain(
+                        rho_union, rho_i, self._avg_corr(clusters[j]), m
+                    )
+                    if gain > best_gain:
+                        best_gain, best_j = gain, j
+                if best_j >= 0:
+                    clusters[best_j].extend(clusters[i])
+                    clusters[i] = []
+                    changed = True
+                    continue
+                # No whole-cluster merge: try moving individual series.
+                for x in list(clusters[i]):
+                    if len(clusters[i]) <= 1:
+                        break
+                    best_gain, best_j = 0.0, -1
+                    for j in range(len(clusters)):
+                        if j == i or not clusters[j]:
+                            continue
+                        rho_union = self._avg_corr(clusters[j] + [x])
+                        if rho_union < self.delta:
+                            continue
+                        gain = correlation_gain(
+                            rho_union,
+                            self._avg_corr([x]),
+                            self._avg_corr(clusters[j]),
+                            m,
+                        )
+                        if gain > best_gain:
+                            best_gain, best_j = gain, j
+                    if best_j >= 0:
+                        clusters[i].remove(x)
+                        clusters[best_j].append(x)
+                        changed = True
+        clusters = [c for c in clusters if c]
+        labels = np.empty(n, dtype=int)
+        for cid, members in enumerate(clusters):
+            for idx in members:
+                labels[idx] = cid
+        self.labels_ = labels
+        self.clusters_ = clusters
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def n_clusters_(self) -> int:
+        """Number of final clusters."""
+        if self.labels_ is None:
+            raise ClusteringError("clustering is not fitted")
+        return len(self.clusters_)
+
+    def average_correlation(self) -> float:
+        """Mean intra-cluster correlation over all final clusters."""
+        if self.labels_ is None:
+            raise ClusteringError("clustering is not fitted")
+        values = [self._avg_corr(c) for c in self.clusters_]
+        return float(np.mean(values))

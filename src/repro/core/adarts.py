@@ -1,0 +1,215 @@
+"""The A-DARTS facade: train once, recommend imputation algorithms forever.
+
+Typical use::
+
+    from repro import ADarts
+    from repro.datasets import load_category
+
+    engine = ADarts().fit_datasets(load_category("Water"))
+    rec = engine.recommend(faulty_series)
+    repaired = rec.impute(faulty_series)
+
+``fit_datasets`` runs the full Fig. 2 training path — cluster-label the
+corpus (1), extract features (2), race pipelines with ModelRace (3-5) — and
+``recommend`` runs the inference path — extract the new series' features (6)
+and soft-vote over the winning pipelines (7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.labeling import ClusterLabeler, LabeledCorpus
+from repro.core.config import ModelRaceConfig
+from repro.core.modelrace import ModelRace, RaceResult
+from repro.core.voting import MajorityVotingEnsemble, SoftVotingEnsemble
+from repro.datasets.splits import holdout_split
+from repro.exceptions import NotFittedError, ValidationError
+from repro.features.extractor import FeatureExtractor
+from repro.imputation.base import get_imputer
+from repro.pipeline.pipeline import Pipeline, make_seed_pipelines
+from repro.timeseries.series import TimeSeries, TimeSeriesDataset
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommendation: the chosen algorithm plus the full ranking.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the recommended imputation algorithm.
+    ranking:
+        All candidate algorithms, best first.
+    probabilities:
+        Soft-vote probability per algorithm (aligned with ``ranking``'s
+        class set, mapped by name).
+    """
+
+    algorithm: str
+    ranking: tuple[str, ...]
+    probabilities: dict[str, float]
+
+    def impute(self, series: TimeSeries) -> TimeSeries:
+        """Apply the recommended algorithm to the faulty series."""
+        return get_imputer(self.algorithm).impute_series(series)
+
+
+class ADarts:
+    """Automated DAta Repair in Time Series.
+
+    Parameters
+    ----------
+    extractor:
+        Feature extractor (default: statistical + topological).
+    config:
+        ModelRace configuration.
+    labeler:
+        Cluster labeler used by :meth:`fit_datasets`.
+    classifier_names:
+        Classifier families to seed the race with (default: all 12).
+    voting:
+        ``"soft"`` (paper default) or ``"majority"`` (ablation).
+    test_ratio:
+        Fraction of labeled data held out as the race's internal test set.
+    random_state:
+        Seed for the internal holdout split.
+    """
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor | None = None,
+        config: ModelRaceConfig | None = None,
+        labeler: ClusterLabeler | None = None,
+        classifier_names=None,
+        voting: str = "soft",
+        test_ratio: float = 0.25,
+        random_state: int | None = 0,
+    ):
+        if voting not in ("soft", "majority"):
+            raise ValidationError(f"voting must be soft/majority, got {voting!r}")
+        self.extractor = extractor or FeatureExtractor()
+        self.config = config or ModelRaceConfig()
+        self.labeler = labeler or ClusterLabeler()
+        self.classifier_names = classifier_names
+        self.voting = voting
+        self.test_ratio = float(test_ratio)
+        self.random_state = random_state
+        self._ensemble = None
+        self._race_result: RaceResult | None = None
+        self._train_X: np.ndarray | None = None
+        self._train_y: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit_features(
+        self, X: np.ndarray, y: np.ndarray, seed_pipelines: list[Pipeline] | None = None
+    ) -> "ADarts":
+        """Train from an already-extracted feature matrix and labels."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        X_train, X_test, y_train, y_test = holdout_split(
+            X, y, test_ratio=self.test_ratio, random_state=self.random_state
+        )
+        seeds = seed_pipelines or make_seed_pipelines(self.classifier_names)
+        race = ModelRace(self.config)
+        self._race_result = race.run(seeds, X_train, y_train, X_test, y_test)
+        ensemble_cls = (
+            SoftVotingEnsemble if self.voting == "soft" else MajorityVotingEnsemble
+        )
+        # Members were fitted on X_train inside the race's final refit; refit
+        # on the full labeled data so inference uses everything.
+        members = []
+        for p in self._race_result.elite:
+            fresh = p.clone()
+            try:
+                fresh.fit(X, y)
+            except Exception:
+                continue
+            members.append(fresh)
+        if not members:
+            raise ValidationError("no pipeline survived training")
+        self._ensemble = ensemble_cls(members)
+        # Kept for export/serialization (see repro.core.serialization).
+        self._train_X = X
+        self._train_y = y
+        return self
+
+    def fit_labeled(self, corpus: LabeledCorpus) -> "ADarts":
+        """Train from a labeled corpus (faulty series + best-imputer labels)."""
+        X = self.extractor.extract_many(corpus.series)
+        return self.fit_features(X, corpus.labels)
+
+    def fit_datasets(self, datasets: list[TimeSeriesDataset]) -> "ADarts":
+        """Full training path: cluster-label the datasets, then train."""
+        corpus = self.labeler.label_corpus(list(datasets))
+        self._labeled_corpus = corpus
+        return self.fit_labeled(corpus)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """Whether training has completed."""
+        return self._ensemble is not None
+
+    @property
+    def winning_pipelines(self) -> list[Pipeline]:
+        """The elite pipelines selected by ModelRace."""
+        if self._ensemble is None:
+            raise NotFittedError("ADarts is not fitted")
+        return list(self._ensemble.pipelines)
+
+    @property
+    def race_result(self) -> RaceResult:
+        """Diagnostics of the ModelRace run."""
+        if self._race_result is None:
+            raise NotFittedError("ADarts is not fitted")
+        return self._race_result
+
+    def recommend(self, series: TimeSeries) -> Recommendation:
+        """Recommend the best imputation algorithm for one faulty series."""
+        return self.recommend_many([series])[0]
+
+    def recommend_many(self, series_list) -> list[Recommendation]:
+        """Vectorized recommendation over several series."""
+        if self._ensemble is None:
+            raise NotFittedError("ADarts is not fitted")
+        X = self.extractor.extract_many(series_list)
+        proba = self._ensemble.predict_proba(X)
+        classes = [str(c) for c in self._ensemble.classes_]
+        out = []
+        for row in proba:
+            order = np.argsort(row)[::-1]
+            ranking = tuple(classes[j] for j in order)
+            out.append(
+                Recommendation(
+                    algorithm=ranking[0],
+                    ranking=ranking,
+                    probabilities={classes[j]: float(row[j]) for j in order},
+                )
+            )
+        return out
+
+    def repair(self, series: TimeSeries) -> TimeSeries:
+        """One-call repair: recommend, impute, return the completed series."""
+        return self.recommend(series).impute(series)
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        """Hard label predictions from pre-extracted features."""
+        if self._ensemble is None:
+            raise NotFittedError("ADarts is not fitted")
+        return self._ensemble.predict(np.asarray(X, dtype=float))
+
+    def predict_rankings(self, X) -> list[list]:
+        """Per-sample label rankings from pre-extracted features."""
+        if self._ensemble is None:
+            raise NotFittedError("ADarts is not fitted")
+        return self._ensemble.predict_rankings(np.asarray(X, dtype=float))

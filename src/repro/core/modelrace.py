@@ -1,0 +1,260 @@
+"""ModelRace: the two-phase racing pipeline selector (Algorithm 1).
+
+The race iterates over growing partial training sets.  Each iteration:
+
+1. **Synthesize** new candidate pipelines around the current elite
+   (one-parameter mutations, Fig. 3 step 1);
+2. **Evaluate** every candidate on stratified k-folds of the current partial
+   set, scoring ``(alpha*F1 + beta*R@3 - gamma*time) / (alpha+beta+gamma)``;
+3. **Early-terminate** (phase-1 pruning) candidates that trail the fold's
+   best score by a margin — they skip the remaining folds;
+4. **Prune** (phase-2) via pairwise Welch t-tests on accumulated score
+   distributions: statistically *similar* pipelines are redundant, so the
+   lower-mean member is dropped; the elite is finally capped by mean score.
+
+Distinct from classic AutoML racing, multiple configurations of the *same*
+classifier family can survive — duplicates are the point (Section VII-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.core.config import ModelRaceConfig
+from repro.datasets.splits import stratified_kfold
+from repro.exceptions import ValidationError
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.scoring import PipelineScore, score_pipeline
+from repro.pipeline.synthesizer import Synthesizer
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+
+
+@dataclass
+class RaceResult:
+    """Outcome of one ModelRace run.
+
+    Attributes
+    ----------
+    elite:
+        Surviving pipelines (fitted on the full training set).
+    scores:
+        Accumulated fold scores per surviving pipeline config key.
+    history:
+        Per-iteration record: candidates, early-terminated, pruned counts.
+    runtime:
+        Total wall-clock seconds of the race.
+    """
+
+    elite: list[Pipeline]
+    scores: dict[tuple, list[float]]
+    history: list[dict] = field(default_factory=list)
+    runtime: float = 0.0
+
+    @property
+    def n_evaluations(self) -> int:
+        """Total number of (pipeline, fold) evaluations performed."""
+        return sum(h["n_evaluations"] for h in self.history)
+
+
+class ModelRace:
+    """Run Algorithm 1 over a labeled feature matrix.
+
+    Parameters
+    ----------
+    config:
+        :class:`ModelRaceConfig` tuning knobs.
+    """
+
+    def __init__(self, config: ModelRaceConfig | None = None):
+        self.config = config or ModelRaceConfig()
+
+    # ------------------------------------------------------------------
+    def _partial_sets(
+        self, n: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Growing nested subsets of sample indices (S_1 ⊂ S_2 ⊂ ... = all)."""
+        cfg = self.config
+        perm = rng.permutation(n)
+        if cfg.n_partial_sets == 1:
+            return [perm]
+        fractions = np.linspace(cfg.initial_fraction, 1.0, cfg.n_partial_sets)
+        sets = []
+        for frac in fractions:
+            size = max(cfg.n_folds + 1, int(round(frac * n)))
+            sets.append(perm[: min(size, n)])
+        return sets
+
+    def _prune_ttest(
+        self, candidates: list[Pipeline], scores: dict[tuple, list[float]]
+    ) -> tuple[list[Pipeline], int]:
+        """Phase-2 pruning: drop the lower-mean member of similar pairs."""
+        cfg = self.config
+        alive = {p.config_key(): p for p in candidates}
+        keys = sorted(
+            alive,
+            key=lambda k: float(np.mean(scores[k])) if scores.get(k) else -np.inf,
+            reverse=True,
+        )
+        pruned = 0
+        kept: list[tuple] = []
+        for key in keys:
+            dist = scores.get(key, [])
+            redundant = False
+            for kept_key in kept:
+                ref = scores[kept_key]
+                if len(dist) < 2 or len(ref) < 2:
+                    similar = np.isclose(
+                        np.mean(dist or [0.0]), np.mean(ref), atol=1e-3
+                    )
+                else:
+                    stat = sps.ttest_ind(ref, dist, equal_var=False)
+                    similar = (
+                        np.isnan(stat.pvalue) or stat.pvalue > cfg.ttest_pvalue
+                    )
+                if similar:
+                    redundant = True
+                    break
+            if redundant:
+                pruned += 1
+            else:
+                kept.append(key)
+        # Cap the elite by mean score (kept is already sorted best-first).
+        kept = kept[: cfg.max_elite]
+        return [alive[k] for k in kept], pruned
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        seed_pipelines: list[Pipeline],
+        X: np.ndarray,
+        y: np.ndarray,
+        X_test: np.ndarray,
+        y_test: np.ndarray,
+    ) -> RaceResult:
+        """Race the pipelines; return the surviving elite fitted on all of X.
+
+        Parameters
+        ----------
+        seed_pipelines:
+            Initial pipelines (>= one per classifier family of interest).
+        X, y:
+            Training features/labels (the union of partial sets S).
+        X_test, y_test:
+            The held-out test set T used for evaluation inside the race.
+        """
+        if not seed_pipelines:
+            raise ValidationError("seed_pipelines must be non-empty")
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValidationError("X and y disagree on sample count")
+        cfg = self.config
+        rng = ensure_rng(cfg.random_state)
+        synthesizer = Synthesizer(
+            n_children_per_parent=cfg.n_children_per_parent,
+            random_state=rng,
+        )
+        scores: dict[tuple, list[float]] = {}
+        elite: list[Pipeline] = list(seed_pipelines)
+        history: list[dict] = []
+        time_scale = cfg.time_budget  # absolute normalizer for `time`
+        total_timer = Timer()
+        with total_timer:
+            for iteration, subset in enumerate(self._partial_sets(X.shape[0], rng)):
+                new = synthesizer.synthesize(
+                    elite, known=set(scores)
+                ) if iteration > 0 else synthesizer.synthesize(elite)
+                candidates = _dedupe(elite + new)
+                active = {p.config_key() for p in candidates}
+                n_evals = 0
+                n_early = 0
+                X_sub, y_sub = X[subset], y[subset]
+                n_folds = min(cfg.n_folds, max(2, len(subset) // 2))
+                folds = list(
+                    stratified_kfold(y_sub, n_splits=n_folds, random_state=rng)
+                )
+                for train_idx, _fold_test_idx in folds:
+                    fold_best = -np.inf
+                    for pipeline in candidates:
+                        key = pipeline.config_key()
+                        if key not in active:
+                            continue  # early-terminated on a previous fold
+                        result: PipelineScore = score_pipeline(
+                            pipeline.clone(),
+                            X_sub[train_idx],
+                            y_sub[train_idx],
+                            X_test,
+                            y_test,
+                            weights=cfg.weights,
+                            time_scale=time_scale,
+                        )
+                        n_evals += 1
+                        scores.setdefault(key, []).append(result.score)
+                        fold_best = max(fold_best, result.score)
+                        # Phase-1 pruning: early termination (lines 11-12).
+                        if result.score < fold_best - cfg.early_termination_margin:
+                            active.discard(key)
+                            n_early += 1
+                survivors = [p for p in candidates if p.config_key() in active]
+                if not survivors:  # safety: never lose everything
+                    survivors = candidates
+                elite, n_pruned = self._prune_ttest(survivors, scores)
+                history.append(
+                    {
+                        "iteration": iteration,
+                        "subset_size": int(len(subset)),
+                        "n_candidates": len(candidates),
+                        "n_early_terminated": n_early,
+                        "n_ttest_pruned": n_pruned,
+                        "n_elite": len(elite),
+                        "n_evaluations": n_evals,
+                    }
+                )
+            # Final band filter: the vote is only as strong as its weakest
+            # member, so keep diversity among *top* performers only.
+            means = {
+                p.config_key(): float(np.mean(scores[p.config_key()]))
+                for p in elite
+                if scores.get(p.config_key())
+            }
+            if means:
+                best_mean = max(means.values())
+                banded = [
+                    p for p in elite
+                    if means.get(p.config_key(), -np.inf)
+                    >= best_mean - cfg.elite_band
+                ]
+                if banded:
+                    elite = banded
+            # Final fit of the elite on the full training data.
+            fitted = []
+            for pipeline in elite:
+                fresh = pipeline.clone()
+                try:
+                    fresh.fit(X, y)
+                except Exception:
+                    continue
+                fitted.append(fresh)
+            if not fitted:
+                raise ValidationError("no elite pipeline could be fitted")
+        return RaceResult(
+            elite=fitted,
+            scores={p.config_key(): scores.get(p.config_key(), []) for p in fitted},
+            history=history,
+            runtime=total_timer.elapsed,
+        )
+
+
+def _dedupe(pipelines: list[Pipeline]) -> list[Pipeline]:
+    seen: set = set()
+    unique: list[Pipeline] = []
+    for p in pipelines:
+        key = p.config_key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique

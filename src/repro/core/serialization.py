@@ -1,0 +1,138 @@
+"""Persisting trained A-DARTS engines.
+
+"Any other application can easily embed the model that results from
+A-DARTS's training" — this module makes that concrete: a trained engine is
+exported as a JSON document holding the winning pipeline configurations,
+the extractor configuration, and the labeled training matrix; loading
+rebuilds the pipelines and refits them (fits are fast — the expensive parts
+were the labeling and the race, which are *not* repeated).
+
+JSON (not pickle) keeps the artifact portable, diffable, and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.adarts import ADarts
+from repro.core.voting import MajorityVotingEnsemble, SoftVotingEnsemble
+from repro.exceptions import NotFittedError, ValidationError
+from repro.features.extractor import FeatureExtractor
+from repro.pipeline.pipeline import Pipeline
+
+FORMAT_VERSION = 1
+
+
+def _pipeline_to_dict(pipeline: Pipeline) -> dict:
+    return {
+        "classifier_name": pipeline.classifier_name,
+        "classifier_params": _jsonable(pipeline.classifier_params),
+        "scaler_name": pipeline.scaler_name,
+        "scaler_params": _jsonable(pipeline.scaler_params),
+    }
+
+
+def _jsonable(params: dict) -> dict:
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, tuple):
+            out[key] = {"__tuple__": list(value)}
+        elif isinstance(value, (np.integer,)):
+            out[key] = int(value)
+        elif isinstance(value, (np.floating,)):
+            out[key] = float(value)
+        else:
+            out[key] = value
+    return out
+
+
+def _from_jsonable(params: dict) -> dict:
+    out = {}
+    for key, value in params.items():
+        if isinstance(value, dict) and "__tuple__" in value:
+            out[key] = tuple(value["__tuple__"])
+        else:
+            out[key] = value
+    return out
+
+
+def export_engine(engine: ADarts) -> dict:
+    """Serialize a fitted engine to a JSON-ready dictionary."""
+    if not engine.is_fitted:
+        raise NotFittedError("cannot export an unfitted engine")
+    X = engine._train_X
+    y = engine._train_y
+    if X is None or y is None:
+        raise ValidationError(
+            "engine has no stored training data; was it fitted via "
+            "fit_features/fit_labeled/fit_datasets?"
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "voting": engine.voting,
+        "extractor": {
+            "use_statistical": engine.extractor.use_statistical,
+            "use_topological": engine.extractor.use_topological,
+            "use_missing_pattern": engine.extractor.use_missing_pattern,
+            "embedding_dimension": engine.extractor.embedding_dimension,
+            "embedding_delay": engine.extractor.embedding_delay,
+        },
+        "pipelines": [
+            _pipeline_to_dict(p) for p in engine.winning_pipelines
+        ],
+        "training_features": np.asarray(X, dtype=float).tolist(),
+        "training_labels": [str(label) for label in y],
+    }
+
+
+def import_engine(document: dict) -> ADarts:
+    """Rebuild a fitted engine from :func:`export_engine`'s output."""
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported engine format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    extractor = FeatureExtractor(**document["extractor"])
+    engine = ADarts(extractor=extractor, voting=document["voting"])
+    X = np.asarray(document["training_features"], dtype=float)
+    y = np.asarray(document["training_labels"], dtype=object)
+    members = []
+    for spec in document["pipelines"]:
+        pipeline = Pipeline(
+            spec["classifier_name"],
+            _from_jsonable(spec["classifier_params"]),
+            spec["scaler_name"],
+            _from_jsonable(spec["scaler_params"]),
+        )
+        pipeline.fit(X, y)
+        members.append(pipeline)
+    if not members:
+        raise ValidationError("document contains no pipelines")
+    ensemble_cls = (
+        SoftVotingEnsemble if document["voting"] == "soft" else MajorityVotingEnsemble
+    )
+    engine._ensemble = ensemble_cls(members)
+    engine._train_X = X
+    engine._train_y = y
+    return engine
+
+
+def save_engine(engine: ADarts, path) -> pathlib.Path:
+    """Write a fitted engine to a JSON file; returns the path."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        json.dump(export_engine(engine), fh)
+    return path
+
+
+def load_engine(path) -> ADarts:
+    """Load a fitted engine from a JSON file written by :func:`save_engine`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"no engine file at {path}")
+    with path.open() as fh:
+        return import_engine(json.load(fh))

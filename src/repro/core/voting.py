@@ -1,0 +1,87 @@
+"""Voting ensembles over the winning pipelines (Section IV-B, step 7).
+
+The recommendation "computes a matrix of scores where each entry represents
+the probability of a given imputation algorithm being chosen by the selected
+pipelines [then] aggregates results by averaging the probabilities".  That is
+*soft voting*; the paper found it beats majority voting, which we also
+provide for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.pipeline.pipeline import Pipeline
+
+
+class _BaseEnsemble:
+    """Shared plumbing: class-union alignment across member pipelines."""
+
+    def __init__(self, pipelines: list[Pipeline]):
+        if not pipelines:
+            raise ValidationError("ensemble needs at least one pipeline")
+        self.pipelines = list(pipelines)
+        classes: list = []
+        for p in self.pipelines:
+            try:
+                member_classes = p.classes_
+            except NotFittedError:
+                raise ValidationError(
+                    "all ensemble pipelines must be fitted"
+                ) from None
+            classes.extend(member_classes.tolist())
+        self.classes_ = np.array(sorted(set(classes), key=str))
+
+    def _aligned_proba(self, pipeline: Pipeline, X: np.ndarray) -> np.ndarray:
+        """Member probabilities re-indexed onto the union class axis."""
+        proba = pipeline.predict_proba(X)
+        out = np.zeros((proba.shape[0], len(self.classes_)))
+        col_of = {cls: j for j, cls in enumerate(self.classes_.tolist())}
+        for j, cls in enumerate(pipeline.classes_.tolist()):
+            out[:, col_of[cls]] = proba[:, j]
+        return out
+
+    def predict(self, X) -> np.ndarray:
+        """Hard recommendations: the top-probability class per sample."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def predict_rankings(self, X) -> list[list]:
+        """Per-sample class rankings, best first."""
+        proba = self.predict_proba(X)
+        order = np.argsort(proba, axis=1)[:, ::-1]
+        return [[self.classes_[j] for j in row] for row in order]
+
+    def predict_proba(self, X) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SoftVotingEnsemble(_BaseEnsemble):
+    """Average the class-probability matrices of all member pipelines."""
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        acc = np.zeros((X.shape[0], len(self.classes_)))
+        for pipeline in self.pipelines:
+            acc += self._aligned_proba(pipeline, X)
+        return acc / len(self.pipelines)
+
+
+class MajorityVotingEnsemble(_BaseEnsemble):
+    """One-pipeline-one-vote hard voting (the ablation baseline).
+
+    ``predict_proba`` returns normalized vote counts, so rankings/MRR remain
+    computable — coarser than soft probabilities, which is exactly the
+    deficiency the paper observed.
+    """
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        votes = np.zeros((X.shape[0], len(self.classes_)))
+        col_of = {cls: j for j, cls in enumerate(self.classes_.tolist())}
+        for pipeline in self.pipelines:
+            pred = pipeline.predict(X)
+            for i, label in enumerate(pred):
+                votes[i, col_of[label]] += 1.0
+        return votes / len(self.pipelines)

@@ -1,0 +1,43 @@
+"""Synthetic dataset corpus standing in for the paper's 107-dataset archive."""
+
+from repro.datasets.generators import (
+    CATEGORY_GENERATORS,
+    generate_power,
+    generate_water,
+    generate_motion,
+    generate_climate,
+    generate_lightning,
+    generate_medical,
+)
+from repro.datasets.catalog import (
+    CATEGORIES,
+    load_category,
+    load_corpus,
+    corpus_summary,
+)
+from repro.datasets.forecast_catalog import (
+    FORECAST_DATASETS,
+    load_forecast_dataset,
+    load_forecast_corpus,
+)
+from repro.datasets.splits import holdout_split, stratified_kfold, train_test_indices
+
+__all__ = [
+    "CATEGORY_GENERATORS",
+    "generate_power",
+    "generate_water",
+    "generate_motion",
+    "generate_climate",
+    "generate_lightning",
+    "generate_medical",
+    "CATEGORIES",
+    "load_category",
+    "load_corpus",
+    "corpus_summary",
+    "FORECAST_DATASETS",
+    "load_forecast_dataset",
+    "load_forecast_corpus",
+    "holdout_split",
+    "stratified_kfold",
+    "train_test_indices",
+]

@@ -1,0 +1,123 @@
+"""Train/test splitting utilities: holdout and stratified k-fold.
+
+ModelRace (Algorithm 1) evaluates pipelines on *stratified* k-folds so each
+fold preserves the label distribution of the training set, and the experiment
+section reports a 65/35 sample holdout per category.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+
+
+def train_test_indices(
+    n: int, test_ratio: float = 0.35, random_state=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffle ``range(n)`` and split into (train_idx, test_idx).
+
+    Both sides are guaranteed non-empty for ``n >= 2``.
+    """
+    if n < 2:
+        raise ValidationError(f"need at least 2 samples to split, got {n}")
+    if not 0.0 < test_ratio < 1.0:
+        raise ValidationError(f"test_ratio must be in (0, 1), got {test_ratio}")
+    rng = ensure_rng(random_state)
+    perm = rng.permutation(n)
+    n_test = min(n - 1, max(1, int(round(test_ratio * n))))
+    return perm[n_test:], perm[:n_test]
+
+
+def holdout_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_ratio: float = 0.35,
+    stratify: bool = True,
+    random_state=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split features/labels into train and test partitions.
+
+    When ``stratify`` is True, each class is split independently so the test
+    set preserves class proportions (classes with a single sample go to the
+    training side).
+
+    Returns
+    -------
+    (X_train, X_test, y_train, y_test)
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValidationError(
+            f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+        )
+    rng = ensure_rng(random_state)
+    if not stratify:
+        train_idx, test_idx = train_test_indices(
+            X.shape[0], test_ratio=test_ratio, random_state=rng
+        )
+    else:
+        train_parts: list[np.ndarray] = []
+        test_parts: list[np.ndarray] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            if members.size == 1:
+                train_parts.append(members)
+                continue
+            n_test = max(1, int(round(test_ratio * members.size)))
+            n_test = min(n_test, members.size - 1)
+            test_parts.append(members[:n_test])
+            train_parts.append(members[n_test:])
+        if not test_parts:
+            raise ValidationError(
+                "stratified split produced an empty test set; "
+                "every class has a single sample"
+            )
+        train_idx = np.concatenate(train_parts)
+        test_idx = np.concatenate(test_parts)
+        rng.shuffle(train_idx)
+        rng.shuffle(test_idx)
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def stratified_kfold(
+    y: Sequence, n_splits: int = 3, random_state=None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs with per-class balanced folds.
+
+    Classes smaller than ``n_splits`` are spread as evenly as possible; every
+    fold is guaranteed a non-empty test side as long as ``len(y) >= n_splits``.
+    """
+    y = np.asarray(y)
+    n = y.shape[0]
+    if n_splits < 2:
+        raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+    if n < n_splits:
+        raise ValidationError(
+            f"cannot make {n_splits} folds from {n} samples"
+        )
+    rng = ensure_rng(random_state)
+    fold_of = np.empty(n, dtype=int)
+    # Assign each class's members round-robin to folds after shuffling, with
+    # a per-class random starting fold so small classes don't pile into fold 0.
+    per_class: dict = defaultdict(list)
+    for idx, label in enumerate(y):
+        per_class[label].append(idx)
+    for members in per_class.values():
+        members = np.array(members)
+        rng.shuffle(members)
+        start = int(rng.integers(0, n_splits))
+        for j, idx in enumerate(members):
+            fold_of[idx] = (start + j) % n_splits
+    for fold in range(n_splits):
+        test_idx = np.flatnonzero(fold_of == fold)
+        if test_idx.size == 0:
+            continue
+        train_idx = np.flatnonzero(fold_of != fold)
+        yield train_idx, test_idx

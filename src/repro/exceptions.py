@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when input data or parameters fail validation."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when predict/transform is called before fit."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative solver fails to converge and no fallback exists."""
+
+
+class RegistryError(ReproError, KeyError):
+    """Raised when a name is not found in (or conflicts within) a registry."""
+
+
+class ImputationError(ReproError, RuntimeError):
+    """Raised when an imputation algorithm cannot repair the given input."""
+
+
+class ClusteringError(ReproError, RuntimeError):
+    """Raised when a clustering routine receives unusable input."""

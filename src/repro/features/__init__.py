@@ -1,0 +1,60 @@
+"""Feature extraction for imputation-algorithm recommendation (Section V-B)."""
+
+from repro.features.extractor import FeatureExtractor, extract_features_matrix
+from repro.features.statistical import (
+    canonical_features,
+    dependency_features,
+    trend_features,
+    statistical_features,
+    STATISTICAL_FEATURE_NAMES,
+)
+from repro.features.topological import (
+    delay_embedding,
+    persistence_diagram,
+    topological_features,
+    TOPOLOGICAL_FEATURE_NAMES,
+)
+from repro.features.scaling import (
+    BaseScaler,
+    IdentityScaler,
+    StandardScaler,
+    MinMaxScaler,
+    RobustScaler,
+    MaxAbsScaler,
+    NormalizerScaler,
+    QuantileScaler,
+    PowerScaler,
+    PCAScaler,
+    SCALER_REGISTRY,
+    available_scalers,
+    get_scaler,
+    scaler_search_space,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "extract_features_matrix",
+    "canonical_features",
+    "dependency_features",
+    "trend_features",
+    "statistical_features",
+    "STATISTICAL_FEATURE_NAMES",
+    "delay_embedding",
+    "persistence_diagram",
+    "topological_features",
+    "TOPOLOGICAL_FEATURE_NAMES",
+    "BaseScaler",
+    "IdentityScaler",
+    "StandardScaler",
+    "MinMaxScaler",
+    "RobustScaler",
+    "MaxAbsScaler",
+    "NormalizerScaler",
+    "QuantileScaler",
+    "PowerScaler",
+    "PCAScaler",
+    "SCALER_REGISTRY",
+    "available_scalers",
+    "get_scaler",
+    "scaler_search_space",
+]

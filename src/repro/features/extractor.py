@@ -1,0 +1,116 @@
+"""FeatureExtractor facade: one call from series to feature vector.
+
+ModelRace and the recommendation engine always go through this class so the
+*same* extractor configuration is used at training and inference time
+(steps 2 and 6 of Fig. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.features.statistical import (
+    STATISTICAL_FEATURE_NAMES,
+    statistical_features,
+)
+from repro.features.topological import (
+    TOPOLOGICAL_FEATURE_NAMES,
+    topological_features,
+)
+from repro.timeseries.series import TimeSeries
+
+
+class FeatureExtractor:
+    """Extract a fixed-order numeric feature vector from a (faulty) series.
+
+    Parameters
+    ----------
+    use_statistical:
+        Include the statistical feature families (canonical, dependencies,
+        trends).
+    use_topological:
+        Include the persistence-diagram features.
+    use_missing_pattern:
+        Include the missing-pattern features (the paper's future-work
+        extension; off by default to match the published system).
+    embedding_dimension, embedding_delay:
+        Parameters of the time-delay embedding for the topological features.
+
+    At least one family must be enabled.  Feature order is stable across
+    calls, exposed via :attr:`feature_names`.
+    """
+
+    def __init__(
+        self,
+        use_statistical: bool = True,
+        use_topological: bool = True,
+        use_missing_pattern: bool = False,
+        embedding_dimension: int = 3,
+        embedding_delay: int = 2,
+    ):
+        if not (use_statistical or use_topological or use_missing_pattern):
+            raise ValidationError("at least one feature family must be enabled")
+        self.use_statistical = bool(use_statistical)
+        self.use_topological = bool(use_topological)
+        self.use_missing_pattern = bool(use_missing_pattern)
+        self.embedding_dimension = int(embedding_dimension)
+        self.embedding_delay = int(embedding_delay)
+        names: list[str] = []
+        if self.use_statistical:
+            names.extend(STATISTICAL_FEATURE_NAMES)
+        if self.use_topological:
+            names.extend(TOPOLOGICAL_FEATURE_NAMES)
+        if self.use_missing_pattern:
+            from repro.timeseries.patterns import MISSING_PATTERN_FEATURE_NAMES
+
+            names.extend(MISSING_PATTERN_FEATURE_NAMES)
+        self._names = tuple(names)
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Names of the extracted features, in output order."""
+        return self._names
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the produced vectors."""
+        return len(self._names)
+
+    def extract(self, series) -> np.ndarray:
+        """Extract the feature vector of one series (array or TimeSeries)."""
+        feats: dict[str, float] = {}
+        if self.use_statistical:
+            feats.update(statistical_features(series))
+        if self.use_topological:
+            feats.update(
+                topological_features(
+                    series,
+                    dimension=self.embedding_dimension,
+                    delay=self.embedding_delay,
+                )
+            )
+        if self.use_missing_pattern:
+            from repro.timeseries.patterns import missing_pattern_features
+
+            feats.update(missing_pattern_features(series))
+        vector = np.array([feats[name] for name in self._names], dtype=float)
+        return np.nan_to_num(vector, nan=0.0, posinf=0.0, neginf=0.0)
+
+    def extract_many(self, series_list) -> np.ndarray:
+        """Extract a feature matrix (n_series, n_features)."""
+        if not len(series_list):
+            raise ValidationError("series_list is empty")
+        return np.vstack([self.extract(s) for s in series_list])
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureExtractor(statistical={self.use_statistical}, "
+            f"topological={self.use_topological}, n_features={self.n_features})"
+        )
+
+
+def extract_features_matrix(series_list, extractor: FeatureExtractor | None = None):
+    """Convenience wrapper: extract a feature matrix with a default extractor."""
+    extractor = extractor or FeatureExtractor()
+    return extractor.extract_many(series_list)

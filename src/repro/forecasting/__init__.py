@@ -1,0 +1,29 @@
+"""Forecasting substrate for the downstream experiment (Section VII-F)."""
+
+from repro.forecasting.models import (
+    BaseForecaster,
+    SeasonalNaiveForecaster,
+    HoltWintersForecaster,
+    ARForecaster,
+    FORECASTER_REGISTRY,
+    get_forecaster,
+)
+from repro.forecasting.metrics import smape
+from repro.forecasting.downstream import (
+    BinaryVectorRecommender,
+    downstream_forecast_error,
+    run_downstream_experiment,
+)
+
+__all__ = [
+    "BaseForecaster",
+    "SeasonalNaiveForecaster",
+    "HoltWintersForecaster",
+    "ARForecaster",
+    "FORECASTER_REGISTRY",
+    "get_forecaster",
+    "smape",
+    "BinaryVectorRecommender",
+    "downstream_forecast_error",
+    "run_downstream_experiment",
+]

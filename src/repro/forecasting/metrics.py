@@ -1,0 +1,39 @@
+"""Forecast accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def smape(y_true, y_pred) -> float:
+    """Symmetric mean absolute percentage error in [0, 2].
+
+    sMAPE = mean( 2 * |y - yhat| / (|y| + |yhat|) ), with the convention
+    that terms where both values are zero contribute 0.
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValidationError(
+            f"y_true {y_true.shape} and y_pred {y_pred.shape} must be equal-length 1-D"
+        )
+    if y_true.size == 0:
+        raise ValidationError("empty forecast arrays")
+    denom = np.abs(y_true) + np.abs(y_pred)
+    terms = np.where(denom > 0, 2.0 * np.abs(y_true - y_pred) / np.maximum(denom, 1e-12), 0.0)
+    return float(terms.mean())
+
+
+def mase(y_true, y_pred, history, period: int = 1) -> float:
+    """Mean absolute scaled error against the seasonal-naive baseline."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    history = np.asarray(history, dtype=float)
+    if history.shape[0] <= period:
+        raise ValidationError("history too short for the given period")
+    scale = np.abs(history[period:] - history[:-period]).mean()
+    if scale == 0:
+        scale = 1e-12
+    return float(np.abs(y_true - y_pred).mean() / scale)

@@ -1,0 +1,209 @@
+"""Forecasting models: seasonal naive, Holt-Winters, and AR(p).
+
+Kept deliberately standard — the downstream experiment measures how much a
+*repair choice* helps a fixed forecaster, so the forecaster itself should be
+ordinary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, RegistryError, ValidationError
+from repro.utils.validation import check_1d
+
+
+def detect_period(x: np.ndarray, max_period: int | None = None) -> int:
+    """Dominant period via the autocorrelation peak (>= 2; 1 if aperiodic)."""
+    n = x.shape[0]
+    max_period = max_period or max(2, n // 3)
+    x0 = x - x.mean()
+    denom = float(x0 @ x0)
+    if denom == 0:
+        return 1
+    best_lag, best_val = 1, 0.25  # require a material correlation peak
+    for lag in range(2, min(max_period, n - 1) + 1):
+        val = float(x0[:-lag] @ x0[lag:] / denom)
+        if val > best_val:
+            best_val, best_lag = val, lag
+    return best_lag
+
+
+class BaseForecaster(ABC):
+    """Fit on history, forecast a fixed horizon."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._history: np.ndarray | None = None
+
+    def fit(self, history) -> "BaseForecaster":
+        """Store and learn from the historical values (no NaNs allowed)."""
+        x = check_1d(history, name="history", allow_nan=False)
+        if x.shape[0] < 4:
+            raise ValidationError("history must have at least 4 observations")
+        self._history = x
+        self._fit(x)
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast ``horizon`` future values."""
+        if self._history is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        if horizon < 1:
+            raise ValidationError(f"horizon must be >= 1, got {horizon}")
+        return self._forecast(int(horizon))
+
+    @abstractmethod
+    def _fit(self, x: np.ndarray) -> None: ...
+
+    @abstractmethod
+    def _forecast(self, horizon: int) -> np.ndarray: ...
+
+
+class SeasonalNaiveForecaster(BaseForecaster):
+    """Repeat the last observed season (period auto-detected if None)."""
+
+    name = "seasonal_naive"
+
+    def __init__(self, period: int | None = None):
+        super().__init__()
+        if period is not None and period < 1:
+            raise ValidationError(f"period must be >= 1, got {period}")
+        self.period = period
+
+    def _fit(self, x: np.ndarray) -> None:
+        self._period = self.period or detect_period(x)
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        p = min(self._period, self._history.shape[0])
+        last_season = self._history[-p:]
+        reps = int(np.ceil(horizon / p))
+        return np.tile(last_season, reps)[:horizon]
+
+
+class HoltWintersForecaster(BaseForecaster):
+    """Additive Holt-Winters (level + trend + seasonal) exponential smoothing.
+
+    Parameters
+    ----------
+    period:
+        Season length (None = auto-detect).
+    alpha, beta, gamma:
+        Smoothing parameters for level, trend, season.
+    """
+
+    name = "holt_winters"
+
+    def __init__(
+        self,
+        period: int | None = None,
+        alpha: float = 0.3,
+        beta: float = 0.05,
+        gamma: float = 0.2,
+    ):
+        super().__init__()
+        for pname, v in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if not 0 <= v <= 1:
+                raise ValidationError(f"{pname} must be in [0, 1], got {v}")
+        self.period = period
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+
+    def _fit(self, x: np.ndarray) -> None:
+        p = self.period or detect_period(x)
+        n = x.shape[0]
+        if p < 2 or 2 * p > n:
+            p = 1  # degenerate: falls back to Holt's linear trend
+        self._period = p
+        if p > 1:
+            season = np.array(
+                [x[i::p][: n // p].mean() for i in range(p)]
+            )
+            season -= season.mean()
+            level = x[:p].mean()
+        else:
+            season = np.zeros(1)
+            level = x[0]
+        trend = (x[-1] - x[0]) / max(n - 1, 1)
+        seasonal = season.copy()
+        for t in range(n):
+            s_idx = t % p
+            prev_level = level
+            level = self.alpha * (x[t] - seasonal[s_idx]) + (1 - self.alpha) * (
+                level + trend
+            )
+            trend = self.beta * (level - prev_level) + (1 - self.beta) * trend
+            seasonal[s_idx] = self.gamma * (x[t] - level) + (
+                1 - self.gamma
+            ) * seasonal[s_idx]
+        self._level, self._trend, self._seasonal = level, trend, seasonal
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        p = self._period
+        steps = np.arange(1, horizon + 1)
+        seasonal = np.array(
+            [self._seasonal[(self._history.shape[0] + h - 1) % p] for h in steps]
+        )
+        return self._level + steps * self._trend + seasonal
+
+
+class ARForecaster(BaseForecaster):
+    """AR(p) model fit by ridge-regularized least squares.
+
+    Parameters
+    ----------
+    order:
+        Number of lags.
+    ridge:
+        L2 penalty on the AR coefficients.
+    """
+
+    name = "ar"
+
+    def __init__(self, order: int = 8, ridge: float = 1e-3):
+        super().__init__()
+        if order < 1:
+            raise ValidationError(f"order must be >= 1, got {order}")
+        self.order = int(order)
+        self.ridge = float(ridge)
+
+    def _fit(self, x: np.ndarray) -> None:
+        p = min(self.order, x.shape[0] - 1)
+        self._p = p
+        self._mean = x.mean()
+        z = x - self._mean
+        rows = np.array([z[i : i + p] for i in range(z.shape[0] - p)])
+        targets = z[p:]
+        A = rows.T @ rows + self.ridge * np.eye(p)
+        self._coef = np.linalg.solve(A, rows.T @ targets)
+
+    def _forecast(self, horizon: int) -> np.ndarray:
+        z = (self._history - self._mean).tolist()
+        out = []
+        for _ in range(horizon):
+            window = np.array(z[-self._p :])
+            nxt = float(window @ self._coef)
+            z.append(nxt)
+            out.append(nxt + self._mean)
+        return np.asarray(out)
+
+
+FORECASTER_REGISTRY: dict[str, type[BaseForecaster]] = {
+    cls.name: cls
+    for cls in (SeasonalNaiveForecaster, HoltWintersForecaster, ARForecaster)
+}
+
+
+def get_forecaster(name: str, **params) -> BaseForecaster:
+    """Instantiate a forecaster by registry name."""
+    try:
+        cls = FORECASTER_REGISTRY[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown forecaster {name!r}; available: {sorted(FORECASTER_REGISTRY)}"
+        ) from None
+    return cls(**params)

@@ -1,0 +1,62 @@
+"""Imputation algorithm suite (ImputeBench-style, reimplemented on numpy).
+
+Every algorithm implements :class:`~repro.imputation.base.BaseImputer` and is
+registered by name in :data:`~repro.imputation.base.IMPUTER_REGISTRY` so the
+labeling pipeline and the recommendation engine can enumerate them uniformly.
+"""
+
+from repro.imputation.base import (
+    BaseImputer,
+    IMPUTER_REGISTRY,
+    available_imputers,
+    get_imputer,
+    register_imputer,
+)
+from repro.imputation.simple import MeanImputer, LinearImputer, KNNImputer
+from repro.imputation.matrix.cdrec import CDRecImputer
+from repro.imputation.matrix.svdimp import SVDImputer
+from repro.imputation.matrix.softimpute import SoftImputer
+from repro.imputation.matrix.svt import SVTImputer
+from repro.imputation.matrix.rosl import ROSLImputer
+from repro.imputation.matrix.grouse import GROUSEImputer
+from repro.imputation.factorization.trmf import TRMFImputer
+from repro.imputation.factorization.tenmf import TeNMFImputer
+from repro.imputation.dynamical.dynammo import DynaMMoImputer
+from repro.imputation.pattern.tkcm import TKCMImputer
+from repro.imputation.pattern.stmvl import STMVLImputer
+from repro.imputation.pattern.iim import IIMImputer
+from repro.imputation.neural.mlp_imputer import MLPImputer
+from repro.imputation.evaluation import (
+    imputation_rmse,
+    imputation_mae,
+    evaluate_imputer,
+    rank_imputers,
+)
+
+__all__ = [
+    "BaseImputer",
+    "IMPUTER_REGISTRY",
+    "available_imputers",
+    "get_imputer",
+    "register_imputer",
+    "MeanImputer",
+    "LinearImputer",
+    "KNNImputer",
+    "CDRecImputer",
+    "SVDImputer",
+    "SoftImputer",
+    "SVTImputer",
+    "ROSLImputer",
+    "GROUSEImputer",
+    "TRMFImputer",
+    "TeNMFImputer",
+    "DynaMMoImputer",
+    "TKCMImputer",
+    "STMVLImputer",
+    "IIMImputer",
+    "MLPImputer",
+    "imputation_rmse",
+    "imputation_mae",
+    "evaluate_imputer",
+    "rank_imputers",
+]

@@ -1,0 +1,144 @@
+"""Imputer base class, shared matrix helpers, and the algorithm registry.
+
+Conventions
+-----------
+* Input/output matrices have shape ``(n_series, length)`` — one row per time
+  series, NaN marking missing values (matching
+  :meth:`repro.timeseries.TimeSeriesDataset.to_matrix`).
+* :meth:`BaseImputer.impute` validates, copies, dispatches to ``_impute``,
+  and guarantees observed entries are returned untouched.
+* Algorithms never mutate their input.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ImputationError, RegistryError, ValidationError
+from repro.timeseries.series import TimeSeries, TimeSeriesDataset
+
+
+def interpolate_rows(X: np.ndarray) -> np.ndarray:
+    """Fill NaNs in each row by linear interpolation with edge extension.
+
+    Rows with no observed values are filled with the global observed mean
+    (0.0 when the whole matrix is missing).
+    """
+    out = X.copy()
+    observed_all = X[~np.isnan(X)]
+    global_mean = float(observed_all.mean()) if observed_all.size else 0.0
+    for i in range(out.shape[0]):
+        row = out[i]
+        mask = np.isnan(row)
+        if not mask.any():
+            continue
+        obs_idx = np.flatnonzero(~mask)
+        if obs_idx.size == 0:
+            row[:] = global_mean
+            continue
+        row[mask] = np.interp(np.flatnonzero(mask), obs_idx, row[obs_idx])
+    return out
+
+
+class BaseImputer(ABC):
+    """Abstract base class for all imputation algorithms.
+
+    Subclasses set the class attribute ``name`` and implement
+    :meth:`_impute`, which receives a matrix whose NaNs must be filled and
+    the original missing mask, and returns a fully finite matrix of the same
+    shape.  The public :meth:`impute` restores observed entries afterwards,
+    so algorithms may overwrite them freely during internal iterations.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = "base"
+
+    def impute(self, matrix) -> np.ndarray:
+        """Return a completed copy of ``matrix`` with NaNs replaced.
+
+        Parameters
+        ----------
+        matrix:
+            Array of shape (n_series, length) with NaN at missing positions.
+        """
+        X = np.asarray(matrix, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2:
+            raise ValidationError(f"matrix must be 1-D or 2-D, got shape {X.shape}")
+        if np.isinf(X).any():
+            raise ValidationError("matrix contains infinite values")
+        mask = np.isnan(X)
+        if not mask.any():
+            return X.copy()
+        if mask.all():
+            raise ImputationError("matrix is entirely missing; nothing to learn from")
+        completed = self._impute(X.copy(), mask)
+        completed = np.asarray(completed, dtype=float)
+        if completed.shape != X.shape:
+            raise ImputationError(
+                f"{self.name}: imputer changed shape {X.shape} -> {completed.shape}"
+            )
+        if not np.isfinite(completed[mask]).all():
+            raise ImputationError(
+                f"{self.name}: imputer left non-finite values at missing positions"
+            )
+        # Observed entries are ground truth; never let an algorithm drift them.
+        completed[~mask] = X[~mask]
+        return completed
+
+    def impute_series(self, series: TimeSeries) -> TimeSeries:
+        """Impute a single univariate series."""
+        completed = self.impute(series.values[None, :])[0]
+        return series.with_values(completed)
+
+    def impute_dataset(self, dataset: TimeSeriesDataset) -> TimeSeriesDataset:
+        """Jointly impute all series of an equal-length dataset."""
+        completed = self.impute(dataset.to_matrix())
+        return TimeSeriesDataset(
+            [s.with_values(row) for s, row in zip(dataset.series, completed)],
+            name=dataset.name,
+            category=dataset.category,
+        )
+
+    @abstractmethod
+    def _impute(self, X: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Fill NaNs in ``X`` (a private copy) and return the result."""
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(vars(self).items()) if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"
+
+
+IMPUTER_REGISTRY: dict[str, type[BaseImputer]] = {}
+
+
+def register_imputer(cls: type[BaseImputer]) -> type[BaseImputer]:
+    """Class decorator adding an imputer to the global registry by name."""
+    key = cls.name
+    if not key or key == "base":
+        raise RegistryError(f"imputer class {cls.__name__} must define a unique name")
+    if key in IMPUTER_REGISTRY and IMPUTER_REGISTRY[key] is not cls:
+        raise RegistryError(f"imputer name {key!r} already registered")
+    IMPUTER_REGISTRY[key] = cls
+    return cls
+
+
+def available_imputers() -> list[str]:
+    """Sorted list of registered imputer names."""
+    return sorted(IMPUTER_REGISTRY)
+
+
+def get_imputer(name: str, **params) -> BaseImputer:
+    """Instantiate a registered imputer by name with keyword parameters."""
+    try:
+        cls = IMPUTER_REGISTRY[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown imputer {name!r}; available: {available_imputers()}"
+        ) from None
+    return cls(**params)

@@ -1,0 +1,5 @@
+"""Dynamical-system imputers (linear dynamical systems / Kalman smoothing)."""
+
+from repro.imputation.dynamical.dynammo import DynaMMoImputer
+
+__all__ = ["DynaMMoImputer"]

@@ -1,0 +1,80 @@
+"""Imputation quality metrics and algorithm ranking helpers.
+
+These power the labeling stage: given a complete ground-truth matrix and an
+injected missing mask, every candidate algorithm is scored by RMSE on the
+hidden entries; the winner becomes the training label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.imputation.base import BaseImputer
+
+
+def _check_pair(truth, imputed, mask) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    truth = np.asarray(truth, dtype=float)
+    imputed = np.asarray(imputed, dtype=float)
+    mask = np.asarray(mask, dtype=bool)
+    if truth.shape != imputed.shape or truth.shape != mask.shape:
+        raise ValidationError(
+            f"shape mismatch: truth {truth.shape}, imputed {imputed.shape}, "
+            f"mask {mask.shape}"
+        )
+    if not mask.any():
+        raise ValidationError("mask selects no entries to evaluate")
+    return truth, imputed, mask
+
+
+def imputation_rmse(truth, imputed, mask) -> float:
+    """Root-mean-squared error on the masked (injected-missing) entries."""
+    truth, imputed, mask = _check_pair(truth, imputed, mask)
+    diff = truth[mask] - imputed[mask]
+    return float(np.sqrt((diff**2).mean()))
+
+
+def imputation_mae(truth, imputed, mask) -> float:
+    """Mean absolute error on the masked entries."""
+    truth, imputed, mask = _check_pair(truth, imputed, mask)
+    return float(np.abs(truth[mask] - imputed[mask]).mean())
+
+
+def evaluate_imputer(
+    imputer: BaseImputer, truth, mask, metric: str = "rmse"
+) -> float:
+    """Inject ``mask`` into ``truth``, run ``imputer``, and score it.
+
+    Returns ``inf`` if the algorithm raises — a failing algorithm simply
+    loses the race rather than aborting labeling.
+    """
+    truth = np.asarray(truth, dtype=float)
+    mask = np.asarray(mask, dtype=bool)
+    faulty = truth.copy()
+    faulty[mask] = np.nan
+    try:
+        completed = imputer.impute(faulty)
+    except Exception:
+        return float("inf")
+    if metric == "rmse":
+        return imputation_rmse(truth, completed, mask)
+    if metric == "mae":
+        return imputation_mae(truth, completed, mask)
+    raise ValidationError(f"unknown metric {metric!r}; use 'rmse' or 'mae'")
+
+
+def rank_imputers(
+    imputers: list[BaseImputer], truth, mask, metric: str = "rmse"
+) -> list[tuple[str, float]]:
+    """Score each imputer on the same injected mask; return sorted (name, score).
+
+    Lower is better; ties break by name for determinism.
+    """
+    if not imputers:
+        raise ValidationError("imputers list is empty")
+    scores = [
+        (imp.name, evaluate_imputer(imp, truth, mask, metric=metric))
+        for imp in imputers
+    ]
+    scores.sort(key=lambda item: (item[1], item[0]))
+    return scores

@@ -1,0 +1,6 @@
+"""Factorization-based imputers with temporal regularization."""
+
+from repro.imputation.factorization.trmf import TRMFImputer
+from repro.imputation.factorization.tenmf import TeNMFImputer
+
+__all__ = ["TRMFImputer", "TeNMFImputer"]

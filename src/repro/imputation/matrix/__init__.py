@@ -1,0 +1,17 @@
+"""Matrix-completion style imputers (low-rank recovery)."""
+
+from repro.imputation.matrix.cdrec import CDRecImputer
+from repro.imputation.matrix.svdimp import SVDImputer
+from repro.imputation.matrix.softimpute import SoftImputer
+from repro.imputation.matrix.svt import SVTImputer
+from repro.imputation.matrix.rosl import ROSLImputer
+from repro.imputation.matrix.grouse import GROUSEImputer
+
+__all__ = [
+    "CDRecImputer",
+    "SVDImputer",
+    "SoftImputer",
+    "SVTImputer",
+    "ROSLImputer",
+    "GROUSEImputer",
+]

@@ -1,0 +1,5 @@
+"""Learned (neural) imputers implemented in pure numpy."""
+
+from repro.imputation.neural.mlp_imputer import MLPImputer
+
+__all__ = ["MLPImputer"]

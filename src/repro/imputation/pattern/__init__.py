@@ -1,0 +1,7 @@
+"""Pattern- and regression-based imputers."""
+
+from repro.imputation.pattern.tkcm import TKCMImputer
+from repro.imputation.pattern.stmvl import STMVLImputer
+from repro.imputation.pattern.iim import IIMImputer
+
+__all__ = ["TKCMImputer", "STMVLImputer", "IIMImputer"]

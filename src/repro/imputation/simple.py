@@ -1,0 +1,119 @@
+"""Baseline imputers: mean, linear interpolation, and cross-series kNN."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imputation.base import BaseImputer, interpolate_rows, register_imputer
+from repro.exceptions import ValidationError
+
+
+@register_imputer
+class MeanImputer(BaseImputer):
+    """Replace each missing value with its series' observed mean.
+
+    The weakest sensible baseline: ignores time entirely.  Series with no
+    observed values fall back to the global observed mean.
+    """
+
+    name = "mean"
+
+    def _impute(self, X: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        observed_all = X[~mask]
+        global_mean = float(observed_all.mean())
+        for i in range(X.shape[0]):
+            row_mask = mask[i]
+            if not row_mask.any():
+                continue
+            observed = X[i, ~row_mask]
+            fill = float(observed.mean()) if observed.size else global_mean
+            X[i, row_mask] = fill
+        return X
+
+
+@register_imputer
+class LinearImputer(BaseImputer):
+    """Per-series linear interpolation with edge extension.
+
+    Strong on smooth/low-noise series, poor across long blocks where the
+    signal turns within the gap.
+    """
+
+    name = "linear"
+
+    def _impute(self, X: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        return interpolate_rows(X)
+
+
+@register_imputer
+class KNNImputer(BaseImputer):
+    """Cross-series k-nearest-neighbour imputation.
+
+    For each faulty series, find the ``k`` most correlated other series on
+    the commonly observed positions and average their (z-aligned) values
+    inside the gap.  Exploits inter-series redundancy like the matrix
+    methods but without factorization.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbour series to average.
+    """
+
+    name = "knn"
+
+    def __init__(self, k: int = 3):
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+
+    def _impute(self, X: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        n_series = X.shape[0]
+        if n_series < 2:
+            return interpolate_rows(X)
+        base = interpolate_rows(X)
+        out = base.copy()
+        for i in range(n_series):
+            row_mask = mask[i]
+            if not row_mask.any():
+                continue
+            target = base[i]
+            sims = np.full(n_series, -np.inf)
+            signs = np.ones(n_series)
+            for j in range(n_series):
+                if j == i:
+                    continue
+                common = ~(mask[i] | mask[j])
+                if common.sum() < 3:
+                    continue
+                a = X[i, common]
+                b = X[j, common]
+                sa, sb = a.std(), b.std()
+                if sa == 0 or sb == 0:
+                    continue
+                corr = float(np.corrcoef(a, b)[0, 1])
+                # Anti-correlated donors are as informative as correlated
+                # ones once flipped; rank by |corr| and remember the sign.
+                sims[j] = abs(corr)
+                signs[j] = 1.0 if corr >= 0 else -1.0
+            order = np.argsort(sims)[::-1]
+            neighbours = [j for j in order if np.isfinite(sims[j])][: self.k]
+            if not neighbours:
+                continue
+            # Align each neighbour to the target scale on observed positions,
+            # then average their values in the gap.
+            estimates = []
+            obs = ~row_mask
+            for j in neighbours:
+                donor = base[j]
+                d_std = donor[obs].std()
+                if d_std == 0:
+                    continue
+                scale = signs[j] * (
+                    target[obs].std() / d_std if target[obs].std() > 0 else 1.0
+                )
+                shift = target[obs].mean() - scale * donor[obs].mean()
+                estimates.append(scale * donor[row_mask] + shift)
+            if estimates:
+                out[i, row_mask] = np.mean(estimates, axis=0)
+        return out

@@ -1,0 +1,28 @@
+"""Pipeline layer: <classifier, hyperparameters, scaler> tuples and scoring."""
+
+from repro.pipeline.metrics import (
+    accuracy_score,
+    weighted_precision_recall_f1,
+    f1_weighted,
+    recall_at_k,
+    mean_reciprocal_rank,
+    classification_report,
+)
+from repro.pipeline.pipeline import Pipeline, make_seed_pipelines
+from repro.pipeline.scoring import PipelineScore, ScoreWeights, score_pipeline
+from repro.pipeline.synthesizer import Synthesizer
+
+__all__ = [
+    "accuracy_score",
+    "weighted_precision_recall_f1",
+    "f1_weighted",
+    "recall_at_k",
+    "mean_reciprocal_rank",
+    "classification_report",
+    "Pipeline",
+    "make_seed_pipelines",
+    "PipelineScore",
+    "ScoreWeights",
+    "score_pipeline",
+    "Synthesizer",
+]

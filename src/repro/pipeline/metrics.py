@@ -1,0 +1,119 @@
+"""Efficacy metrics (Section VII): weighted A/P/R/F1, Recall@k, and MRR.
+
+All per-class metrics are *weighted* averages — weighted by class support —
+to account for the label imbalance produced by the labeling stage, exactly
+as the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _check_labels(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValidationError(
+            f"y_true {y_true.shape} and y_pred {y_pred.shape} must be equal-length 1-D"
+        )
+    if y_true.size == 0:
+        raise ValidationError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact matches."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def weighted_precision_recall_f1(y_true, y_pred) -> tuple[float, float, float]:
+    """Support-weighted precision, recall, and F1.
+
+    Classes absent from ``y_true`` contribute nothing; a class predicted but
+    never true counts as zero precision for its (zero) weight.
+    """
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    classes = np.unique(y_true)
+    n = y_true.size
+    precision = recall = f1 = 0.0
+    for cls in classes:
+        support = (y_true == cls).sum()
+        weight = support / n
+        tp = ((y_pred == cls) & (y_true == cls)).sum()
+        predicted = (y_pred == cls).sum()
+        p = tp / predicted if predicted else 0.0
+        r = tp / support if support else 0.0
+        f = 2 * p * r / (p + r) if (p + r) else 0.0
+        precision += weight * p
+        recall += weight * r
+        f1 += weight * f
+    return float(precision), float(recall), float(f1)
+
+
+def f1_weighted(y_true, y_pred) -> float:
+    """Support-weighted F1 (the headline metric of the paper)."""
+    return weighted_precision_recall_f1(y_true, y_pred)[2]
+
+
+def _check_rankings(y_true, rankings) -> tuple[np.ndarray, list]:
+    y_true = np.asarray(y_true)
+    if len(rankings) != y_true.size:
+        raise ValidationError(
+            f"{len(rankings)} rankings for {y_true.size} true labels"
+        )
+    return y_true, list(rankings)
+
+
+def recall_at_k(y_true, rankings, k: int = 3) -> float:
+    """Fraction of samples whose true label is in the top-k of the ranking.
+
+    ``rankings`` is a sequence of label sequences, best first.  This is the
+    ``r3`` term of the ModelRace scoring function when ``k=3``.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    y_true, rankings = _check_rankings(y_true, rankings)
+    hits = sum(
+        1 for truth, ranking in zip(y_true, rankings) if truth in list(ranking)[:k]
+    )
+    return hits / y_true.size
+
+
+def mean_reciprocal_rank(y_true, rankings) -> float:
+    """MRR = mean over queries of 1 / rank of the correct label.
+
+    Labels absent from a ranking contribute 0 for that query.
+    """
+    y_true, rankings = _check_rankings(y_true, rankings)
+    total = 0.0
+    for truth, ranking in zip(y_true, rankings):
+        ranking = list(ranking)
+        if truth in ranking:
+            total += 1.0 / (ranking.index(truth) + 1)
+    return total / y_true.size
+
+
+def rankings_from_proba(proba: np.ndarray, classes: np.ndarray) -> list[list]:
+    """Convert a probability matrix into per-sample label rankings (best first)."""
+    proba = np.asarray(proba)
+    order = np.argsort(proba, axis=1)[:, ::-1]
+    return [[classes[j] for j in row] for row in order]
+
+
+def classification_report(y_true, y_pred, rankings=None) -> dict[str, float]:
+    """All efficacy metrics in one dict: A, P, R, F1 (+MRR/R@3 if rankings given)."""
+    precision, recall, f1 = weighted_precision_recall_f1(y_true, y_pred)
+    report = {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+    }
+    if rankings is not None:
+        report["mrr"] = mean_reciprocal_rank(y_true, rankings)
+        report["recall_at_3"] = recall_at_k(y_true, rankings, k=3)
+    return report

@@ -1,0 +1,143 @@
+"""The Pipeline object: <classifier, hyperparameters, feature scaler>.
+
+A pipeline is the unit ModelRace races.  It owns a scaler configuration and
+a classifier configuration, knows how to fit itself on a feature matrix, and
+exposes probabilistic predictions plus per-sample label rankings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers import get_classifier
+from repro.classifiers.spaces import default_params
+from repro.exceptions import NotFittedError, ValidationError
+from repro.features.scaling import get_scaler
+from repro.pipeline.metrics import rankings_from_proba
+
+
+class Pipeline:
+    """A racing candidate: scaler + parameterized classifier.
+
+    Parameters
+    ----------
+    classifier_name:
+        Registry key of the classifier family (e.g. ``"knn"``).
+    classifier_params:
+        Hyperparameters for the classifier (None = family defaults).
+    scaler_name:
+        Registry key of the scaler family (default identity).
+    scaler_params:
+        Parameters for the scaler.
+
+    Two pipelines are equal iff their full configuration matches; equality
+    and hashing let ModelRace deduplicate synthesized candidates.
+    """
+
+    def __init__(
+        self,
+        classifier_name: str,
+        classifier_params: dict | None = None,
+        scaler_name: str = "identity",
+        scaler_params: dict | None = None,
+    ):
+        self.classifier_name = str(classifier_name)
+        self.classifier_params = dict(
+            classifier_params
+            if classifier_params is not None
+            else default_params(classifier_name)
+        )
+        self.scaler_name = str(scaler_name)
+        self.scaler_params = dict(scaler_params or {})
+        # Validate eagerly: a typo'd configuration should fail at creation.
+        self._classifier = get_classifier(self.classifier_name, **self.classifier_params)
+        self._scaler = get_scaler(self.scaler_name, **self.scaler_params)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def config_key(self) -> tuple:
+        """Hashable canonical form of the full configuration."""
+        return (
+            self.classifier_name,
+            tuple(sorted(self.classifier_params.items())),
+            self.scaler_name,
+            tuple(sorted(self.scaler_params.items())),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Pipeline):
+            return NotImplemented
+        return self.config_key() == other.config_key()
+
+    def __hash__(self) -> int:
+        return hash(self.config_key())
+
+    def __repr__(self) -> str:
+        return (
+            f"Pipeline({self.classifier_name}, {self.classifier_params}, "
+            f"scaler={self.scaler_name}{self.scaler_params or ''})"
+        )
+
+    def clone(self) -> "Pipeline":
+        """Fresh unfitted pipeline with the same configuration."""
+        return Pipeline(
+            self.classifier_name,
+            dict(self.classifier_params),
+            self.scaler_name,
+            dict(self.scaler_params),
+        )
+
+    # ------------------------------------------------------------------
+    # Learning API
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "Pipeline":
+        """Fit the scaler then the classifier."""
+        X = np.asarray(X, dtype=float)
+        Z = self._scaler.fit_transform(X)
+        self._classifier.fit(Z, y)
+        self._fitted = True
+        return self
+
+    @property
+    def classes_(self) -> np.ndarray:
+        """Classes seen at fit time."""
+        if not self._fitted:
+            raise NotFittedError("pipeline is not fitted")
+        return self._classifier.classes_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities through the fitted scaler + classifier."""
+        if not self._fitted:
+            raise NotFittedError("pipeline is not fitted")
+        Z = self._scaler.transform(np.asarray(X, dtype=float))
+        return self._classifier.predict_proba(Z)
+
+    def predict(self, X) -> np.ndarray:
+        """Hard label predictions."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def predict_rankings(self, X) -> list[list]:
+        """Per-sample label rankings, best first (for Recall@k / MRR)."""
+        return rankings_from_proba(self.predict_proba(X), self.classes_)
+
+
+def make_seed_pipelines(
+    classifier_names=None, scaler_name: str = "standard"
+) -> list[Pipeline]:
+    """One default pipeline per classifier family — the ModelRace seed.
+
+    The seed "must contain at least one pipeline per classifier type that
+    needs to be considered" (Section IV-A).
+    """
+    from repro.classifiers import available_classifiers
+
+    if classifier_names is None:
+        names = available_classifiers()
+    else:
+        names = list(classifier_names)
+    if not names:
+        raise ValidationError("no classifier names given")
+    return [Pipeline(name, scaler_name=scaler_name) for name in names]

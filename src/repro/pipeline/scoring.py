@@ -1,0 +1,86 @@
+"""Pipeline scoring: the weighted efficacy/efficiency trade-off of Alg. 1.
+
+Line 9 of Algorithm 1 computes
+
+    score = (alpha * F1 + beta * Recall@3 - gamma * time) / (alpha + beta + gamma)
+
+where ``time`` is the *normalized* pipeline runtime.  The paper's ablation
+(Fig. 10) identifies alpha=0.5, gamma=0.75 as the operating point; beta
+defaults to 0.25 so effectiveness terms still dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.pipeline.metrics import f1_weighted, recall_at_k
+from repro.pipeline.pipeline import Pipeline
+from repro.utils.timing import Timer
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    """Coefficients (alpha, beta, gamma) of the scoring function.
+
+    alpha weighs F1, beta weighs Recall@3, gamma penalizes runtime.
+    """
+
+    alpha: float = 0.5
+    beta: float = 0.25
+    gamma: float = 0.75
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            if getattr(self, name) < 0:
+                raise ValidationError(f"{name} must be >= 0")
+        if self.alpha + self.beta + self.gamma <= 0:
+            raise ValidationError("at least one coefficient must be positive")
+
+    def combine(self, f1: float, r3: float, norm_time: float) -> float:
+        """Apply the Alg. 1 line-9 formula."""
+        total = self.alpha + self.beta + self.gamma
+        return (self.alpha * f1 + self.beta * r3 - self.gamma * norm_time) / total
+
+
+@dataclass(frozen=True)
+class PipelineScore:
+    """One evaluation outcome of a pipeline on one fold."""
+
+    f1: float
+    recall_at_3: float
+    runtime: float
+    score: float
+
+
+def score_pipeline(
+    pipeline: Pipeline,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    weights: ScoreWeights | None = None,
+    time_scale: float = 1.0,
+) -> PipelineScore:
+    """Train ``pipeline`` on one fold and score it on the test set.
+
+    ``time_scale`` normalizes the wall-clock runtime: pass e.g. the maximum
+    runtime observed among racing pipelines so ``norm_time`` stays in [0, 1].
+    Pipelines that raise during fit/predict score ``-inf`` (they lose the
+    race instead of crashing it).
+    """
+    weights = weights or ScoreWeights()
+    timer = Timer()
+    try:
+        with timer:
+            pipeline.fit(X_train, y_train)
+            y_pred = pipeline.predict(X_test)
+            rankings = pipeline.predict_rankings(X_test)
+    except Exception:
+        return PipelineScore(0.0, 0.0, float("inf"), float("-inf"))
+    f1 = f1_weighted(y_test, y_pred)
+    r3 = recall_at_k(y_test, rankings, k=3)
+    norm_time = min(1.0, timer.elapsed / max(time_scale, 1e-9))
+    return PipelineScore(f1, r3, timer.elapsed, weights.combine(f1, r3, norm_time))

@@ -1,0 +1,104 @@
+"""Pipeline synthesizer: generate neighbours of elite pipelines (Fig. 3, step 1).
+
+The synthesis "is centered around the existing pipelines such that it
+introduces only small changes to the parent pipeline by modifying only one
+parameter at a time" (Section V-A).  A mutation changes exactly one of:
+
+* one classifier hyperparameter (to an adjacent or random grid value),
+* the scaler family (drawing a new configuration from the scaler space),
+* one scaler parameter.
+
+Duplicates of already-known configurations are filtered out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.spaces import param_space
+from repro.exceptions import ValidationError
+from repro.features.scaling import scaler_search_space
+from repro.pipeline.pipeline import Pipeline
+from repro.utils.rng import ensure_rng
+
+
+class Synthesizer:
+    """Generates derived pipelines from elite parents.
+
+    Parameters
+    ----------
+    n_children_per_parent:
+        How many mutations to attempt per parent per round.
+    random_state:
+        Seed for mutation choices.
+    """
+
+    def __init__(self, n_children_per_parent: int = 3, random_state=None):
+        if n_children_per_parent < 1:
+            raise ValidationError(
+                f"n_children_per_parent must be >= 1, got {n_children_per_parent}"
+            )
+        self.n_children_per_parent = int(n_children_per_parent)
+        self._rng = ensure_rng(random_state)
+        self._scaler_space = scaler_search_space()
+
+    # ------------------------------------------------------------------
+    def _mutate_classifier_param(self, parent: Pipeline) -> Pipeline | None:
+        space = param_space(parent.classifier_name)
+        mutable = [
+            name for name, values in space.items()
+            if len(values) > 1
+        ]
+        if not mutable:
+            return None
+        pname = mutable[int(self._rng.integers(0, len(mutable)))]
+        values = space[pname]
+        current = parent.classifier_params.get(pname)
+        # Prefer a neighbouring grid value ("small change"); fall back to
+        # any other value when the current one is off-grid.
+        if current in values:
+            idx = values.index(current)
+            candidates = [i for i in (idx - 1, idx + 1) if 0 <= i < len(values)]
+            new_value = values[candidates[int(self._rng.integers(0, len(candidates)))]]
+        else:
+            new_value = values[int(self._rng.integers(0, len(values)))]
+        params = dict(parent.classifier_params)
+        params[pname] = new_value
+        return Pipeline(
+            parent.classifier_name, params, parent.scaler_name, parent.scaler_params
+        )
+
+    def _mutate_scaler(self, parent: Pipeline) -> Pipeline:
+        name, params = self._scaler_space[
+            int(self._rng.integers(0, len(self._scaler_space)))
+        ]
+        return Pipeline(
+            parent.classifier_name, parent.classifier_params, name, params
+        )
+
+    def synthesize(
+        self, parents: list[Pipeline], known: set | None = None
+    ) -> list[Pipeline]:
+        """Produce new unique pipelines derived from ``parents``.
+
+        ``known`` is a set of :meth:`Pipeline.config_key` values already in
+        the race; children colliding with it (or each other) are dropped.
+        """
+        known = set(known or ())
+        for parent in parents:
+            known.add(parent.config_key())
+        children: list[Pipeline] = []
+        for parent in parents:
+            for _ in range(self.n_children_per_parent):
+                if self._rng.random() < 0.5:
+                    child = self._mutate_classifier_param(parent)
+                    if child is None:
+                        child = self._mutate_scaler(parent)
+                else:
+                    child = self._mutate_scaler(parent)
+                key = child.config_key()
+                if key in known:
+                    continue
+                known.add(key)
+                children.append(child)
+        return children

@@ -1,0 +1,38 @@
+"""Time-series substrate: containers, missing-block injection, similarity."""
+
+from repro.timeseries.series import TimeSeries, TimeSeriesDataset
+from repro.timeseries.missing import (
+    MissingBlockSpec,
+    inject_missing_block,
+    inject_missing_blocks,
+    inject_mcar,
+    inject_tip_block,
+    missing_mask,
+    missing_ratio,
+)
+from repro.timeseries.correlation import (
+    cross_correlation,
+    max_cross_correlation,
+    pairwise_correlation_matrix,
+    average_pairwise_correlation,
+    shape_based_distance,
+    sbd_distance_matrix,
+)
+
+__all__ = [
+    "TimeSeries",
+    "TimeSeriesDataset",
+    "MissingBlockSpec",
+    "inject_missing_block",
+    "inject_missing_blocks",
+    "inject_mcar",
+    "inject_tip_block",
+    "missing_mask",
+    "missing_ratio",
+    "cross_correlation",
+    "max_cross_correlation",
+    "pairwise_correlation_matrix",
+    "average_pairwise_correlation",
+    "shape_based_distance",
+    "sbd_distance_matrix",
+]

@@ -1,0 +1,195 @@
+"""Missing-block injection for building labeled training data.
+
+The paper evaluates imputation on synthetic missing *blocks* of varying size
+and position (ImputeBench missingness patterns).  This module implements the
+patterns used by the experiments:
+
+* a single contiguous block at a chosen or random position,
+* multiple disjoint blocks,
+* a block at the tip of the series (used by the downstream forecasting
+  experiment, Fig. 12),
+* MCAR point-wise missingness as a degenerate case.
+
+All functions are pure: they take a complete :class:`TimeSeries` and return a
+new series with NaNs injected, never mutating the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.timeseries.series import TimeSeries
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class MissingBlockSpec:
+    """Description of one injected missing block.
+
+    Attributes
+    ----------
+    start:
+        Index of the first missing observation.
+    length:
+        Number of consecutive missing observations.
+    """
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValidationError(f"block start must be >= 0, got {self.start}")
+        if self.length <= 0:
+            raise ValidationError(f"block length must be > 0, got {self.length}")
+
+    @property
+    def stop(self) -> int:
+        """Index one past the last missing observation."""
+        return self.start + self.length
+
+
+def missing_mask(series: TimeSeries) -> np.ndarray:
+    """Boolean mask that is True where ``series`` is missing."""
+    return series.mask
+
+
+def missing_ratio(series: TimeSeries) -> float:
+    """Fraction of missing values in ``series``."""
+    return series.missing_ratio
+
+
+def inject_missing_block(
+    series: TimeSeries,
+    ratio: float | None = None,
+    length: int | None = None,
+    start: int | None = None,
+    random_state=None,
+) -> tuple[TimeSeries, MissingBlockSpec]:
+    """Inject one contiguous missing block.
+
+    Exactly one of ``ratio`` (fraction of the series length) or ``length``
+    (absolute size) must be provided.  When ``start`` is ``None`` the block
+    position is drawn uniformly from valid offsets, avoiding the first and
+    last observation so every algorithm has at least one anchor on each side.
+
+    Returns
+    -------
+    (faulty, spec):
+        The new series with NaNs, and the spec of the injected block.
+    """
+    n = len(series)
+    if (ratio is None) == (length is None):
+        raise ValidationError("provide exactly one of ratio or length")
+    if ratio is not None:
+        check_probability(ratio, name="ratio")
+        length = max(1, int(round(ratio * n)))
+    assert length is not None
+    if length >= n:
+        raise ValidationError(
+            f"block length {length} must be smaller than series length {n}"
+        )
+    if start is None:
+        rng = ensure_rng(random_state)
+        lo, hi = 1, n - length - 1
+        if hi < lo:
+            # Series too short to keep both anchors; fall back to any offset.
+            lo, hi = 0, n - length
+        start = int(rng.integers(lo, hi + 1))
+    if start + length > n:
+        raise ValidationError(
+            f"block [{start}, {start + length}) does not fit series of length {n}"
+        )
+    values = series.values.copy()
+    values[start : start + length] = np.nan
+    spec = MissingBlockSpec(start=start, length=length)
+    return series.with_values(values), spec
+
+
+def inject_missing_blocks(
+    series: TimeSeries,
+    n_blocks: int,
+    ratio: float,
+    random_state=None,
+) -> tuple[TimeSeries, list[MissingBlockSpec]]:
+    """Inject ``n_blocks`` disjoint missing blocks totaling ``ratio`` of the series.
+
+    Blocks are placed greedily at random non-overlapping positions; a
+    :class:`ValidationError` is raised if the series is too short to host all
+    blocks disjointly.
+    """
+    if n_blocks <= 0:
+        raise ValidationError(f"n_blocks must be > 0, got {n_blocks}")
+    check_probability(ratio, name="ratio")
+    n = len(series)
+    per_block = max(1, int(round(ratio * n / n_blocks)))
+    if per_block * n_blocks >= n:
+        raise ValidationError(
+            f"cannot place {n_blocks} blocks of {per_block} points in a "
+            f"series of length {n}"
+        )
+    rng = ensure_rng(random_state)
+    values = series.values.copy()
+    taken = np.zeros(n, dtype=bool)
+    specs: list[MissingBlockSpec] = []
+    max_attempts = 200 * n_blocks
+    attempts = 0
+    while len(specs) < n_blocks:
+        attempts += 1
+        if attempts > max_attempts:
+            raise ValidationError(
+                "could not place all missing blocks disjointly; "
+                "lower ratio or n_blocks"
+            )
+        start = int(rng.integers(1, max(2, n - per_block - 1)))
+        window = slice(max(0, start - 1), min(n, start + per_block + 1))
+        if taken[window].any():
+            continue
+        taken[start : start + per_block] = True
+        values[start : start + per_block] = np.nan
+        specs.append(MissingBlockSpec(start=start, length=per_block))
+    specs.sort(key=lambda s: s.start)
+    return series.with_values(values), specs
+
+
+def inject_tip_block(
+    series: TimeSeries, ratio: float = 0.2
+) -> tuple[TimeSeries, MissingBlockSpec]:
+    """Remove the final ``ratio`` fraction of the series (Fig. 12 setup).
+
+    The downstream forecasting experiment creates "random blocks at the tip
+    of each time series with the size of 20%".
+    """
+    check_probability(ratio, name="ratio")
+    n = len(series)
+    length = max(1, int(round(ratio * n)))
+    if length >= n:
+        raise ValidationError(f"tip block of ratio {ratio} would erase the series")
+    start = n - length
+    values = series.values.copy()
+    values[start:] = np.nan
+    return series.with_values(values), MissingBlockSpec(start=start, length=length)
+
+
+def inject_mcar(
+    series: TimeSeries, ratio: float, random_state=None
+) -> tuple[TimeSeries, np.ndarray]:
+    """Inject point-wise missing-completely-at-random values.
+
+    Returns the faulty series and the boolean injection mask.  At least one
+    observation is always kept.
+    """
+    check_probability(ratio, name="ratio")
+    n = len(series)
+    rng = ensure_rng(random_state)
+    n_missing = min(n - 1, int(round(ratio * n)))
+    idx = rng.choice(n, size=n_missing, replace=False)
+    values = series.values.copy()
+    values[idx] = np.nan
+    mask = np.zeros(n, dtype=bool)
+    mask[idx] = True
+    return series.with_values(values), mask

@@ -1,0 +1,128 @@
+"""Missing-pattern detection (the paper's stated future-work extension).
+
+The conclusion of the paper proposes "novel techniques that would
+automatically detect the types of missing patterns and include them as
+additional features to the recommendation process".  This module implements
+that extension: a faulty series' missingness is classified into one of the
+ImputeBench-style patterns and summarized as a small numeric feature vector
+that :class:`~repro.features.FeatureExtractor` can append.
+
+Patterns
+--------
+* ``complete``  — no missing values;
+* ``single_block`` — one contiguous gap in the interior;
+* ``tip_block`` — one gap touching the end of the series (the forecasting
+  scenario of Fig. 12);
+* ``head_block`` — one gap touching the start;
+* ``multi_block`` — several disjoint gaps, each longer than a point or two;
+* ``scattered`` — many short gaps (MCAR-like point-wise missingness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timeseries.series import TimeSeries
+
+PATTERN_NAMES: tuple[str, ...] = (
+    "complete",
+    "single_block",
+    "tip_block",
+    "head_block",
+    "multi_block",
+    "scattered",
+)
+
+
+@dataclass(frozen=True)
+class MissingPattern:
+    """Classification of a series' missingness.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`PATTERN_NAMES`.
+    n_blocks:
+        Number of contiguous missing runs.
+    missing_ratio:
+        Fraction of missing observations.
+    max_block_ratio:
+        Longest run length divided by series length.
+    mean_block_length:
+        Average run length (0 when complete).
+    relative_position:
+        Center of missing mass in [0, 1] (0.5 when complete).
+    """
+
+    kind: str
+    n_blocks: int
+    missing_ratio: float
+    max_block_ratio: float
+    mean_block_length: float
+    relative_position: float
+
+
+def detect_missing_pattern(series: TimeSeries) -> MissingPattern:
+    """Classify the missingness pattern of one series."""
+    n = len(series)
+    blocks = series.missing_blocks()
+    if not blocks:
+        return MissingPattern("complete", 0, 0.0, 0.0, 0.0, 0.5)
+    lengths = np.array([length for _, length in blocks], dtype=float)
+    total_missing = float(lengths.sum())
+    max_ratio = float(lengths.max() / n)
+    centers = np.array(
+        [start + length / 2 for start, length in blocks], dtype=float
+    )
+    position = float((centers * lengths).sum() / total_missing / n)
+    n_blocks = len(blocks)
+    start0, len0 = blocks[0]
+    if n_blocks == 1:
+        if start0 + len0 >= n:
+            kind = "tip_block"
+        elif start0 == 0:
+            kind = "head_block"
+        else:
+            kind = "single_block"
+    elif n_blocks >= 4 and lengths.mean() <= 2.0:
+        kind = "scattered"
+    else:
+        kind = "multi_block"
+    return MissingPattern(
+        kind=kind,
+        n_blocks=n_blocks,
+        missing_ratio=total_missing / n,
+        max_block_ratio=max_ratio,
+        mean_block_length=float(lengths.mean()),
+        relative_position=position,
+    )
+
+
+def missing_pattern_features(series) -> dict[str, float]:
+    """Numeric feature encoding of the missingness pattern (11 features).
+
+    One-hot pattern kind plus the five scalar descriptors, prefixed
+    ``miss_`` so they compose with the statistical/topological names.
+    Accepts a :class:`TimeSeries` or a raw array (NaN = missing).
+    """
+    if not isinstance(series, TimeSeries):
+        series = TimeSeries(np.asarray(series, dtype=float))
+    pattern = detect_missing_pattern(series)
+    feats = {
+        f"miss_is_{name}": 1.0 if pattern.kind == name else 0.0
+        for name in PATTERN_NAMES
+    }
+    feats["miss_ratio"] = pattern.missing_ratio
+    feats["miss_n_blocks"] = float(np.log1p(pattern.n_blocks))
+    feats["miss_max_block_ratio"] = pattern.max_block_ratio
+    feats["miss_mean_block_len"] = float(np.log1p(pattern.mean_block_length))
+    feats["miss_position"] = pattern.relative_position
+    return feats
+
+
+#: Stable ordering of the missing-pattern feature names.
+MISSING_PATTERN_FEATURE_NAMES: tuple[str, ...] = tuple(
+    missing_pattern_features(TimeSeries([1.0, 2.0, 3.0])).keys()
+)

@@ -1,0 +1,282 @@
+"""Core containers: :class:`TimeSeries` and :class:`TimeSeriesDataset`.
+
+A :class:`TimeSeries` is an immutable 1-D sequence of float values where NaN
+marks missing observations.  A :class:`TimeSeriesDataset` is an ordered,
+named collection of series from one source (e.g. one sensor deployment) plus
+a category tag used throughout the experiments (Power, Water, ...).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_1d
+
+
+class TimeSeries:
+    """A single univariate time series with optional missing values.
+
+    Parameters
+    ----------
+    values:
+        Array-like of floats; NaN marks a missing observation.
+    name:
+        Human-readable identifier.
+    metadata:
+        Free-form dictionary (e.g. sensor id, units).  Stored by reference.
+    """
+
+    __slots__ = ("_values", "name", "metadata")
+
+    def __init__(self, values, name: str = "series", metadata: dict | None = None):
+        arr = check_1d(values, name="values", allow_nan=True)
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._values = arr
+        self.name = str(name)
+        self.metadata = metadata or {}
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the underlying float array."""
+        return self._values
+
+    def __len__(self) -> int:
+        return self._values.shape[0]
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeries(name={self.name!r}, length={len(self)}, "
+            f"missing={self.n_missing})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        a, b = self._values, other._values
+        both_nan = np.isnan(a) & np.isnan(b)
+        return bool(np.all(both_nan | (a == b)))
+
+    def __hash__(self) -> int:
+        return hash((self.name, len(self), self._values.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Missing-value accounting
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean array that is True at missing (NaN) positions."""
+        return np.isnan(self._values)
+
+    @property
+    def n_missing(self) -> int:
+        """Number of missing observations."""
+        return int(self.mask.sum())
+
+    @property
+    def has_missing(self) -> bool:
+        """Whether the series contains at least one missing value."""
+        return bool(self.mask.any())
+
+    @property
+    def missing_ratio(self) -> float:
+        """Fraction of missing observations in [0, 1]."""
+        return self.n_missing / len(self)
+
+    def missing_blocks(self) -> list[tuple[int, int]]:
+        """Return contiguous missing runs as (start, length) pairs."""
+        mask = self.mask
+        blocks: list[tuple[int, int]] = []
+        start = None
+        for i, missing in enumerate(mask):
+            if missing and start is None:
+                start = i
+            elif not missing and start is not None:
+                blocks.append((start, i - start))
+                start = None
+        if start is not None:
+            blocks.append((start, len(mask) - start))
+        return blocks
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new objects)
+    # ------------------------------------------------------------------
+    def with_values(self, values, name: str | None = None) -> "TimeSeries":
+        """Return a copy with replaced values (same length not required)."""
+        return TimeSeries(values, name=name or self.name, metadata=dict(self.metadata))
+
+    def filled(self, fill_values) -> "TimeSeries":
+        """Return a copy where missing positions take values from ``fill_values``.
+
+        ``fill_values`` must have the same length as the series; only entries
+        at missing positions are consumed.
+        """
+        fill = check_1d(fill_values, name="fill_values", allow_nan=True)
+        if fill.shape != self._values.shape:
+            raise ValidationError(
+                f"fill_values length {fill.shape[0]} != series length {len(self)}"
+            )
+        out = self._values.copy()
+        mask = self.mask
+        out[mask] = fill[mask]
+        return self.with_values(out)
+
+    def zscore(self) -> "TimeSeries":
+        """Return a z-normalized copy (NaNs preserved).
+
+        Constant series map to all-zeros rather than dividing by zero.
+        """
+        observed = self._values[~self.mask]
+        if observed.size == 0:
+            return self.with_values(self._values)
+        mean = float(observed.mean())
+        std = float(observed.std())
+        if std == 0.0:
+            out = np.where(self.mask, np.nan, 0.0)
+        else:
+            out = (self._values - mean) / std
+        return self.with_values(out)
+
+    def interpolated(self) -> "TimeSeries":
+        """Return a copy with missing values filled by linear interpolation.
+
+        Leading/trailing gaps are filled by edge extension.  Series with no
+        observed values raise :class:`ValidationError`.
+        """
+        mask = self.mask
+        if not mask.any():
+            return self.with_values(self._values)
+        observed_idx = np.flatnonzero(~mask)
+        if observed_idx.size == 0:
+            raise ValidationError("cannot interpolate a fully missing series")
+        out = self._values.copy()
+        out[mask] = np.interp(
+            np.flatnonzero(mask), observed_idx, self._values[observed_idx]
+        )
+        return self.with_values(out)
+
+    def slice(self, start: int, stop: int) -> "TimeSeries":
+        """Return the sub-series ``values[start:stop]`` as a new object."""
+        if not 0 <= start < stop <= len(self):
+            raise ValidationError(
+                f"invalid slice [{start}, {stop}) for series of length {len(self)}"
+            )
+        return self.with_values(self._values[start:stop], name=f"{self.name}[{start}:{stop}]")
+
+    def observed_values(self) -> np.ndarray:
+        """Return only the non-missing values, order preserved."""
+        return self._values[~self.mask]
+
+
+class TimeSeriesDataset:
+    """An ordered, named collection of :class:`TimeSeries`.
+
+    Parameters
+    ----------
+    series:
+        Iterable of :class:`TimeSeries`.
+    name:
+        Dataset identifier (e.g. ``"power_uk"``).
+    category:
+        Domain category tag used by the experiments (e.g. ``"Power"``).
+    """
+
+    def __init__(
+        self,
+        series: Iterable[TimeSeries],
+        name: str = "dataset",
+        category: str = "unknown",
+    ):
+        self._series = list(series)
+        if not self._series:
+            raise ValidationError("dataset must contain at least one series")
+        if not all(isinstance(s, TimeSeries) for s in self._series):
+            raise ValidationError("all items must be TimeSeries instances")
+        self.name = str(name)
+        self.category = str(category)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterator[TimeSeries]:
+        return iter(self._series)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TimeSeriesDataset(
+                self._series[index], name=self.name, category=self.category
+            )
+        return self._series[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeriesDataset(name={self.name!r}, category={self.category!r}, "
+            f"n_series={len(self)})"
+        )
+
+    @property
+    def series(self) -> Sequence[TimeSeries]:
+        """The underlying list of series (do not mutate)."""
+        return self._series
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Array of individual series lengths."""
+        return np.array([len(s) for s in self._series], dtype=int)
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "TimeSeriesDataset":
+        """Return a new dataset containing the series at ``indices``."""
+        picked = [self._series[i] for i in indices]
+        return TimeSeriesDataset(picked, name=name or self.name, category=self.category)
+
+    def map(self, fn, name: str | None = None) -> "TimeSeriesDataset":
+        """Return a new dataset with ``fn`` applied to each series."""
+        return TimeSeriesDataset(
+            [fn(s) for s in self._series], name=name or self.name, category=self.category
+        )
+
+    def to_matrix(self) -> np.ndarray:
+        """Stack equal-length series into an (n_series, length) matrix.
+
+        Raises :class:`ValidationError` if the series lengths differ.
+        """
+        lengths = set(int(x) for x in self.lengths)
+        if len(lengths) != 1:
+            raise ValidationError(
+                f"series must share one length to form a matrix, got lengths {sorted(lengths)}"
+            )
+        return np.vstack([s.values for s in self._series])
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix,
+        name: str = "dataset",
+        category: str = "unknown",
+        prefix: str = "series",
+    ) -> "TimeSeriesDataset":
+        """Build a dataset from a 2-D array where each row is one series."""
+        arr = np.asarray(matrix, dtype=float)
+        if arr.ndim != 2:
+            raise ValidationError(f"matrix must be 2-D, got shape {arr.shape}")
+        series = [
+            TimeSeries(row, name=f"{prefix}_{i}") for i, row in enumerate(arr)
+        ]
+        return cls(series, name=name, category=category)

@@ -1,0 +1,22 @@
+"""Shared low-level helpers: RNG handling, validation, timing, statistics."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_finite,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "check_1d",
+    "check_2d",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,44 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``random_state`` that may
+be ``None``, an integer seed, or a :class:`numpy.random.Generator`.  These
+helpers normalize that input so components never touch global numpy state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RandomState = "int | np.random.Generator | None"
+
+
+def ensure_rng(random_state: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the given state.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for a fresh nondeterministic generator, an ``int`` seed for a
+        deterministic one, or an existing generator (returned unchanged).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        f"random_state must be None, int, or numpy Generator, got {type(random_state)!r}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Children are independent of one another and of further use of the parent,
+    which makes parallel or re-entrant components reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

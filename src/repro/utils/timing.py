@@ -1,0 +1,43 @@
+"""Lightweight wall-clock timing used by pipeline scoring and benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     sum(range(10))
+    45
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    def start(self) -> None:
+        """Begin (or restart) timing outside a ``with`` block."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop timing and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed

@@ -1,0 +1,86 @@
+"""Shared fixtures: small deterministic datasets and feature matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_category
+from repro.features import FeatureExtractor
+from repro.timeseries import TimeSeries, TimeSeriesDataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sine_series():
+    t = np.linspace(0, 4 * np.pi, 200)
+    return TimeSeries(np.sin(t), name="sine")
+
+
+@pytest.fixture
+def faulty_series(sine_series):
+    values = sine_series.values.copy()
+    values[60:80] = np.nan
+    return sine_series.with_values(values)
+
+
+@pytest.fixture(scope="session")
+def small_climate_dataset():
+    return load_category("Climate", n_series=8, n_datasets=1)[0]
+
+
+@pytest.fixture(scope="session")
+def small_motion_dataset():
+    return load_category("Motion", n_series=8, n_datasets=1)[0]
+
+
+@pytest.fixture(scope="session")
+def correlated_matrix(rng):
+    """A rank-2 matrix plus noise: ideal for matrix-completion imputers."""
+    n, m = 12, 150
+    t = np.linspace(0, 4 * np.pi, m)
+    basis = np.vstack([np.sin(t), np.cos(0.5 * t)])
+    weights = rng.normal(size=(n, 2))
+    return weights @ basis + 0.01 * rng.normal(size=(n, m))
+
+
+@pytest.fixture(scope="session")
+def block_mask(correlated_matrix):
+    mask = np.zeros_like(correlated_matrix, dtype=bool)
+    mask[0, 40:70] = True
+    mask[3, 100:120] = True
+    return mask
+
+
+@pytest.fixture(scope="session")
+def labeled_features(rng):
+    """Synthetic feature/label pairs with learnable class structure."""
+    n_per_class = 40
+    labels = ["cdrec", "linear", "tkcm"]
+    X_parts, y_parts = [], []
+    for k, label in enumerate(labels):
+        center = np.zeros(12)
+        center[k * 3 : k * 3 + 3] = 3.0
+        X_parts.append(center + rng.normal(size=(n_per_class, 12)))
+        y_parts.extend([label] * n_per_class)
+    return np.vstack(X_parts), np.array(y_parts)
+
+
+@pytest.fixture(scope="session")
+def extractor():
+    return FeatureExtractor()
+
+
+@pytest.fixture
+def tiny_dataset():
+    rows = np.vstack(
+        [
+            np.sin(np.linspace(0, 6.28, 64)) + i * 0.1
+            for i in range(5)
+        ]
+    )
+    return TimeSeriesDataset.from_matrix(rows, name="tiny", category="Test")

@@ -1,0 +1,100 @@
+"""Tests for the FLAML/Tune/AutoFolio/RAHA-style baseline selectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AutoFolioSelector,
+    FLAMLSelector,
+    RAHASelector,
+    TuneSelector,
+)
+from repro.exceptions import NotFittedError, ValidationError
+
+ALL_BASELINES = [FLAMLSelector, TuneSelector, AutoFolioSelector, RAHASelector]
+
+
+def _fast(cls):
+    """Fast configurations so tests stay quick."""
+    if cls is FLAMLSelector:
+        return cls(n_rounds=6, families=("knn", "decision_tree"), random_state=0)
+    if cls is TuneSelector:
+        return cls(family="decision_tree", n_configs=6, random_state=0)
+    if cls is AutoFolioSelector:
+        return cls(family="knn", n_seeds=2, n_perturbations=2, random_state=0)
+    return cls(n_clusters=3, random_state=0)
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_fit_predict(self, cls, labeled_features):
+        X, y = labeled_features
+        selector = _fast(cls).fit(X, y)
+        preds = selector.predict(X)
+        assert preds.shape == y.shape
+        assert (preds == y).mean() > 0.5
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_predict_before_fit_raises(self, cls, labeled_features):
+        X, _ = labeled_features
+        with pytest.raises(NotFittedError):
+            _fast(cls).predict(X)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_mismatched_shapes_raise(self, cls):
+        with pytest.raises(ValidationError):
+            _fast(cls).fit(np.zeros((4, 2)), np.zeros(3))
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_invalid_validation_ratio_raises(self, cls):
+        with pytest.raises(ValidationError):
+            cls(validation_ratio=0.0)
+
+
+class TestRankingSupport:
+    def test_only_raha_supports_ranking(self):
+        flags = {cls.name: cls.supports_ranking for cls in ALL_BASELINES}
+        assert flags == {
+            "FLAML": False, "Tune": False, "AutoFolio": False, "RAHA": True,
+        }
+
+    def test_raha_rankings_cover_classes(self, labeled_features):
+        X, y = labeled_features
+        selector = RAHASelector(n_clusters=3, random_state=0).fit(X, y)
+        rankings = selector.predict_rankings(X[:5])
+        classes = set(np.unique(y).tolist())
+        for ranking in rankings:
+            assert set(map(str, ranking)) == classes
+
+
+class TestSelectionSemantics:
+    def test_flaml_single_winner(self, labeled_features):
+        X, y = labeled_features
+        selector = _fast(FLAMLSelector).fit(X, y)
+        # Exactly one winning model survives (not an ensemble).
+        assert hasattr(selector._model, "predict")
+        assert selector._model.name in ("knn", "decision_tree")
+
+    def test_tune_stays_in_family(self, labeled_features):
+        X, y = labeled_features
+        selector = TuneSelector(family="knn", n_configs=4, random_state=0).fit(X, y)
+        assert selector._model.name == "knn"
+
+    def test_autofolio_stays_in_family(self, labeled_features):
+        X, y = labeled_features
+        selector = AutoFolioSelector(
+            family="ridge", n_seeds=2, n_perturbations=2, random_state=0
+        ).fit(X, y)
+        assert selector._model.name == "ridge"
+
+    def test_raha_routes_to_clusters(self, labeled_features):
+        X, y = labeled_features
+        selector = RAHASelector(n_clusters=3, random_state=0).fit(X, y)
+        routes = selector._model._route(X)
+        assert len(np.unique(routes)) > 1  # multiple clusters actually used
+
+    def test_deterministic_given_seed(self, labeled_features):
+        X, y = labeled_features
+        p1 = _fast(TuneSelector).fit(X, y).predict(X)
+        p2 = _fast(TuneSelector).fit(X, y).predict(X)
+        assert (p1 == p2).all()

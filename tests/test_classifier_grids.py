@@ -1,0 +1,53 @@
+"""Exhaustive sanity sweep: every grid value of every classifier trains.
+
+The synthesizer may hand ModelRace any single-parameter mutation, so every
+value in every grid must produce a classifier that fits and predicts.  Each
+(family, parameter, value) combination is checked with the remaining
+parameters at defaults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    available_classifiers,
+    default_params,
+    get_classifier,
+    param_space,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_problem():
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(size=(12, 5)), 4 + rng.normal(size=(12, 5))])
+    y = np.array([0] * 12 + [1] * 12)
+    return X, y
+
+
+def _grid_points():
+    points = []
+    for family in available_classifiers():
+        space = param_space(family)
+        for pname, values in space.items():
+            for value in values:
+                points.append((family, pname, value))
+    return points
+
+
+@pytest.mark.parametrize(
+    "family,pname,value",
+    _grid_points(),
+    ids=lambda v: str(v)[:24],
+)
+def test_every_grid_value_trains(family, pname, value, tiny_problem):
+    X, y = tiny_problem
+    params = default_params(family)
+    params[pname] = value
+    clf = get_classifier(family, **params)
+    clf.fit(X, y)
+    preds = clf.predict(X)
+    assert preds.shape == y.shape
+    proba = clf.predict_proba(X)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert np.isfinite(proba).all()

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main, read_series_csv, write_series_csv
+from repro.exceptions import ValidationError
+from repro.imputation import available_imputers
+from repro.timeseries import TimeSeries
+
+
+class TestCsvIO:
+    def test_round_trip(self, tmp_path):
+        series = [
+            TimeSeries([1.0, np.nan, 3.0], name="a"),
+            TimeSeries([4.0, 5.0, np.nan], name="b"),
+        ]
+        path = tmp_path / "data.csv"
+        write_series_csv(path, series)
+        loaded = read_series_csv(path)
+        assert len(loaded) == 2
+        assert loaded[0].n_missing == 1
+        assert loaded[0].values[0] == 1.0
+        assert np.isnan(loaded[1].values[2])
+
+    def test_nan_token_accepted(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1.0,nan,3.0\n")
+        loaded = read_series_csv(path)
+        assert np.isnan(loaded[0].values[1])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1.0,2.0\n\n3.0,4.0\n")
+        assert len(read_series_csv(path)) == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            read_series_csv(tmp_path / "nope.csv")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n")
+        with pytest.raises(ValidationError):
+            read_series_csv(path)
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["train", "--out", "x.json"],
+            ["recommend", "--engine", "e.json", "--data", "d.csv"],
+            ["repair", "--engine", "e.json", "--data", "d.csv", "--out", "o.csv"],
+            ["list-imputers"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_imputers(self, capsys):
+        assert main(["list-imputers"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out == available_imputers()
+
+    def test_recommend_with_bad_engine_path_errors(self, tmp_path, capsys):
+        code = main(
+            [
+                "recommend",
+                "--engine", str(tmp_path / "missing.json"),
+                "--data", str(tmp_path / "missing.csv"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_full_train_recommend_repair_cycle(self, tmp_path, capsys):
+        engine_path = tmp_path / "engine.json"
+        code = main(
+            [
+                "train",
+                "--categories", "Climate",
+                "--out", str(engine_path),
+                "--series-per-dataset", "8",
+                "--datasets-per-category", "1",
+                "--partial-sets", "2",
+            ]
+        )
+        assert code == 0
+        assert engine_path.exists()
+
+        data_path = tmp_path / "faulty.csv"
+        t = np.arange(120, dtype=float)
+        values = 10 + 5 * np.sin(2 * np.pi * t / 30.0)
+        values[40:55] = np.nan
+        write_series_csv(data_path, [TimeSeries(values)])
+
+        code = main(
+            ["recommend", "--engine", str(engine_path), "--data", str(data_path)]
+        )
+        assert code == 0
+        line = capsys.readouterr().out.strip()
+        assert "\t" in line  # name \t algorithm \t ranking
+
+        out_path = tmp_path / "repaired.csv"
+        code = main(
+            [
+                "repair",
+                "--engine", str(engine_path),
+                "--data", str(data_path),
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        repaired = read_series_csv(out_path)
+        assert not repaired[0].has_missing
+
+    def test_train_unknown_category_errors(self, tmp_path, capsys):
+        code = main(
+            ["train", "--categories", "Bogus", "--out", str(tmp_path / "e.json")]
+        )
+        assert code == 2

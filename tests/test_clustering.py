@@ -1,0 +1,169 @@
+"""Tests for incremental clustering, K-Shape, and cluster labeling."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    ClusterLabeler,
+    IncrementalClustering,
+    KShape,
+    correlation_gain,
+    kshape_grid_search,
+    kshape_iterative,
+)
+from repro.exceptions import ClusteringError, ValidationError
+from repro.timeseries import TimeSeries, TimeSeriesDataset
+
+
+def _make_groups(rng, n_per=6, length=120):
+    """Three clearly distinct shape groups."""
+    t = np.linspace(0, 4 * np.pi, length)
+    groups = [np.sin(t), np.sign(np.sin(3 * t)), t / t.max() * 2 - 1]
+    series = []
+    for g, base in enumerate(groups):
+        for i in range(n_per):
+            noisy = base * rng.uniform(0.9, 1.1) + rng.normal(0, 0.05, length)
+            series.append(TimeSeries(noisy, name=f"g{g}_{i}"))
+    return series
+
+
+@pytest.fixture(scope="module")
+def grouped_series():
+    return _make_groups(np.random.default_rng(0))
+
+
+class TestCorrelationGain:
+    def test_positive_when_union_improves(self):
+        assert correlation_gain(0.9, 0.5, 0.5, 10) > 0
+
+    def test_zero_m_raises(self):
+        with pytest.raises(ValidationError):
+            correlation_gain(0.9, 0.5, 0.5, 0)
+
+    def test_formula(self):
+        value = correlation_gain(0.8, 0.6, 0.5, 4)
+        expected = (0.8 - (0.6 * 0.5) / 4) / 8
+        assert value == pytest.approx(expected)
+
+
+class TestIncrementalClustering:
+    def test_finds_the_three_groups(self, grouped_series):
+        model = IncrementalClustering(delta=0.8, random_state=0).fit(grouped_series)
+        labels = model.labels_
+        # Series of the same group share a label.
+        for g in range(3):
+            block = labels[g * 6 : (g + 1) * 6]
+            assert len(set(block.tolist())) == 1
+        assert model.n_clusters_ >= 3
+
+    def test_high_intra_cluster_correlation(self, grouped_series):
+        model = IncrementalClustering(delta=0.8, random_state=0).fit(grouped_series)
+        assert model.average_correlation() > 0.8
+
+    def test_single_series(self):
+        model = IncrementalClustering().fit([TimeSeries(np.arange(50.0))])
+        assert model.n_clusters_ == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ClusteringError):
+            IncrementalClustering().fit([])
+
+    def test_invalid_delta_raises(self):
+        with pytest.raises(ValidationError):
+            IncrementalClustering(delta=0.0)
+
+    def test_unfitted_guards(self):
+        model = IncrementalClustering()
+        with pytest.raises(ClusteringError):
+            _ = model.n_clusters_
+
+    def test_labels_partition_everything(self, grouped_series):
+        model = IncrementalClustering(random_state=0).fit(grouped_series)
+        assert model.labels_.shape == (len(grouped_series),)
+        covered = sorted(i for cluster in model.clusters_ for i in cluster)
+        assert covered == list(range(len(grouped_series)))
+
+
+class TestKShape:
+    def test_separates_groups(self, grouped_series):
+        model = KShape(n_clusters=3, random_state=0).fit(grouped_series)
+        labels = model.labels_
+        for g in range(3):
+            block = labels[g * 6 : (g + 1) * 6]
+            # A dominant label per group (k-shape may misplace one series).
+            values, counts = np.unique(block, return_counts=True)
+            assert counts.max() >= 5
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValidationError):
+            KShape(n_clusters=0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ClusteringError):
+            KShape().fit([])
+
+    def test_average_correlation_computable(self, grouped_series):
+        model = KShape(n_clusters=3, random_state=0).fit(grouped_series)
+        assert -1.0 <= model.average_correlation() <= 1.0
+
+    def test_grid_search_beats_default_k(self, grouped_series):
+        default = KShape(n_clusters=8, random_state=0).fit(grouped_series)
+        best = kshape_grid_search(grouped_series, k_values=range(2, 7))
+        assert best.average_correlation() >= default.average_correlation() - 0.05
+
+    def test_iterative_reaches_target(self, grouped_series):
+        model = kshape_iterative(
+            grouped_series, target_correlation=0.8, max_k=10
+        )
+        assert model.average_correlation() >= 0.8 or model.n_clusters_ == 10
+
+
+class TestClusterLabeler:
+    def test_labels_whole_dataset(self, small_climate_dataset):
+        labeler = ClusterLabeler(
+            imputer_names=("linear", "mean"), random_state=0
+        )
+        corpus = labeler.label_dataset(small_climate_dataset)
+        assert len(corpus) == len(small_climate_dataset)
+        assert all(label in ("linear", "mean") for label in corpus.labels)
+        assert all(s.has_missing for s in corpus.series)
+        assert corpus.n_benchmark_runs >= 1
+
+    def test_rankings_complete(self, small_climate_dataset):
+        labeler = ClusterLabeler(
+            imputer_names=("linear", "mean", "knn"), random_state=0
+        )
+        corpus = labeler.label_dataset(small_climate_dataset)
+        for ranking in corpus.rankings:
+            assert sorted(ranking) == ["knn", "linear", "mean"]
+
+    def test_label_propagation_amortizes_runs(self, small_climate_dataset):
+        labeler = ClusterLabeler(imputer_names=("linear", "mean"), random_state=0)
+        corpus = labeler.label_dataset(small_climate_dataset)
+        # Far fewer benchmark runs than series (that's the whole point).
+        assert corpus.n_benchmark_runs < len(corpus)
+
+    def test_categories_recorded(self, small_climate_dataset):
+        labeler = ClusterLabeler(imputer_names=("linear", "mean"), random_state=0)
+        corpus = labeler.label_dataset(small_climate_dataset)
+        assert set(corpus.categories) == {"Climate"}
+
+    def test_corpus_concatenation(self, small_climate_dataset, small_motion_dataset):
+        labeler = ClusterLabeler(imputer_names=("linear", "mean"), random_state=0)
+        corpus = labeler.label_corpus(
+            [small_climate_dataset, small_motion_dataset]
+        )
+        assert len(corpus) == len(small_climate_dataset) + len(small_motion_dataset)
+        assert set(corpus.categories) == {"Climate", "Motion"}
+
+    def test_empty_imputers_raise(self):
+        with pytest.raises(ValidationError):
+            ClusterLabeler(imputer_names=())
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValidationError):
+            ClusterLabeler(missing_ratio=0.0)
+
+    def test_empty_datasets_raise(self):
+        with pytest.raises(ValidationError):
+            ClusterLabeler().label_corpus([])

@@ -1,0 +1,110 @@
+"""Unit and integration tests for the ADarts facade."""
+
+import numpy as np
+import pytest
+
+from repro import ADarts, ModelRaceConfig, TimeSeries
+from repro.clustering.labeling import ClusterLabeler, LabeledCorpus
+from repro.exceptions import NotFittedError, ValidationError
+
+
+FAST = dict(
+    config=ModelRaceConfig(n_partial_sets=2, n_folds=2, max_elite=3, random_state=0),
+    classifier_names=["knn", "decision_tree", "gaussian_nb"],
+)
+
+
+class TestConstruction:
+    def test_invalid_voting_raises(self):
+        with pytest.raises(ValidationError):
+            ADarts(voting="plurality")
+
+    def test_not_fitted_guards(self, sine_series):
+        engine = ADarts(**FAST)
+        assert not engine.is_fitted
+        with pytest.raises(NotFittedError):
+            engine.recommend(sine_series)
+        with pytest.raises(NotFittedError):
+            engine.winning_pipelines
+        with pytest.raises(NotFittedError):
+            engine.race_result
+
+
+class TestFitFeatures:
+    def test_fit_and_predict(self, labeled_features):
+        X, y = labeled_features
+        engine = ADarts(**FAST).fit_features(X, y)
+        assert engine.is_fitted
+        preds = engine.predict(X)
+        assert (preds == y).mean() > 0.8
+
+    def test_winning_pipelines_nonempty(self, labeled_features):
+        X, y = labeled_features
+        engine = ADarts(**FAST).fit_features(X, y)
+        assert 1 <= len(engine.winning_pipelines) <= 3
+
+    def test_rankings_cover_classes(self, labeled_features):
+        X, y = labeled_features
+        engine = ADarts(**FAST).fit_features(X, y)
+        rankings = engine.predict_rankings(X[:4])
+        for ranking in rankings:
+            assert set(map(str, ranking)) == set(np.unique(y).tolist())
+
+    def test_race_result_exposed(self, labeled_features):
+        X, y = labeled_features
+        engine = ADarts(**FAST).fit_features(X, y)
+        assert engine.race_result.n_evaluations > 0
+
+    def test_majority_voting_variant(self, labeled_features):
+        X, y = labeled_features
+        engine = ADarts(voting="majority", **FAST).fit_features(X, y)
+        assert (engine.predict(X) == y).mean() > 0.7
+
+
+class TestFitLabeledAndRecommend:
+    @pytest.fixture(scope="class")
+    def trained(self, small_climate_dataset, small_motion_dataset):
+        labeler = ClusterLabeler(
+            imputer_names=("linear", "knn", "svdimp", "mean"),
+            random_state=0,
+        )
+        engine = ADarts(labeler=labeler, **FAST)
+        engine.fit_datasets([small_climate_dataset, small_motion_dataset])
+        return engine
+
+    def test_recommendation_structure(self, trained, faulty_series):
+        rec = trained.recommend(faulty_series)
+        assert rec.algorithm in ("linear", "knn", "svdimp", "mean")
+        assert rec.ranking[0] == rec.algorithm
+        assert set(rec.probabilities) == set(rec.ranking)
+        total = sum(rec.probabilities.values())
+        assert total == pytest.approx(1.0)
+
+    def test_probabilities_sorted_with_ranking(self, trained, faulty_series):
+        rec = trained.recommend(faulty_series)
+        probs = [rec.probabilities[name] for name in rec.ranking]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_recommend_many(self, trained, faulty_series, sine_series):
+        recs = trained.recommend_many([faulty_series, sine_series])
+        assert len(recs) == 2
+
+    def test_repair_fills_gaps(self, trained, faulty_series):
+        repaired = trained.repair(faulty_series)
+        assert not repaired.has_missing
+        assert len(repaired) == len(faulty_series)
+
+    def test_recommendation_impute_method(self, trained, faulty_series):
+        rec = trained.recommend(faulty_series)
+        out = rec.impute(faulty_series)
+        assert not out.has_missing
+
+
+class TestFitLabeledCorpusDirect:
+    def test_fit_labeled(self, small_climate_dataset):
+        labeler = ClusterLabeler(
+            imputer_names=("linear", "mean"), random_state=0
+        )
+        corpus = labeler.label_dataset(small_climate_dataset)
+        engine = ADarts(**FAST).fit_labeled(corpus)
+        assert engine.is_fitted

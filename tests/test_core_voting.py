@@ -1,0 +1,91 @@
+"""Unit tests for the voting ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.core import MajorityVotingEnsemble, SoftVotingEnsemble
+from repro.exceptions import ValidationError
+from repro.pipeline import Pipeline
+
+
+@pytest.fixture
+def fitted_members(labeled_features):
+    X, y = labeled_features
+    members = [
+        Pipeline("knn", scaler_name="standard").fit(X, y),
+        Pipeline("decision_tree").fit(X, y),
+        Pipeline("gaussian_nb").fit(X, y),
+    ]
+    return members, X, y
+
+
+class TestSoftVoting:
+    def test_probability_matrix(self, fitted_members):
+        members, X, y = fitted_members
+        ens = SoftVotingEnsemble(members)
+        proba = ens.predict_proba(X)
+        assert proba.shape == (X.shape[0], len(ens.classes_))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_average_of_members(self, fitted_members):
+        members, X, _ = fitted_members
+        ens = SoftVotingEnsemble(members)
+        manual = np.mean([m.predict_proba(X) for m in members], axis=0)
+        # Members share identical class sets here, so alignment is identity.
+        assert np.allclose(ens.predict_proba(X), manual)
+
+    def test_accuracy_reasonable(self, fitted_members):
+        members, X, y = fitted_members
+        ens = SoftVotingEnsemble(members)
+        assert (ens.predict(X) == y).mean() > 0.8
+
+    def test_rankings_best_first(self, fitted_members):
+        members, X, _ = fitted_members
+        ens = SoftVotingEnsemble(members)
+        rankings = ens.predict_rankings(X[:3])
+        preds = ens.predict(X[:3])
+        for pred, ranking in zip(preds, rankings):
+            assert ranking[0] == pred
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            SoftVotingEnsemble([])
+
+    def test_unfitted_member_raises(self, labeled_features):
+        with pytest.raises(ValidationError):
+            SoftVotingEnsemble([Pipeline("knn")])
+
+    def test_class_union_alignment(self, labeled_features):
+        X, y = labeled_features
+        # Train one member without ever seeing class 'tkcm'.
+        member_all = Pipeline("knn").fit(X, y)
+        subset = y != "tkcm"
+        member_partial = Pipeline("decision_tree").fit(X[subset], y[subset])
+        ens = SoftVotingEnsemble([member_all, member_partial])
+        assert set(ens.classes_.tolist()) == set(np.unique(y).tolist())
+        proba = ens.predict_proba(X[:5])
+        assert proba.shape == (5, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestMajorityVoting:
+    def test_votes_normalized(self, fitted_members):
+        members, X, _ = fitted_members
+        ens = MajorityVotingEnsemble(members)
+        proba = ens.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        # With 3 voters every entry is a multiple of 1/3.
+        assert np.allclose((proba * 3) % 1, 0.0, atol=1e-9)
+
+    def test_majority_wins(self, labeled_features):
+        X, y = labeled_features
+        members = [Pipeline("knn", {"k": k, "weights": "uniform", "p": 2}).fit(X, y)
+                   for k in (1, 3, 5)]
+        ens = MajorityVotingEnsemble(members)
+        assert (ens.predict(X) == y).mean() > 0.9
+
+    def test_soft_at_least_as_granular(self, fitted_members):
+        members, X, _ = fitted_members
+        soft = SoftVotingEnsemble(members).predict_proba(X)
+        hard = MajorityVotingEnsemble(members).predict_proba(X)
+        assert len(np.unique(soft)) >= len(np.unique(hard))

@@ -1,0 +1,167 @@
+"""Unit tests for synthetic dataset generators, catalog, and splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CATEGORIES,
+    CATEGORY_GENERATORS,
+    FORECAST_DATASETS,
+    corpus_summary,
+    holdout_split,
+    load_category,
+    load_corpus,
+    load_forecast_corpus,
+    load_forecast_dataset,
+    stratified_kfold,
+    train_test_indices,
+)
+from repro.exceptions import ValidationError
+from repro.timeseries import average_pairwise_correlation
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("category", CATEGORIES)
+    def test_shape_and_finiteness(self, category):
+        ds = CATEGORY_GENERATORS[category](n_series=6, random_state=0)
+        assert len(ds) == 6
+        assert ds.category == category
+        matrix = ds.to_matrix()
+        assert np.isfinite(matrix).all()
+
+    @pytest.mark.parametrize("category", CATEGORIES)
+    def test_deterministic(self, category):
+        gen = CATEGORY_GENERATORS[category]
+        a = gen(n_series=4, random_state=5).to_matrix()
+        b = gen(n_series=4, random_state=5).to_matrix()
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("category", CATEGORIES)
+    def test_seed_changes_data(self, category):
+        gen = CATEGORY_GENERATORS[category]
+        a = gen(n_series=4, random_state=1).to_matrix()
+        b = gen(n_series=4, random_state=2).to_matrix()
+        assert not np.array_equal(a, b)
+
+    def test_climate_is_highly_correlated(self):
+        ds = CATEGORY_GENERATORS["Climate"](n_series=8, random_state=0)
+        assert average_pairwise_correlation(list(ds.series)) > 0.85
+
+    def test_motion_is_weakly_correlated(self):
+        ds = CATEGORY_GENERATORS["Motion"](n_series=8, random_state=0)
+        assert average_pairwise_correlation(list(ds.series)) < 0.5
+
+    def test_water_has_anomalies(self):
+        ds = CATEGORY_GENERATORS["Water"](n_series=8, random_state=0)
+        matrix = ds.to_matrix()
+        # Spikes should push values beyond 3 robust sigmas on most rows.
+        outlier_rows = 0
+        for row in matrix:
+            med = np.median(row)
+            mad = np.median(np.abs(row - med)) + 1e-12
+            if np.any(np.abs(row - med) > 5 * mad):
+                outlier_rows += 1
+        assert outlier_rows >= 6
+
+    def test_medical_is_spiky_periodic(self):
+        ds = CATEGORY_GENERATORS["Medical"](n_series=4, random_state=0)
+        row = ds.to_matrix()[0]
+        # Peak-to-median ratio large (QRS spikes).
+        assert row.max() > np.median(row) + 3 * row.std() / 2
+
+
+class TestCatalog:
+    def test_load_category_counts(self):
+        datasets = load_category("Power", n_series=10, n_datasets=2)
+        assert len(datasets) == 2
+        assert all(ds.category == "Power" for ds in datasets)
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(ValidationError):
+            load_category("Nope")
+
+    def test_too_many_datasets_raises(self):
+        with pytest.raises(ValidationError):
+            load_category("Power", n_datasets=99)
+
+    def test_load_corpus_covers_all_categories(self):
+        corpus = load_corpus(n_series=6, n_datasets=1)
+        assert set(corpus) == set(CATEGORIES)
+
+    def test_corpus_summary(self):
+        corpus = load_corpus(n_series=6, n_datasets=2)
+        summary = corpus_summary(corpus)
+        for category in CATEGORIES:
+            assert summary[category]["n_datasets"] == 2
+            assert summary[category]["n_series"] > 0
+            assert summary[category]["min_length"] >= 64
+
+
+class TestForecastCatalog:
+    @pytest.mark.parametrize("name", FORECAST_DATASETS)
+    def test_each_dataset_loads(self, name):
+        ds = load_forecast_dataset(name, n_series=3, length=96)
+        assert len(ds) == 3
+        assert np.isfinite(ds.to_matrix()).all()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError):
+            load_forecast_dataset("bogus")
+
+    def test_corpus_loads_all(self):
+        corpus = load_forecast_corpus(n_series=2, length=96)
+        assert set(corpus) == set(FORECAST_DATASETS)
+
+
+class TestSplits:
+    def test_train_test_indices_partition(self):
+        train, test = train_test_indices(20, test_ratio=0.3, random_state=0)
+        assert sorted(np.concatenate([train, test]).tolist()) == list(range(20))
+        assert len(test) == 6
+
+    def test_train_test_indices_tiny_raises(self):
+        with pytest.raises(ValidationError):
+            train_test_indices(1)
+
+    def test_holdout_stratified_preserves_classes(self):
+        X = np.arange(60, dtype=float).reshape(30, 2)
+        y = np.array([0] * 20 + [1] * 10)
+        X_tr, X_te, y_tr, y_te = holdout_split(X, y, test_ratio=0.3, random_state=0)
+        assert set(np.unique(y_te)) == {0, 1}
+        # Proportions roughly preserved.
+        assert (y_te == 0).sum() == 6
+        assert (y_te == 1).sum() == 3
+
+    def test_holdout_singleton_class_goes_to_train(self):
+        X = np.zeros((5, 2))
+        y = np.array([0, 0, 0, 0, 1])
+        X_tr, X_te, y_tr, y_te = holdout_split(X, y, test_ratio=0.4, random_state=0)
+        assert 1 in y_tr
+        assert 1 not in y_te
+
+    def test_holdout_mismatched_raises(self):
+        with pytest.raises(ValidationError):
+            holdout_split(np.zeros((3, 2)), np.zeros(4))
+
+    def test_stratified_kfold_partitions(self):
+        y = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        folds = list(stratified_kfold(y, n_splits=3, random_state=0))
+        assert len(folds) == 3
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(9))
+        for train, test in folds:
+            assert set(train.tolist()).isdisjoint(set(test.tolist()))
+
+    def test_stratified_kfold_balance(self):
+        y = np.array([0] * 30 + [1] * 30)
+        for train, test in stratified_kfold(y, n_splits=3, random_state=0):
+            ratio = (y[test] == 0).mean()
+            assert 0.3 < ratio < 0.7
+
+    def test_stratified_kfold_too_few_raises(self):
+        with pytest.raises(ValidationError):
+            list(stratified_kfold(np.array([0]), n_splits=2))
+
+    def test_stratified_kfold_bad_splits_raises(self):
+        with pytest.raises(ValidationError):
+            list(stratified_kfold(np.zeros(10), n_splits=1))

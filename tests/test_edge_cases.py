@@ -1,0 +1,141 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro import ADarts, ModelRaceConfig, TimeSeries
+from repro.core import ModelRace, SoftVotingEnsemble
+from repro.core.config import ModelRaceConfig as Config
+from repro.datasets.splits import holdout_split
+from repro.exceptions import ValidationError
+from repro.features import FeatureExtractor, get_scaler
+from repro.imputation import get_imputer
+from repro.pipeline import Pipeline, make_seed_pipelines
+
+
+class TestDegenerateTrainingData:
+    def test_single_class_corpus_trains_and_predicts(self, rng):
+        X = rng.normal(size=(40, 8))
+        y = np.array(["only"] * 40)
+        engine = ADarts(
+            config=ModelRaceConfig(n_partial_sets=2, n_folds=2, random_state=0),
+            classifier_names=["knn", "gaussian_nb"],
+        )
+        engine.fit_features(X, y)
+        assert (engine.predict(X) == "only").all()
+
+    def test_two_samples_per_class_minimum(self, rng):
+        X = np.vstack([rng.normal(size=(3, 4)), 5 + rng.normal(size=(3, 4))])
+        y = np.array(["a", "a", "a", "b", "b", "b"])
+        engine = ADarts(
+            config=ModelRaceConfig(n_partial_sets=1, n_folds=2, random_state=0),
+            classifier_names=["knn"],
+            test_ratio=0.34,
+        )
+        engine.fit_features(X, y)
+        assert set(engine.predict(X)) <= {"a", "b"}
+
+    def test_constant_features_survive_scaling(self, rng):
+        X = np.hstack([np.ones((30, 3)), rng.normal(size=(30, 3))])
+        y = (X[:, 4] > 0).astype(int).astype(str)
+        pipeline = Pipeline("knn", scaler_name="standard").fit(X, y)
+        assert pipeline.predict(X).shape == (30,)
+
+
+class TestCrashResilience:
+    def test_race_survives_crashing_pipeline(self, labeled_features):
+        X, y = labeled_features
+        X_tr, X_te, y_tr, y_te = holdout_split(X, y, random_state=0)
+
+        crasher = Pipeline("knn")
+        original_fit = crasher.fit
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected failure")
+
+        crasher.fit = explode
+        crasher.clone = lambda: crasher  # keep returning the broken object
+        healthy = Pipeline("gaussian_nb")
+        result = ModelRace(
+            Config(n_partial_sets=2, n_folds=2, random_state=0)
+        ).run([crasher, healthy], X_tr, y_tr, X_te, y_te)
+        names = {p.classifier_name for p in result.elite}
+        assert "gaussian_nb" in names
+
+    def test_ensemble_skips_unfittable_member_configs(self, labeled_features):
+        X, y = labeled_features
+        good = Pipeline("knn").fit(X, y)
+        ens = SoftVotingEnsemble([good])
+        assert (ens.predict(X[:3])).shape == (3,)
+
+
+class TestExtremeSeries:
+    def test_very_short_series_features(self):
+        fe = FeatureExtractor()
+        vec = fe.extract(np.array([1.0, 2.0, 1.5, 2.5, 1.0, 2.0, 1.5, 2.5]))
+        assert np.isfinite(vec).all()
+
+    def test_imputation_on_two_point_gap_short_series(self):
+        values = np.array([1.0, np.nan, np.nan, 4.0, 5.0, 6.0])
+        out = get_imputer("linear").impute(values)
+        assert np.allclose(out[0], [1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+
+    def test_huge_magnitude_series(self):
+        t = np.linspace(0, 6.28, 100)
+        series = TimeSeries(1e9 * np.sin(t) + 1e12)
+        vec = FeatureExtractor().extract(series)
+        assert np.isfinite(vec).all()
+
+    def test_negative_only_series_through_tenmf(self):
+        # TeNMF shifts to a nonnegative domain internally.
+        rows = -100 + 5 * np.vstack([np.sin(np.linspace(0, 12, 80))] * 4)
+        rows = rows + np.random.default_rng(0).normal(0, 0.1, rows.shape)
+        faulty = rows.copy()
+        faulty[0, 20:30] = np.nan
+        out = get_imputer("tenmf").impute(faulty)
+        assert np.isfinite(out).all()
+        assert out[0, 20:30].mean() < 0  # stays in the data's domain
+
+    def test_scaler_single_sample(self):
+        Z = get_scaler("standard").fit_transform(np.array([[1.0, 2.0, 3.0]]))
+        assert Z.shape == (1, 3)
+        assert np.isfinite(Z).all()
+
+
+class TestSeedPipelineValidation:
+    def test_make_seed_pipelines_rejects_bad_family(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            make_seed_pipelines(["not_a_classifier"])
+
+    def test_race_with_single_seed(self, labeled_features):
+        X, y = labeled_features
+        X_tr, X_te, y_tr, y_te = holdout_split(X, y, random_state=0)
+        result = ModelRace(
+            Config(n_partial_sets=2, n_folds=2, random_state=0)
+        ).run([Pipeline("gaussian_nb")], X_tr, y_tr, X_te, y_te)
+        assert result.elite
+
+
+class TestRecommendationConsistency:
+    def test_identical_series_identical_recommendation(
+        self, small_climate_dataset
+    ):
+        from repro.clustering.labeling import ClusterLabeler
+
+        labeler = ClusterLabeler(imputer_names=("linear", "mean"), random_state=0)
+        engine = ADarts(
+            labeler=labeler,
+            config=ModelRaceConfig(n_partial_sets=2, n_folds=2, random_state=0),
+            classifier_names=["knn", "gaussian_nb"],
+        )
+        engine.fit_datasets([small_climate_dataset])
+        series = small_climate_dataset[0]
+        values = series.values.copy()
+        values[30:50] = np.nan
+        faulty = series.with_values(values)
+        rec1 = engine.recommend(faulty)
+        rec2 = engine.recommend(faulty)
+        assert rec1.algorithm == rec2.algorithm
+        assert rec1.ranking == rec2.ranking

@@ -1,0 +1,74 @@
+"""Unit tests for the FeatureExtractor facade."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features import FeatureExtractor, extract_features_matrix
+from repro.timeseries import TimeSeries
+
+
+class TestFeatureExtractor:
+    def test_default_includes_both_families(self):
+        fe = FeatureExtractor()
+        names = fe.feature_names
+        assert any(n.startswith("canon_") for n in names)
+        assert any(n.startswith("topo_") for n in names)
+        assert fe.n_features == len(names) == 56
+
+    def test_statistical_only(self):
+        fe = FeatureExtractor(use_topological=False)
+        assert fe.n_features == 40
+        assert all(not n.startswith("topo_") for n in fe.feature_names)
+
+    def test_topological_only(self):
+        fe = FeatureExtractor(use_statistical=False)
+        assert fe.n_features == 16
+        assert all(n.startswith("topo_") for n in fe.feature_names)
+
+    def test_neither_family_raises(self):
+        with pytest.raises(ValidationError):
+            FeatureExtractor(use_statistical=False, use_topological=False)
+
+    def test_extract_vector_order_stable(self, sine_series):
+        fe = FeatureExtractor()
+        v1 = fe.extract(sine_series)
+        v2 = fe.extract(sine_series)
+        assert np.array_equal(v1, v2)
+        assert v1.shape == (fe.n_features,)
+
+    def test_extract_handles_missing(self, faulty_series):
+        v = FeatureExtractor().extract(faulty_series)
+        assert np.isfinite(v).all()
+
+    def test_extract_many_shape(self, tiny_dataset):
+        fe = FeatureExtractor()
+        M = fe.extract_many(list(tiny_dataset))
+        assert M.shape == (5, fe.n_features)
+
+    def test_extract_many_empty_raises(self):
+        with pytest.raises(ValidationError):
+            FeatureExtractor().extract_many([])
+
+    def test_accepts_raw_arrays(self):
+        v = FeatureExtractor().extract(np.sin(np.linspace(0, 6.28, 100)))
+        assert np.isfinite(v).all()
+
+    def test_convenience_wrapper(self, tiny_dataset):
+        M = extract_features_matrix(list(tiny_dataset))
+        assert M.shape[0] == 5
+
+    def test_different_series_different_features(self):
+        fe = FeatureExtractor()
+        a = fe.extract(np.sin(np.linspace(0, 12.56, 128)))
+        b = fe.extract(np.random.default_rng(0).normal(size=128))
+        assert not np.allclose(a, b)
+
+    def test_embedding_params_affect_topo_features(self, sine_series):
+        a = FeatureExtractor(embedding_dimension=2, embedding_delay=1).extract(
+            sine_series
+        )
+        b = FeatureExtractor(embedding_dimension=4, embedding_delay=4).extract(
+            sine_series
+        )
+        assert not np.allclose(a, b)

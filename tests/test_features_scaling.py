@@ -1,0 +1,142 @@
+"""Unit tests for the feature scaler zoo."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, RegistryError, ValidationError
+from repro.features import (
+    available_scalers,
+    get_scaler,
+    scaler_search_space,
+)
+
+
+@pytest.fixture
+def X(rng):
+    return rng.normal(loc=3.0, scale=2.0, size=(40, 6))
+
+
+ALL_SCALERS = sorted(available_scalers())
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", ALL_SCALERS)
+    def test_fit_transform_finite(self, name, X):
+        Z = get_scaler(name).fit_transform(X)
+        assert np.isfinite(Z).all()
+        assert Z.shape[0] == X.shape[0]
+
+    @pytest.mark.parametrize("name", ALL_SCALERS)
+    def test_transform_before_fit_raises(self, name, X):
+        with pytest.raises(NotFittedError):
+            get_scaler(name).transform(X)
+
+    @pytest.mark.parametrize("name", ALL_SCALERS)
+    def test_handles_constant_column(self, name, X):
+        X2 = X.copy()
+        X2[:, 0] = 7.0
+        Z = get_scaler(name).fit_transform(X2)
+        assert np.isfinite(Z).all()
+
+    @pytest.mark.parametrize("name", ALL_SCALERS)
+    def test_clone_preserves_params(self, name):
+        scaler = get_scaler(name)
+        clone = scaler.clone()
+        assert type(clone) is type(scaler)
+        assert clone.get_params() == scaler.get_params()
+
+    def test_unknown_scaler_raises(self):
+        with pytest.raises(RegistryError):
+            get_scaler("nope")
+
+    def test_nan_input_rejected(self):
+        scaler = get_scaler("standard")
+        with pytest.raises(ValidationError):
+            scaler.fit(np.array([[1.0, np.nan]]))
+
+
+class TestSpecificBehaviours:
+    def test_standard_zero_mean_unit_var(self, X):
+        Z = get_scaler("standard").fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_minmax_range(self, X):
+        Z = get_scaler("minmax", feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert Z.min() >= -1.0 - 1e-12
+        assert Z.max() <= 1.0 + 1e-12
+
+    def test_minmax_invalid_range_raises(self):
+        with pytest.raises(ValidationError):
+            get_scaler("minmax", feature_range=(1.0, 0.0))
+
+    def test_robust_ignores_outliers(self, X):
+        X2 = X.copy()
+        X2[0, 0] = 1e6
+        Z = get_scaler("robust").fit_transform(X2)
+        # All non-outlier values stay in a modest band.
+        assert np.abs(Z[1:, 0]).max() < 10
+
+    def test_maxabs_preserves_zero(self):
+        X = np.array([[0.0, -2.0], [1.0, 4.0]])
+        Z = get_scaler("maxabs").fit_transform(X)
+        assert Z[0, 0] == 0.0
+        assert np.abs(Z).max() <= 1.0
+
+    def test_normalizer_l2_rows(self, X):
+        Z = get_scaler("normalizer", norm="l2").fit_transform(X)
+        assert np.allclose(np.sqrt((Z**2).sum(axis=1)), 1.0)
+
+    def test_normalizer_l1_rows(self, X):
+        Z = get_scaler("normalizer", norm="l1").fit_transform(X)
+        assert np.allclose(np.abs(Z).sum(axis=1), 1.0)
+
+    def test_quantile_uniform_range(self, X):
+        Z = get_scaler("quantile", output="uniform").fit_transform(X)
+        assert Z.min() >= 0.0
+        assert Z.max() <= 1.0
+
+    def test_quantile_normal_shape(self, X):
+        Z = get_scaler("quantile", output="normal").fit_transform(X)
+        # Probit of the CDF should be roughly standard normal.
+        assert abs(Z.mean()) < 0.3
+
+    def test_power_log_compresses(self):
+        X = np.array([[1.0], [10.0], [10000.0], [2.0], [5.0]])
+        Z = get_scaler("power", method="log").fit_transform(X)
+        assert np.isfinite(Z).all()
+        assert Z.std() == pytest.approx(1.0, abs=0.01)
+
+    def test_pca_reduces_dimension(self, X):
+        Z = get_scaler("pca", n_components=2).fit_transform(X)
+        assert Z.shape == (40, 2)
+
+    def test_pca_fraction(self, X):
+        Z = get_scaler("pca", n_components=0.5).fit_transform(X)
+        assert Z.shape == (40, 3)
+
+    def test_pca_whiten_unit_scale(self, X):
+        Z = get_scaler("pca", n_components=3, whiten=True).fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_pca_invalid_fraction_raises(self):
+        with pytest.raises(ValidationError):
+            get_scaler("pca", n_components=0.0)
+
+
+class TestSearchSpace:
+    def test_at_least_sixty_options(self):
+        assert len(scaler_search_space()) >= 60
+
+    def test_all_options_instantiable(self, X):
+        for name, params in scaler_search_space():
+            Z = get_scaler(name, **params).fit_transform(X)
+            assert np.isfinite(Z).all(), (name, params)
+
+    def test_options_are_unique(self):
+        space = scaler_search_space()
+        keys = {
+            (name, tuple(sorted((k, str(v)) for k, v in params.items())))
+            for name, params in space
+        }
+        assert len(keys) == len(space)

@@ -1,0 +1,161 @@
+"""Tests for the forecasting substrate and the downstream harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, RegistryError, ValidationError
+from repro.forecasting import (
+    ARForecaster,
+    HoltWintersForecaster,
+    SeasonalNaiveForecaster,
+    get_forecaster,
+    smape,
+)
+from repro.forecasting.downstream import (
+    BinaryVectorRecommender,
+    downstream_forecast_error,
+    run_downstream_experiment,
+)
+from repro.forecasting.metrics import mase
+from repro.forecasting.models import detect_period
+from repro.datasets import load_forecast_dataset
+from repro.timeseries import TimeSeries
+
+ALL_FORECASTERS = [SeasonalNaiveForecaster, HoltWintersForecaster, ARForecaster]
+
+
+@pytest.fixture
+def seasonal_signal():
+    t = np.arange(120, dtype=float)
+    return 10 + 3 * np.sin(2 * np.pi * t / 12.0)
+
+
+class TestDetectPeriod:
+    def test_finds_sine_period(self, seasonal_signal):
+        assert detect_period(seasonal_signal) == 12
+
+    def test_aperiodic_returns_one(self):
+        assert detect_period(np.random.default_rng(0).normal(size=100)) == 1
+
+    def test_constant_returns_one(self):
+        assert detect_period(np.full(50, 2.0)) == 1
+
+
+class TestForecasters:
+    @pytest.mark.parametrize("cls", ALL_FORECASTERS)
+    def test_forecast_shape(self, cls, seasonal_signal):
+        model = cls().fit(seasonal_signal)
+        assert model.forecast(12).shape == (12,)
+
+    @pytest.mark.parametrize("cls", ALL_FORECASTERS)
+    def test_accurate_on_clean_seasonal(self, cls, seasonal_signal):
+        model = cls().fit(seasonal_signal)
+        t_future = np.arange(120, 132, dtype=float)
+        truth = 10 + 3 * np.sin(2 * np.pi * t_future / 12.0)
+        assert smape(truth, model.forecast(12)) < 0.05
+
+    @pytest.mark.parametrize("cls", ALL_FORECASTERS)
+    def test_unfitted_raises(self, cls):
+        with pytest.raises(NotFittedError):
+            cls().forecast(3)
+
+    @pytest.mark.parametrize("cls", ALL_FORECASTERS)
+    def test_nan_history_rejected(self, cls):
+        with pytest.raises(ValidationError):
+            cls().fit(np.array([1.0, np.nan, 3.0, 4.0, 5.0]))
+
+    @pytest.mark.parametrize("cls", ALL_FORECASTERS)
+    def test_invalid_horizon_raises(self, cls, seasonal_signal):
+        model = cls().fit(seasonal_signal)
+        with pytest.raises(ValidationError):
+            model.forecast(0)
+
+    def test_holt_winters_tracks_trend(self):
+        x = np.arange(60, dtype=float) * 0.5 + 3
+        model = HoltWintersForecaster(period=1).fit(x)
+        pred = model.forecast(5)
+        truth = np.arange(60, 65, dtype=float) * 0.5 + 3
+        assert np.abs(pred - truth).max() < 1.0
+
+    def test_ar_recovers_ar1(self):
+        rng = np.random.default_rng(0)
+        x = np.zeros(400)
+        for i in range(1, 400):
+            x[i] = 0.8 * x[i - 1] + rng.normal(0, 0.1)
+        model = ARForecaster(order=1).fit(x)
+        assert model._coef[0] == pytest.approx(0.8, abs=0.08)
+
+    def test_registry(self):
+        assert get_forecaster("ar").name == "ar"
+        with pytest.raises(RegistryError):
+            get_forecaster("prophet")
+
+
+class TestMetrics:
+    def test_smape_zero_on_perfect(self):
+        assert smape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_smape_symmetry(self):
+        assert smape([1.0], [3.0]) == smape([3.0], [1.0])
+
+    def test_smape_bounded_by_two(self):
+        assert smape([1.0], [-1.0]) == pytest.approx(2.0)
+
+    def test_smape_both_zero_contributes_zero(self):
+        assert smape([0.0, 1.0], [0.0, 1.0]) == 0.0
+
+    def test_smape_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            smape([1.0, 2.0], [1.0])
+
+    def test_mase_naive_is_one(self):
+        history = np.arange(20, dtype=float)
+        y_true = np.array([20.0, 21.0])
+        y_pred = y_true - 1.0  # exactly the naive one-step error
+        assert mase(y_true, y_pred, history) == pytest.approx(1.0)
+
+
+class TestBinaryVectorRecommender:
+    def test_recommends_known_algorithm(self):
+        ds = load_forecast_dataset("electricity", n_series=4, length=120)
+        rec = BinaryVectorRecommender()
+        assert rec.recommend(ds) in rec.algorithm_scores
+
+    def test_properties_binary(self):
+        ds = load_forecast_dataset("atm", n_series=4, length=120)
+        props = BinaryVectorRecommender.dataset_properties(ds)
+        assert set(np.unique(props).tolist()).issubset({0.0, 1.0})
+
+    def test_empty_scores_raise(self):
+        with pytest.raises(ValidationError):
+            BinaryVectorRecommender(algorithm_scores={})
+
+
+class TestDownstreamHarness:
+    def test_downstream_error_in_range(self, seasonal_signal):
+        series = TimeSeries(seasonal_signal)
+        t_future = np.arange(120, 132, dtype=float)
+        future = 10 + 3 * np.sin(2 * np.pi * t_future / 12.0)
+        err = downstream_forecast_error(series, future, "linear")
+        assert 0.0 <= err <= 2.0
+
+    def test_better_imputation_helps(self, seasonal_signal):
+        # 'mean' destroys the final 20% of a seasonal signal; tkcm repairs
+        # the periodic pattern — forecasts must reflect that gap.
+        series = TimeSeries(seasonal_signal)
+        t_future = np.arange(120, 132, dtype=float)
+        future = 10 + 3 * np.sin(2 * np.pi * t_future / 12.0)
+        err_good = downstream_forecast_error(series, future, "tkcm")
+        err_bad = downstream_forecast_error(series, future, "mean")
+        assert err_good < err_bad
+
+    def test_short_future_raises(self, seasonal_signal):
+        with pytest.raises(ValidationError):
+            downstream_forecast_error(
+                TimeSeries(seasonal_signal), np.zeros(3), "linear", horizon=12
+            )
+
+    def test_run_experiment_returns_mean_error(self):
+        ds = load_forecast_dataset("atm", n_series=3, length=120)
+        err = run_downstream_experiment(ds, lambda s: "linear", horizon=8)
+        assert 0.0 <= err <= 2.0

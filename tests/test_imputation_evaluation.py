@@ -1,0 +1,98 @@
+"""Unit tests for imputation evaluation and ranking."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imputation import get_imputer
+from repro.imputation.base import BaseImputer
+from repro.imputation.evaluation import (
+    evaluate_imputer,
+    imputation_mae,
+    imputation_rmse,
+    rank_imputers,
+)
+
+
+@pytest.fixture
+def truth():
+    return np.vstack([np.linspace(0, 1, 50)] * 4)
+
+
+@pytest.fixture
+def mask(truth):
+    m = np.zeros_like(truth, dtype=bool)
+    m[0, 10:20] = True
+    return m
+
+
+class TestErrorMetrics:
+    def test_rmse_zero_for_perfect(self, truth, mask):
+        assert imputation_rmse(truth, truth, mask) == 0.0
+
+    def test_rmse_known_value(self):
+        truth = np.array([[1.0, 2.0]])
+        imputed = np.array([[1.0, 4.0]])
+        mask = np.array([[False, True]])
+        assert imputation_rmse(truth, imputed, mask) == pytest.approx(2.0)
+
+    def test_mae_known_value(self):
+        truth = np.array([[0.0, 0.0]])
+        imputed = np.array([[3.0, -1.0]])
+        mask = np.array([[True, True]])
+        assert imputation_mae(truth, imputed, mask) == pytest.approx(2.0)
+
+    def test_only_masked_entries_count(self):
+        truth = np.array([[1.0, 2.0]])
+        imputed = np.array([[999.0, 2.0]])
+        mask = np.array([[False, True]])
+        assert imputation_rmse(truth, imputed, mask) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            imputation_rmse(np.zeros((2, 2)), np.zeros((2, 3)), np.zeros((2, 2), bool))
+
+    def test_empty_mask_raises(self, truth):
+        with pytest.raises(ValidationError):
+            imputation_rmse(truth, truth, np.zeros_like(truth, dtype=bool))
+
+
+class TestEvaluateImputer:
+    def test_linear_on_linear_is_exact(self, truth, mask):
+        assert evaluate_imputer(get_imputer("linear"), truth, mask) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_mae_metric(self, truth, mask):
+        value = evaluate_imputer(get_imputer("mean"), truth, mask, metric="mae")
+        assert value > 0
+
+    def test_unknown_metric_raises(self, truth, mask):
+        with pytest.raises(ValidationError):
+            evaluate_imputer(get_imputer("mean"), truth, mask, metric="mape")
+
+    def test_crashing_imputer_scores_inf(self, truth, mask):
+        class Crasher(BaseImputer):
+            name = "crasher_eval_test"
+
+            def _impute(self, X, m):
+                raise RuntimeError("boom")
+
+        assert evaluate_imputer(Crasher(), truth, mask) == float("inf")
+
+
+class TestRankImputers:
+    def test_sorted_ascending(self, truth, mask):
+        imputers = [get_imputer(n) for n in ("mean", "linear")]
+        ranked = rank_imputers(imputers, truth, mask)
+        assert ranked[0][0] == "linear"  # exact on linear data
+        assert ranked[0][1] <= ranked[1][1]
+
+    def test_deterministic_tie_break_by_name(self, truth, mask):
+        imputers = [get_imputer("linear"), get_imputer("linear")]
+        ranked = rank_imputers(imputers, truth, mask)
+        assert [name for name, _ in ranked] == ["linear", "linear"]
+
+    def test_empty_list_raises(self, truth, mask):
+        with pytest.raises(ValidationError):
+            rank_imputers([], truth, mask)

@@ -1,0 +1,132 @@
+"""Cross-module integration tests: the full Fig. 2 path and key claims."""
+
+import numpy as np
+import pytest
+
+from repro import ADarts, ModelRaceConfig, TimeSeries
+from repro.baselines import FLAMLSelector, RAHASelector
+from repro.clustering.labeling import ClusterLabeler
+from repro.datasets import load_category, holdout_split
+from repro.features import FeatureExtractor
+from repro.pipeline.metrics import classification_report, f1_weighted
+
+
+FAST_CONFIG = ModelRaceConfig(
+    n_partial_sets=2, n_folds=2, max_elite=3, random_state=0
+)
+FAST_CLASSIFIERS = ["knn", "decision_tree", "gaussian_nb", "ridge"]
+SLATE = ("linear", "knn", "svdimp", "mean")
+
+
+@pytest.fixture(scope="module")
+def mixed_corpus():
+    """Two contrasting categories so labels diversify."""
+    datasets = load_category("Climate", n_series=10, n_datasets=2) + load_category(
+        "Motion", n_series=10, n_datasets=2
+    )
+    labeler = ClusterLabeler(imputer_names=SLATE, random_state=0)
+    return labeler.label_corpus(datasets)
+
+
+class TestFullTrainingPath:
+    def test_labels_are_diverse(self, mixed_corpus):
+        values = np.unique(mixed_corpus.labels)
+        assert len(values) >= 2, "corpus must exercise a real selection problem"
+
+    def test_train_and_recommend(self, mixed_corpus):
+        engine = ADarts(config=FAST_CONFIG, classifier_names=FAST_CLASSIFIERS)
+        engine.fit_labeled(mixed_corpus)
+        rec = engine.recommend(mixed_corpus.series[0])
+        assert rec.algorithm in SLATE
+
+    def test_holdout_f1_beats_random_guess(self, mixed_corpus):
+        extractor = FeatureExtractor()
+        X = extractor.extract_many(mixed_corpus.series)
+        y = mixed_corpus.labels
+        X_tr, X_te, y_tr, y_te = holdout_split(X, y, test_ratio=0.35, random_state=1)
+        engine = ADarts(config=FAST_CONFIG, classifier_names=FAST_CLASSIFIERS)
+        engine.fit_features(X_tr, y_tr)
+        f1 = f1_weighted(y_te, engine.predict(X_te))
+        n_classes = len(np.unique(y))
+        assert f1 > 1.5 / n_classes
+
+    def test_report_has_all_metrics(self, mixed_corpus):
+        extractor = FeatureExtractor()
+        X = extractor.extract_many(mixed_corpus.series)
+        y = mixed_corpus.labels
+        X_tr, X_te, y_tr, y_te = holdout_split(X, y, test_ratio=0.35, random_state=1)
+        engine = ADarts(config=FAST_CONFIG, classifier_names=FAST_CLASSIFIERS)
+        engine.fit_features(X_tr, y_tr)
+        report = classification_report(
+            y_te, engine.predict(X_te), engine.predict_rankings(X_te)
+        )
+        for key in ("accuracy", "precision", "recall", "f1", "mrr", "recall_at_3"):
+            assert 0.0 <= report[key] <= 1.0
+
+
+class TestSystemComparison:
+    def test_adarts_competitive_with_baselines(self, mixed_corpus):
+        """On a labeled holdout, A-DARTS should at least match the scoped
+        baselines (the paper's headline claim, at miniature scale)."""
+        extractor = FeatureExtractor()
+        X = extractor.extract_many(mixed_corpus.series)
+        y = mixed_corpus.labels
+        X_tr, X_te, y_tr, y_te = holdout_split(X, y, test_ratio=0.35, random_state=2)
+
+        engine = ADarts(config=FAST_CONFIG, classifier_names=FAST_CLASSIFIERS)
+        engine.fit_features(X_tr, y_tr)
+        f1_adarts = f1_weighted(y_te, engine.predict(X_te))
+
+        flaml = FLAMLSelector(
+            n_rounds=8, families=("knn", "decision_tree"), random_state=0
+        ).fit(X_tr, y_tr)
+        f1_flaml = f1_weighted(y_te, flaml.predict(X_te))
+
+        raha = RAHASelector(n_clusters=3, random_state=0).fit(X_tr, y_tr)
+        f1_raha = f1_weighted(y_te, raha.predict(X_te))
+
+        assert f1_adarts >= max(f1_flaml, f1_raha) - 0.1
+
+    def test_feature_families_complement(self, mixed_corpus):
+        """Either family alone should not beat the combination by much
+        (Fig. 9's qualitative claim)."""
+        y = mixed_corpus.labels
+        scores = {}
+        for name, kwargs in (
+            ("both", {}),
+            ("stat", {"use_topological": False}),
+            ("topo", {"use_statistical": False}),
+        ):
+            extractor = FeatureExtractor(**kwargs)
+            X = extractor.extract_many(mixed_corpus.series)
+            X_tr, X_te, y_tr, y_te = holdout_split(
+                X, y, test_ratio=0.35, random_state=3
+            )
+            engine = ADarts(
+                config=FAST_CONFIG,
+                classifier_names=FAST_CLASSIFIERS,
+                extractor=extractor,
+            )
+            engine.fit_features(X_tr, y_tr)
+            scores[name] = f1_weighted(y_te, engine.predict(X_te))
+        assert scores["both"] >= max(scores["stat"], scores["topo"]) - 0.15
+
+
+class TestEndToEndRepair:
+    def test_repair_improves_over_worst_choice(self, mixed_corpus):
+        engine = ADarts(config=FAST_CONFIG, classifier_names=FAST_CLASSIFIERS)
+        engine.fit_labeled(mixed_corpus)
+        # Build a fresh faulty Climate-like series with known truth.
+        t = np.arange(300, dtype=float)
+        clean = 10 + 8 * np.sin(2 * np.pi * t / 100.0)
+        faulty_vals = clean.copy()
+        faulty_vals[120:150] = np.nan
+        faulty = TimeSeries(faulty_vals)
+        repaired = engine.repair(faulty)
+        assert not repaired.has_missing
+        rmse = np.sqrt(np.mean((repaired.values[120:150] - clean[120:150]) ** 2))
+        # Worst case: filling with the global mean.
+        mean_rmse = np.sqrt(
+            np.mean((np.nanmean(faulty_vals) - clean[120:150]) ** 2)
+        )
+        assert rmse <= mean_rmse

@@ -1,0 +1,115 @@
+"""Tests for missing-pattern detection (the future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureExtractor
+from repro.timeseries import TimeSeries, inject_mcar, inject_missing_blocks, inject_tip_block
+from repro.timeseries.patterns import (
+    MISSING_PATTERN_FEATURE_NAMES,
+    PATTERN_NAMES,
+    detect_missing_pattern,
+    missing_pattern_features,
+)
+
+
+@pytest.fixture
+def base():
+    return TimeSeries(np.sin(np.linspace(0, 12.56, 200)))
+
+
+class TestDetection:
+    def test_complete(self, base):
+        pattern = detect_missing_pattern(base)
+        assert pattern.kind == "complete"
+        assert pattern.n_blocks == 0
+        assert pattern.missing_ratio == 0.0
+
+    def test_single_block(self, base):
+        values = base.values.copy()
+        values[50:80] = np.nan
+        pattern = detect_missing_pattern(base.with_values(values))
+        assert pattern.kind == "single_block"
+        assert pattern.n_blocks == 1
+        assert pattern.missing_ratio == pytest.approx(0.15)
+        assert pattern.max_block_ratio == pytest.approx(0.15)
+        assert 0.2 < pattern.relative_position < 0.45
+
+    def test_tip_block(self, base):
+        faulty, _ = inject_tip_block(base, ratio=0.2)
+        assert detect_missing_pattern(faulty).kind == "tip_block"
+
+    def test_head_block(self, base):
+        values = base.values.copy()
+        values[:30] = np.nan
+        assert detect_missing_pattern(base.with_values(values)).kind == "head_block"
+
+    def test_multi_block(self, base):
+        faulty, _ = inject_missing_blocks(base, n_blocks=3, ratio=0.2, random_state=0)
+        pattern = detect_missing_pattern(faulty)
+        assert pattern.kind == "multi_block"
+        assert pattern.n_blocks == 3
+
+    def test_scattered(self, base):
+        faulty, _ = inject_mcar(base, ratio=0.1, random_state=0)
+        pattern = detect_missing_pattern(faulty)
+        assert pattern.kind == "scattered"
+        assert pattern.mean_block_length <= 2.0
+
+    def test_relative_position_tracks_gap(self, base):
+        early = base.values.copy()
+        early[10:30] = np.nan
+        late = base.values.copy()
+        late[160:180] = np.nan
+        pos_early = detect_missing_pattern(base.with_values(early)).relative_position
+        pos_late = detect_missing_pattern(base.with_values(late)).relative_position
+        assert pos_early < 0.5 < pos_late
+
+
+class TestFeatures:
+    def test_names_stable(self):
+        assert len(MISSING_PATTERN_FEATURE_NAMES) == len(PATTERN_NAMES) + 5
+
+    def test_one_hot_exactly_one(self, base):
+        values = base.values.copy()
+        values[50:70] = np.nan
+        feats = missing_pattern_features(base.with_values(values))
+        onehots = [feats[f"miss_is_{name}"] for name in PATTERN_NAMES]
+        assert sum(onehots) == 1.0
+
+    def test_accepts_raw_arrays(self):
+        feats = missing_pattern_features(np.array([1.0, np.nan, 3.0]))
+        assert feats["miss_ratio"] == pytest.approx(1 / 3)
+
+    def test_all_finite(self, base):
+        for make in (
+            lambda: base,
+            lambda: inject_tip_block(base, 0.3)[0],
+            lambda: inject_mcar(base, 0.2, random_state=1)[0],
+        ):
+            feats = missing_pattern_features(make())
+            assert all(np.isfinite(v) for v in feats.values())
+
+
+class TestExtractorIntegration:
+    def test_extractor_appends_pattern_features(self, base):
+        fe = FeatureExtractor(use_missing_pattern=True)
+        assert fe.n_features == 56 + len(MISSING_PATTERN_FEATURE_NAMES)
+        values = base.values.copy()
+        values[40:60] = np.nan
+        vector = fe.extract(base.with_values(values))
+        assert np.isfinite(vector).all()
+
+    def test_pattern_only_extractor(self, base):
+        fe = FeatureExtractor(
+            use_statistical=False, use_topological=False, use_missing_pattern=True
+        )
+        assert fe.n_features == len(MISSING_PATTERN_FEATURE_NAMES)
+
+    def test_pattern_features_distinguish_block_kinds(self, base):
+        fe = FeatureExtractor(
+            use_statistical=False, use_topological=False, use_missing_pattern=True
+        )
+        tip, _ = inject_tip_block(base, ratio=0.2)
+        scattered, _ = inject_mcar(base, ratio=0.2, random_state=0)
+        assert not np.allclose(fe.extract(tip), fe.extract(scattered))

@@ -1,0 +1,121 @@
+"""Unit tests for efficacy metrics: A/P/R/F1 (weighted), Recall@k, MRR."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.pipeline import (
+    accuracy_score,
+    classification_report,
+    f1_weighted,
+    mean_reciprocal_rank,
+    recall_at_k,
+    weighted_precision_recall_f1,
+)
+from repro.pipeline.metrics import rankings_from_proba
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([0, 1, 0, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([1, 2], [1])
+
+
+class TestWeightedPRF:
+    def test_perfect_prediction(self):
+        p, r, f = weighted_precision_recall_f1(["a", "b", "a"], ["a", "b", "a"])
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_known_binary_case(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 0, 0, 1])
+        p, r, f = weighted_precision_recall_f1(y_true, y_pred)
+        # Both classes: precision=recall=2/3 -> weighted = 2/3.
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f == pytest.approx(2 / 3)
+
+    def test_weighting_by_support(self):
+        # Majority class predicted perfectly, minority entirely wrong.
+        y_true = np.array([0] * 9 + [1])
+        y_pred = np.array([0] * 10)
+        _, recall, _ = weighted_precision_recall_f1(y_true, y_pred)
+        assert recall == pytest.approx(0.9)
+
+    def test_f1_consistent_with_prf(self):
+        y_true = [0, 1, 2, 0, 1, 2]
+        y_pred = [0, 1, 1, 0, 2, 2]
+        assert f1_weighted(y_true, y_pred) == weighted_precision_recall_f1(
+            y_true, y_pred
+        )[2]
+
+    def test_class_never_predicted(self):
+        p, r, f = weighted_precision_recall_f1(["a", "b"], ["a", "a"])
+        assert 0 <= f < 1
+
+
+class TestRecallAtK:
+    def test_top1_equals_accuracy(self):
+        y = ["a", "b"]
+        rankings = [["a", "b"], ["a", "b"]]
+        assert recall_at_k(y, rankings, k=1) == 0.5
+
+    def test_top3_catches_deeper(self):
+        y = ["c"]
+        rankings = [["a", "b", "c"]]
+        assert recall_at_k(y, rankings, k=3) == 1.0
+        assert recall_at_k(y, rankings, k=2) == 0.0
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValidationError):
+            recall_at_k(["a"], [["a"]], k=0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            recall_at_k(["a", "b"], [["a"]])
+
+
+class TestMRR:
+    def test_always_first_is_one(self):
+        assert mean_reciprocal_rank(["a", "b"], [["a", "x"], ["b", "x"]]) == 1.0
+
+    def test_always_second_is_half(self):
+        assert mean_reciprocal_rank(["a"], [["x", "a"]]) == 0.5
+
+    def test_absent_label_contributes_zero(self):
+        assert mean_reciprocal_rank(["z"], [["a", "b"]]) == 0.0
+
+    def test_mixed(self):
+        value = mean_reciprocal_rank(["a", "b"], [["a"], ["x", "b"]])
+        assert value == pytest.approx((1.0 + 0.5) / 2)
+
+
+class TestHelpers:
+    def test_rankings_from_proba(self):
+        proba = np.array([[0.1, 0.7, 0.2], [0.5, 0.2, 0.3]])
+        classes = np.array(["a", "b", "c"])
+        rankings = rankings_from_proba(proba, classes)
+        assert rankings[0] == ["b", "c", "a"]
+        assert rankings[1] == ["a", "c", "b"]
+
+    def test_classification_report_keys(self):
+        report = classification_report(["a", "b"], ["a", "b"], [["a"], ["b"]])
+        assert set(report) == {
+            "accuracy", "precision", "recall", "f1", "mrr", "recall_at_3",
+        }
+        assert report["accuracy"] == 1.0
+        assert report["mrr"] == 1.0
+
+    def test_classification_report_without_rankings(self):
+        report = classification_report(["a"], ["a"])
+        assert "mrr" not in report

@@ -1,0 +1,181 @@
+"""Unit tests for the Pipeline object, scoring, and the synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, RegistryError
+from repro.pipeline import (
+    Pipeline,
+    ScoreWeights,
+    Synthesizer,
+    make_seed_pipelines,
+    score_pipeline,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPipeline:
+    def test_defaults_fill_in(self):
+        p = Pipeline("knn")
+        assert p.classifier_params  # family defaults applied
+        assert p.scaler_name == "identity"
+
+    def test_invalid_classifier_raises_eagerly(self):
+        # Default-parameter lookup fails first (ValidationError); both are
+        # ReproError subclasses, which is what callers should catch.
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            Pipeline("nope")
+
+    def test_invalid_scaler_raises_eagerly(self):
+        with pytest.raises(RegistryError):
+            Pipeline("knn", scaler_name="nope")
+
+    def test_equality_and_hash(self):
+        a = Pipeline("knn", {"k": 3, "weights": "uniform", "p": 2})
+        b = Pipeline("knn", {"p": 2, "weights": "uniform", "k": 3})
+        c = Pipeline("knn", {"k": 5, "weights": "uniform", "p": 2})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_fit_predict_round_trip(self, labeled_features):
+        X, y = labeled_features
+        p = Pipeline("knn", scaler_name="standard").fit(X, y)
+        preds = p.predict(X)
+        assert (preds == y).mean() > 0.9
+        proba = p.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_rankings_best_first(self, labeled_features):
+        X, y = labeled_features
+        p = Pipeline("decision_tree").fit(X, y)
+        rankings = p.predict_rankings(X[:5])
+        preds = p.predict(X[:5])
+        for pred, ranking in zip(preds, rankings):
+            assert ranking[0] == pred
+
+    def test_predict_before_fit_raises(self, labeled_features):
+        X, _ = labeled_features
+        with pytest.raises(NotFittedError):
+            Pipeline("knn").predict(X)
+
+    def test_clone_unfitted(self, labeled_features):
+        X, y = labeled_features
+        p = Pipeline("knn").fit(X, y)
+        clone = p.clone()
+        assert clone == p
+        with pytest.raises(NotFittedError):
+            clone.predict(X)
+
+    def test_scaler_applied(self, labeled_features):
+        X, y = labeled_features
+        # PCA scaler reduces dimensionality before the classifier.
+        p = Pipeline("knn", scaler_name="pca", scaler_params={"n_components": 2})
+        p.fit(X, y)
+        assert p.predict(X).shape == y.shape
+
+
+class TestMakeSeedPipelines:
+    def test_default_covers_all_families(self):
+        seeds = make_seed_pipelines()
+        assert len(seeds) == 12
+        assert len({p.classifier_name for p in seeds}) == 12
+
+    def test_subset(self):
+        seeds = make_seed_pipelines(["knn", "ridge"])
+        assert [p.classifier_name for p in seeds] == ["knn", "ridge"]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            make_seed_pipelines([])
+
+
+class TestScoring:
+    def test_weights_validation(self):
+        with pytest.raises(ValidationError):
+            ScoreWeights(alpha=-1)
+        with pytest.raises(ValidationError):
+            ScoreWeights(alpha=0, beta=0, gamma=0)
+
+    def test_combine_formula(self):
+        w = ScoreWeights(alpha=0.5, beta=0.25, gamma=0.75)
+        value = w.combine(f1=0.8, r3=1.0, norm_time=0.5)
+        expected = (0.5 * 0.8 + 0.25 * 1.0 - 0.75 * 0.5) / 1.5
+        assert value == pytest.approx(expected)
+
+    def test_score_pipeline_end_to_end(self, labeled_features):
+        X, y = labeled_features
+        result = score_pipeline(
+            Pipeline("knn", scaler_name="standard"),
+            X[:80], y[:80], X[80:], y[80:],
+        )
+        assert 0.0 <= result.f1 <= 1.0
+        assert 0.0 <= result.recall_at_3 <= 1.0
+        assert result.runtime > 0
+        assert np.isfinite(result.score)
+
+    def test_crashing_pipeline_scores_neg_inf(self, labeled_features):
+        X, y = labeled_features
+        # PCA with more components than samples on a tiny fold still works,
+        # so force failure with an absurd configuration instead.
+        p = Pipeline("knn")
+        p.fit = lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom"))
+        result = score_pipeline(p, X[:10], y[:10], X[10:20], y[10:20])
+        assert result.score == float("-inf")
+
+    def test_gamma_penalizes_time(self, labeled_features):
+        X, y = labeled_features
+        fast_biased = ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0)
+        slow_biased = ScoreWeights(alpha=0.5, beta=0.25, gamma=5.0)
+        r1 = score_pipeline(
+            Pipeline("knn"), X[:80], y[:80], X[80:], y[80:],
+            weights=fast_biased, time_scale=1e-6,
+        )
+        r2 = score_pipeline(
+            Pipeline("knn"), X[:80], y[:80], X[80:], y[80:],
+            weights=slow_biased, time_scale=1e-6,
+        )
+        assert r2.score < r1.score
+
+
+class TestSynthesizer:
+    def test_children_differ_by_one_axis(self):
+        parent = Pipeline("knn", scaler_name="standard")
+        synth = Synthesizer(n_children_per_parent=5, random_state=0)
+        children = synth.synthesize([parent])
+        assert children
+        for child in children:
+            classifier_changed = (
+                child.classifier_params != parent.classifier_params
+            )
+            scaler_changed = (
+                child.scaler_name != parent.scaler_name
+                or child.scaler_params != parent.scaler_params
+            )
+            assert classifier_changed != scaler_changed  # exactly one axis
+
+    def test_same_family_preserved(self):
+        parent = Pipeline("decision_tree")
+        children = Synthesizer(random_state=1).synthesize([parent])
+        assert all(c.classifier_name == "decision_tree" for c in children)
+
+    def test_no_duplicates_vs_known(self):
+        parent = Pipeline("knn")
+        synth = Synthesizer(n_children_per_parent=10, random_state=2)
+        known = {parent.config_key()}
+        children = synth.synthesize([parent], known=known)
+        keys = [c.config_key() for c in children]
+        assert len(keys) == len(set(keys))
+        assert parent.config_key() not in keys
+
+    def test_invalid_fanout_raises(self):
+        with pytest.raises(ValidationError):
+            Synthesizer(n_children_per_parent=0)
+
+    def test_deterministic_with_seed(self):
+        parent = Pipeline("ridge")
+        a = Synthesizer(random_state=5).synthesize([parent])
+        b = Synthesizer(random_state=5).synthesize([parent])
+        assert [p.config_key() for p in a] == [p.config_key() for p in b]

@@ -1,0 +1,91 @@
+"""Tests for engine export/import (JSON persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ADarts, ModelRaceConfig
+from repro.core import export_engine, import_engine, load_engine, save_engine
+from repro.exceptions import NotFittedError, ValidationError
+
+
+FAST = dict(
+    config=ModelRaceConfig(n_partial_sets=2, n_folds=2, max_elite=3, random_state=0),
+    classifier_names=["knn", "decision_tree", "gaussian_nb"],
+)
+
+
+@pytest.fixture(scope="module")
+def trained(labeled_features):
+    X, y = labeled_features
+    return ADarts(**FAST).fit_features(X, y), X, y
+
+
+class TestExportImport:
+    def test_round_trip_predictions_identical(self, trained):
+        engine, X, y = trained
+        document = export_engine(engine)
+        restored = import_engine(document)
+        assert (engine.predict(X) == restored.predict(X)).all()
+
+    def test_round_trip_preserves_pipelines(self, trained):
+        engine, X, y = trained
+        restored = import_engine(export_engine(engine))
+        original = sorted(p.config_key() for p in engine.winning_pipelines)
+        rebuilt = sorted(p.config_key() for p in restored.winning_pipelines)
+        assert original == rebuilt
+
+    def test_document_is_json_serializable(self, trained):
+        engine, _, _ = trained
+        text = json.dumps(export_engine(engine))
+        assert json.loads(text)["format_version"] == 1
+
+    def test_unfitted_export_raises(self):
+        with pytest.raises(NotFittedError):
+            export_engine(ADarts(**FAST))
+
+    def test_wrong_version_rejected(self, trained):
+        engine, _, _ = trained
+        document = export_engine(engine)
+        document["format_version"] = 99
+        with pytest.raises(ValidationError):
+            import_engine(document)
+
+    def test_restored_engine_recommends(self, small_climate_dataset, faulty_series):
+        # recommend() goes through the feature extractor, so the engine must
+        # have been trained on extractor output (fit_labeled path).
+        from repro.clustering.labeling import ClusterLabeler
+
+        labeler = ClusterLabeler(imputer_names=("linear", "mean"), random_state=0)
+        engine = ADarts(labeler=labeler, **FAST)
+        engine.fit_datasets([small_climate_dataset])
+        restored = import_engine(export_engine(engine))
+        rec = restored.recommend(faulty_series)
+        assert rec.algorithm in ("linear", "mean")
+        assert rec.algorithm == engine.recommend(faulty_series).algorithm
+
+    def test_mlp_tuple_params_survive(self, labeled_features):
+        X, y = labeled_features
+        engine = ADarts(
+            config=ModelRaceConfig(
+                n_partial_sets=2, n_folds=2, max_elite=2, random_state=0
+            ),
+            classifier_names=["mlp"],
+        ).fit_features(X, y)
+        restored = import_engine(export_engine(engine))
+        for pipeline in restored.winning_pipelines:
+            assert isinstance(pipeline.classifier_params["hidden"], tuple)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, trained, tmp_path):
+        engine, X, _ = trained
+        path = save_engine(engine, tmp_path / "engine.json")
+        assert path.exists()
+        restored = load_engine(path)
+        assert (engine.predict(X) == restored.predict(X)).all()
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_engine(tmp_path / "nope.json")

@@ -1,0 +1,100 @@
+"""Unit tests for correlation and shape-based distance measures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.timeseries import (
+    TimeSeries,
+    average_pairwise_correlation,
+    cross_correlation,
+    max_cross_correlation,
+    pairwise_correlation_matrix,
+    sbd_distance_matrix,
+    shape_based_distance,
+)
+
+
+@pytest.fixture
+def sine():
+    return np.sin(np.linspace(0, 8 * np.pi, 256))
+
+
+class TestCrossCorrelation:
+    def test_self_correlation_is_one(self, sine):
+        assert cross_correlation(sine, sine) == pytest.approx(1.0)
+
+    def test_negated_is_minus_one(self, sine):
+        assert cross_correlation(sine, -sine) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=500), rng.normal(size=500)
+        assert abs(cross_correlation(a, b)) < 0.15
+
+    def test_constant_series_is_zero(self, sine):
+        assert cross_correlation(np.ones(256), sine) == 0.0
+
+    def test_different_lengths_truncate(self, sine):
+        assert cross_correlation(sine, sine[:128]) == pytest.approx(1.0)
+
+    def test_accepts_timeseries_with_nan(self, sine):
+        vals = sine.copy()
+        vals[10:20] = np.nan
+        value = cross_correlation(TimeSeries(vals), sine)
+        assert value > 0.95
+
+
+class TestMaxCrossCorrelation:
+    def test_shift_invariance(self, sine):
+        shifted = np.roll(sine, 13)
+        plain = cross_correlation(sine, shifted)
+        aligned = max_cross_correlation(sine, shifted)
+        assert aligned > plain - 1e-9
+        # Zero-padded (non-circular) alignment can't hit exactly 1.0 on a
+        # rolled signal; it must still recover most of the correlation.
+        assert aligned == pytest.approx(1.0, abs=0.05)
+
+    def test_bounded_by_one(self, sine):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            other = rng.normal(size=256)
+            assert max_cross_correlation(sine, other) <= 1.0 + 1e-9
+
+    def test_max_shift_restricts(self, sine):
+        shifted = np.roll(sine, 40)
+        narrow = max_cross_correlation(sine, shifted, max_shift=5)
+        wide = max_cross_correlation(sine, shifted, max_shift=64)
+        assert wide >= narrow
+
+
+class TestShapeBasedDistance:
+    def test_identical_is_zero(self, sine):
+        assert shape_based_distance(sine, sine) == pytest.approx(0.0, abs=1e-9)
+
+    def test_range(self, sine):
+        assert 0.0 <= shape_based_distance(sine, -sine) <= 2.0
+
+
+class TestMatrices:
+    def test_pairwise_matrix_symmetric_unit_diag(self, sine):
+        series = [sine, np.roll(sine, 5), -sine]
+        corr = pairwise_correlation_matrix(series)
+        assert corr.shape == (3, 3)
+        assert np.allclose(corr, corr.T)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_average_pairwise_singleton_is_one(self, sine):
+        assert average_pairwise_correlation([sine]) == 1.0
+
+    def test_average_pairwise_empty_raises(self):
+        with pytest.raises(ValidationError):
+            average_pairwise_correlation([])
+
+    def test_average_of_identical_is_one(self, sine):
+        assert average_pairwise_correlation([sine, sine.copy()]) == pytest.approx(1.0)
+
+    def test_sbd_matrix_zero_diag(self, sine):
+        dist = sbd_distance_matrix([sine, np.roll(sine, 3)])
+        assert np.allclose(np.diag(dist), 0.0, atol=1e-9)
+        assert np.allclose(dist, dist.T)

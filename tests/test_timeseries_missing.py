@@ -1,0 +1,127 @@
+"""Unit tests for missing-block injection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.timeseries import (
+    TimeSeries,
+    MissingBlockSpec,
+    inject_mcar,
+    inject_missing_block,
+    inject_missing_blocks,
+    inject_tip_block,
+)
+
+
+@pytest.fixture
+def series():
+    return TimeSeries(np.arange(100, dtype=float))
+
+
+class TestMissingBlockSpec:
+    def test_stop(self):
+        assert MissingBlockSpec(start=5, length=3).stop == 8
+
+    def test_negative_start_raises(self):
+        with pytest.raises(ValidationError):
+            MissingBlockSpec(start=-1, length=3)
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ValidationError):
+            MissingBlockSpec(start=0, length=0)
+
+
+class TestInjectMissingBlock:
+    def test_by_ratio(self, series):
+        faulty, spec = inject_missing_block(series, ratio=0.1, random_state=0)
+        assert spec.length == 10
+        assert faulty.n_missing == 10
+        assert faulty.missing_blocks() == [(spec.start, 10)]
+
+    def test_by_length(self, series):
+        faulty, spec = inject_missing_block(series, length=25, random_state=0)
+        assert spec.length == 25
+        assert faulty.n_missing == 25
+
+    def test_explicit_start(self, series):
+        faulty, spec = inject_missing_block(series, length=5, start=10)
+        assert spec.start == 10
+        assert np.isnan(faulty.values[10:15]).all()
+        assert not np.isnan(faulty.values[:10]).any()
+
+    def test_original_untouched(self, series):
+        inject_missing_block(series, ratio=0.2, random_state=0)
+        assert not series.has_missing
+
+    def test_keeps_anchors(self, series):
+        # Random placement avoids the first and last observation.
+        for seed in range(20):
+            faulty, spec = inject_missing_block(series, ratio=0.5, random_state=seed)
+            assert spec.start >= 1
+            assert spec.stop <= len(series) - 1
+
+    def test_both_ratio_and_length_raises(self, series):
+        with pytest.raises(ValidationError):
+            inject_missing_block(series, ratio=0.1, length=5)
+
+    def test_neither_raises(self, series):
+        with pytest.raises(ValidationError):
+            inject_missing_block(series)
+
+    def test_block_as_long_as_series_raises(self, series):
+        with pytest.raises(ValidationError):
+            inject_missing_block(series, length=100)
+
+    def test_out_of_range_start_raises(self, series):
+        with pytest.raises(ValidationError):
+            inject_missing_block(series, length=20, start=90)
+
+    def test_deterministic_with_seed(self, series):
+        _, spec1 = inject_missing_block(series, ratio=0.1, random_state=7)
+        _, spec2 = inject_missing_block(series, ratio=0.1, random_state=7)
+        assert spec1 == spec2
+
+
+class TestInjectMissingBlocks:
+    def test_multiple_disjoint(self, series):
+        faulty, specs = inject_missing_blocks(series, n_blocks=3, ratio=0.15, random_state=1)
+        assert len(specs) == 3
+        # Disjoint: the union of spans equals the missing count.
+        assert faulty.n_missing == sum(s.length for s in specs)
+        for a, b in zip(specs, specs[1:]):
+            assert a.stop < b.start
+
+    def test_too_many_blocks_raises(self):
+        short = TimeSeries(np.arange(10, dtype=float))
+        with pytest.raises(ValidationError):
+            inject_missing_blocks(short, n_blocks=5, ratio=0.9, random_state=0)
+
+    def test_invalid_n_blocks_raises(self, series):
+        with pytest.raises(ValidationError):
+            inject_missing_blocks(series, n_blocks=0, ratio=0.1)
+
+
+class TestInjectTipBlock:
+    def test_tip_placement(self, series):
+        faulty, spec = inject_tip_block(series, ratio=0.2)
+        assert spec.length == 20
+        assert spec.stop == len(series)
+        assert np.isnan(faulty.values[-20:]).all()
+        assert not np.isnan(faulty.values[:-20]).any()
+
+    def test_full_erase_raises(self, series):
+        with pytest.raises(ValidationError):
+            inject_tip_block(series, ratio=1.0)
+
+
+class TestInjectMcar:
+    def test_ratio_respected(self, series):
+        faulty, mask = inject_mcar(series, ratio=0.3, random_state=0)
+        assert faulty.n_missing == 30
+        assert mask.sum() == 30
+
+    def test_always_keeps_one_observation(self):
+        short = TimeSeries(np.arange(3, dtype=float))
+        faulty, _ = inject_mcar(short, ratio=1.0, random_state=0)
+        assert faulty.n_missing <= 2

@@ -1,0 +1,158 @@
+"""Unit tests for TimeSeries and TimeSeriesDataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.timeseries import TimeSeries, TimeSeriesDataset
+
+
+class TestTimeSeries:
+    def test_basic_construction(self):
+        ts = TimeSeries([1.0, 2.0, 3.0], name="abc")
+        assert len(ts) == 3
+        assert ts.name == "abc"
+        assert list(ts) == [1.0, 2.0, 3.0]
+
+    def test_values_are_immutable(self):
+        ts = TimeSeries([1.0, 2.0])
+        with pytest.raises((ValueError, RuntimeError)):
+            ts.values[0] = 9.0
+
+    def test_construction_copies_input(self):
+        arr = np.array([1.0, 2.0, 3.0])
+        ts = TimeSeries(arr)
+        arr[0] = 99.0
+        assert ts.values[0] == 1.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            TimeSeries(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([1.0, np.inf])
+
+    def test_missing_accounting(self):
+        ts = TimeSeries([1.0, np.nan, 3.0, np.nan, np.nan])
+        assert ts.n_missing == 3
+        assert ts.has_missing
+        assert ts.missing_ratio == pytest.approx(0.6)
+        assert ts.mask.tolist() == [False, True, False, True, True]
+
+    def test_missing_blocks_detection(self):
+        ts = TimeSeries([np.nan, 1.0, np.nan, np.nan, 2.0, np.nan])
+        assert ts.missing_blocks() == [(0, 1), (2, 2), (5, 1)]
+
+    def test_missing_blocks_empty_when_complete(self):
+        assert TimeSeries([1.0, 2.0]).missing_blocks() == []
+
+    def test_equality_with_nan(self):
+        a = TimeSeries([1.0, np.nan, 2.0])
+        b = TimeSeries([1.0, np.nan, 2.0])
+        c = TimeSeries([1.0, 0.0, 2.0])
+        assert a == b
+        assert a != c
+
+    def test_hashable(self):
+        a = TimeSeries([1.0, 2.0], name="x")
+        assert isinstance(hash(a), int)
+
+    def test_filled_replaces_only_missing(self):
+        ts = TimeSeries([1.0, np.nan, 3.0])
+        out = ts.filled([9.0, 9.0, 9.0])
+        assert out.values.tolist() == [1.0, 9.0, 3.0]
+
+    def test_filled_wrong_length_raises(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([1.0, np.nan]).filled([1.0])
+
+    def test_interpolated_interior(self):
+        ts = TimeSeries([0.0, np.nan, 2.0])
+        assert ts.interpolated().values.tolist() == [0.0, 1.0, 2.0]
+
+    def test_interpolated_edges_extend(self):
+        ts = TimeSeries([np.nan, 5.0, np.nan])
+        assert ts.interpolated().values.tolist() == [5.0, 5.0, 5.0]
+
+    def test_interpolated_fully_missing_raises(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([np.nan, np.nan]).interpolated()
+
+    def test_zscore_mean_std(self):
+        ts = TimeSeries(np.arange(10, dtype=float)).zscore()
+        assert ts.values.mean() == pytest.approx(0.0, abs=1e-12)
+        assert ts.values.std() == pytest.approx(1.0)
+
+    def test_zscore_constant_is_zeros(self):
+        assert TimeSeries([5.0, 5.0, 5.0]).zscore().values.tolist() == [0, 0, 0]
+
+    def test_zscore_preserves_nan(self):
+        out = TimeSeries([1.0, np.nan, 3.0]).zscore()
+        assert np.isnan(out.values[1])
+
+    def test_slice(self):
+        ts = TimeSeries(np.arange(10, dtype=float))
+        sub = ts.slice(2, 5)
+        assert sub.values.tolist() == [2.0, 3.0, 4.0]
+
+    def test_slice_invalid_raises(self):
+        with pytest.raises(ValidationError):
+            TimeSeries([1.0, 2.0]).slice(1, 1)
+
+    def test_observed_values(self):
+        ts = TimeSeries([1.0, np.nan, 3.0])
+        assert ts.observed_values().tolist() == [1.0, 3.0]
+
+
+class TestTimeSeriesDataset:
+    def test_construction_and_iteration(self, tiny_dataset):
+        assert len(tiny_dataset) == 5
+        assert all(isinstance(s, TimeSeries) for s in tiny_dataset)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            TimeSeriesDataset([])
+
+    def test_non_series_raises(self):
+        with pytest.raises(ValidationError):
+            TimeSeriesDataset([np.zeros(3)])
+
+    def test_indexing_and_slicing(self, tiny_dataset):
+        assert isinstance(tiny_dataset[0], TimeSeries)
+        sub = tiny_dataset[1:3]
+        assert isinstance(sub, TimeSeriesDataset)
+        assert len(sub) == 2
+
+    def test_to_matrix_round_trip(self, tiny_dataset):
+        matrix = tiny_dataset.to_matrix()
+        assert matrix.shape == (5, 64)
+        rebuilt = TimeSeriesDataset.from_matrix(matrix, category="Test")
+        assert np.allclose(rebuilt.to_matrix(), matrix)
+
+    def test_to_matrix_unequal_lengths_raises(self):
+        ds = TimeSeriesDataset(
+            [TimeSeries([1.0, 2.0]), TimeSeries([1.0, 2.0, 3.0])]
+        )
+        with pytest.raises(ValidationError):
+            ds.to_matrix()
+
+    def test_subset(self, tiny_dataset):
+        sub = tiny_dataset.subset([0, 4])
+        assert len(sub) == 2
+        assert sub[1] == tiny_dataset[4]
+
+    def test_map(self, tiny_dataset):
+        doubled = tiny_dataset.map(lambda s: s.with_values(s.values * 2))
+        assert np.allclose(doubled.to_matrix(), 2 * tiny_dataset.to_matrix())
+
+    def test_lengths(self, tiny_dataset):
+        assert (tiny_dataset.lengths == 64).all()
+
+    def test_category_preserved_through_ops(self, tiny_dataset):
+        assert tiny_dataset.subset([0]).category == "Test"
+        assert tiny_dataset[0:2].category == "Test"

@@ -1,0 +1,106 @@
+"""Unit tests for utility helpers (rng, validation, timing)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils import (
+    Timer,
+    check_1d,
+    check_2d,
+    check_finite,
+    check_positive,
+    check_probability,
+    ensure_rng,
+    spawn_rng,
+)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent(self):
+        parent = ensure_rng(0)
+        children = spawn_rng(parent, 3)
+        assert len(children) == 3
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+
+class TestValidation:
+    def test_check_1d_accepts_lists(self):
+        arr = check_1d([1, 2, 3])
+        assert arr.dtype == float
+
+    def test_check_1d_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_1d([])
+
+    def test_check_1d_nan_policy(self):
+        check_1d([1.0, np.nan])  # allowed by default
+        with pytest.raises(ValidationError):
+            check_1d([1.0, np.nan], allow_nan=False)
+
+    def test_check_1d_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_1d([1.0, np.inf])
+
+    def test_check_2d_shape(self):
+        with pytest.raises(ValidationError):
+            check_2d([1.0, 2.0])
+
+    def test_check_finite(self):
+        with pytest.raises(ValidationError):
+            check_finite(np.array([np.nan]))
+
+    def test_check_positive(self):
+        assert check_positive(1.5) == 1.5
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+        assert check_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, strict=False)
+
+    def test_check_probability(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValidationError):
+            check_probability(1.5)
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_start_stop(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.005)
+        elapsed = t.stop()
+        assert elapsed >= 0.004
+        assert t.elapsed == elapsed
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
