@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.baselines.base import BaselineSelector
 from repro.classifiers import get_classifier
-from repro.exceptions import NotFittedError
 from repro.utils.rng import ensure_rng
 
 

@@ -21,11 +21,20 @@ Repair them in place::
 List the available imputation algorithms::
 
     python -m repro list-imputers
+
+Every subcommand accepts ``--trace-out trace.json`` (Chrome
+``trace_event`` export, open in ``chrome://tracing`` or Perfetto) and
+``--metrics-out metrics.prom`` (Prometheus text; a ``.json`` suffix
+selects JSON).  Saved traces are rendered into a human-readable run
+summary by::
+
+    python -m repro report --trace trace.json --metrics metrics.prom
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import pathlib
 import sys
 
@@ -37,6 +46,15 @@ from repro.core.serialization import load_engine, save_engine
 from repro.datasets import CATEGORIES, load_category
 from repro.exceptions import ReproError, ValidationError
 from repro.imputation import available_imputers
+from repro.observability import (
+    LoggingObserver,
+    MetricsRegistry,
+    Tracer,
+    enable_console_logging,
+    use_metrics,
+    use_tracer,
+)
+from repro.observability.report import load_metrics, load_trace, render_report
 from repro.timeseries.series import TimeSeries
 
 
@@ -91,6 +109,7 @@ def _cmd_train(args) -> int:
             n_partial_sets=args.partial_sets, random_state=args.seed
         ),
         random_state=args.seed,
+        observer=LoggingObserver() if args.verbose else None,
     )
     print(
         f"training on {sum(len(d) for d in datasets)} series "
@@ -134,15 +153,39 @@ def _cmd_list_imputers(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    spans = load_trace(args.trace)
+    metrics = load_metrics(args.metrics) if args.metrics else None
+    print(render_report(spans, metrics=metrics, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="A-DARTS: automated data repair for time series",
     )
+    # Observability flags shared by every subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON of the run to PATH",
+    )
+    common.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write run metrics to PATH (.prom/.txt: Prometheus text, "
+        "otherwise JSON)",
+    )
+    common.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="log progress to stderr via the repro logger",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    train = sub.add_parser("train", help="train an engine on built-in data")
+    train = sub.add_parser(
+        "train", help="train an engine on built-in data", parents=[common]
+    )
     train.add_argument(
         "--categories", nargs="+", default=["Water", "Climate"],
         help=f"dataset categories to train on (from {', '.join(CATEGORIES)})",
@@ -155,21 +198,66 @@ def build_parser() -> argparse.ArgumentParser:
     train.set_defaults(func=_cmd_train)
 
     recommend = sub.add_parser(
-        "recommend", help="recommend imputation algorithms for faulty series"
+        "recommend",
+        help="recommend imputation algorithms for faulty series",
+        parents=[common],
     )
     recommend.add_argument("--engine", required=True, help="engine JSON path")
     recommend.add_argument("--data", required=True, help="faulty series CSV")
     recommend.set_defaults(func=_cmd_recommend)
 
-    repair = sub.add_parser("repair", help="recommend and impute in one step")
+    repair = sub.add_parser(
+        "repair", help="recommend and impute in one step", parents=[common]
+    )
     repair.add_argument("--engine", required=True, help="engine JSON path")
     repair.add_argument("--data", required=True, help="faulty series CSV")
     repair.add_argument("--out", required=True, help="repaired series CSV path")
     repair.set_defaults(func=_cmd_repair)
 
-    lister = sub.add_parser("list-imputers", help="list available algorithms")
+    lister = sub.add_parser(
+        "list-imputers", help="list available algorithms", parents=[common]
+    )
     lister.set_defaults(func=_cmd_list_imputers)
+
+    report = sub.add_parser(
+        "report",
+        help="render a human-readable summary of a saved trace",
+        parents=[common],
+    )
+    report.add_argument(
+        "--trace", required=True, help="trace JSON written by --trace-out"
+    )
+    report.add_argument(
+        "--metrics", default=None,
+        help="optional metrics dump written by --metrics-out",
+    )
+    report.add_argument(
+        "--top", type=int, default=10, help="rows in the slowest-span table"
+    )
+    report.set_defaults(func=_cmd_report)
     return parser
+
+
+def _run_with_observability(args) -> int:
+    """Execute the subcommand, installing tracer/metrics when requested."""
+    if getattr(args, "verbose", False):
+        enable_console_logging(logging.INFO)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return args.func(args)
+    tracer = Tracer() if trace_out else None
+    registry = MetricsRegistry() if metrics_out else None
+    try:
+        with use_tracer(tracer), use_metrics(registry):
+            return args.func(args)
+    finally:
+        if tracer is not None:
+            path = tracer.export_chrome_trace(trace_out)
+            print(f"wrote trace to {path}", file=sys.stderr)
+        if registry is not None:
+            path = registry.export(metrics_out)
+            print(f"wrote metrics to {path}", file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -177,7 +265,7 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        return _run_with_observability(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -14,11 +14,14 @@ import numpy as np
 
 from repro.clustering.incremental import IncrementalClustering
 from repro.exceptions import ValidationError
+from repro.observability import get_logger, get_metrics, get_tracer
 from repro.imputation.base import BaseImputer, get_imputer
 from repro.imputation.evaluation import rank_imputers
 from repro.timeseries.missing import inject_missing_block, inject_tip_block
 from repro.timeseries.series import TimeSeries, TimeSeriesDataset
 from repro.utils.rng import ensure_rng
+
+_log = get_logger(__name__)
 
 #: Default algorithm slate used for labeling — one strong member per family,
 #: kept small so labeling stays laptop-fast.
@@ -182,6 +185,41 @@ class ClusterLabeler:
         produced per (series, missing-ratio) combination: varying block
         sizes diversify which algorithm wins.
         """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        labeling_span = tracer.span(
+            "labeling.label_dataset",
+            subsystem="labeling",
+            dataset=dataset.name,
+            n_series=len(dataset),
+        )
+        rank_hist = metrics.histogram(
+            "repro_labeling_rank_seconds",
+            "Wall seconds per (cluster, ratio, pattern) algorithm race",
+        )
+        with labeling_span:
+            corpus = self._label_dataset_inner(dataset, rank_hist)
+        labeling_span.set_tag("n_clusters", corpus.n_benchmark_runs)
+        labeling_span.set_tag("n_labeled", len(corpus))
+        metrics.counter(
+            "repro_labeling_benchmark_runs_total",
+            "Full algorithm races executed during labeling",
+        ).inc(corpus.n_benchmark_runs)
+        metrics.counter(
+            "repro_labeling_series_total",
+            "Labeled series produced by cluster propagation",
+        ).inc(len(corpus))
+        _log.debug(
+            "labeled dataset %s: %d series from %d benchmark runs",
+            dataset.name,
+            len(corpus),
+            corpus.n_benchmark_runs,
+        )
+        return corpus
+
+    def _label_dataset_inner(
+        self, dataset: TimeSeriesDataset, rank_hist
+    ) -> LabeledCorpus:
         rng = ensure_rng(self.random_state)
         clustering = self._make_clustering().fit(list(dataset.series))
         imputers = self._imputers()
@@ -215,7 +253,8 @@ class ClusterLabeler:
                                 np.where(mask[row_idx], np.nan, truth[row_idx])
                             )
                         )
-                    ranked = rank_imputers(imputers, truth, mask)
+                    with rank_hist.time():
+                        ranked = rank_imputers(imputers, truth, mask)
                     n_runs += 1
                     ranking_names = self._resolve_ties(ranked)
                     for faulty in cluster_faulty:

@@ -29,8 +29,17 @@ from repro.datasets.splits import holdout_split
 from repro.exceptions import NotFittedError, ValidationError
 from repro.features.extractor import FeatureExtractor
 from repro.imputation.base import get_imputer
+from repro.observability import (
+    RaceObserver,
+    get_logger,
+    get_metrics,
+    get_tracer,
+)
 from repro.pipeline.pipeline import Pipeline, make_seed_pipelines
 from repro.timeseries.series import TimeSeries, TimeSeriesDataset
+from repro.utils.timing import Timer
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -76,6 +85,9 @@ class ADarts:
         Fraction of labeled data held out as the race's internal test set.
     random_state:
         Seed for the internal holdout split.
+    observer:
+        Optional :class:`~repro.observability.RaceObserver` receiving the
+        ModelRace lifecycle events during training.
     """
 
     def __init__(
@@ -87,6 +99,7 @@ class ADarts:
         voting: str = "soft",
         test_ratio: float = 0.25,
         random_state: int | None = 0,
+        observer: RaceObserver | None = None,
     ):
         if voting not in ("soft", "majority"):
             raise ValidationError(f"voting must be soft/majority, got {voting!r}")
@@ -97,8 +110,10 @@ class ADarts:
         self.voting = voting
         self.test_ratio = float(test_ratio)
         self.random_state = random_state
+        self.observer = observer
         self._ensemble = None
         self._race_result: RaceResult | None = None
+        self._labeled_corpus: LabeledCorpus | None = None
         self._train_X: np.ndarray | None = None
         self._train_y: np.ndarray | None = None
 
@@ -111,28 +126,47 @@ class ADarts:
         """Train from an already-extracted feature matrix and labels."""
         X = np.asarray(X, dtype=float)
         y = np.asarray(y)
-        X_train, X_test, y_train, y_test = holdout_split(
-            X, y, test_ratio=self.test_ratio, random_state=self.random_state
+        tracer = get_tracer()
+        with tracer.span(
+            "adarts.fit_features",
+            subsystem="training",
+            n_samples=int(X.shape[0]),
+            n_features=int(X.shape[1]) if X.ndim == 2 else 0,
+        ):
+            X_train, X_test, y_train, y_test = holdout_split(
+                X, y, test_ratio=self.test_ratio, random_state=self.random_state
+            )
+            seeds = seed_pipelines or make_seed_pipelines(self.classifier_names)
+            race = ModelRace(self.config, observer=self.observer)
+            self._race_result = race.run(seeds, X_train, y_train, X_test, y_test)
+            ensemble_cls = (
+                SoftVotingEnsemble if self.voting == "soft" else MajorityVotingEnsemble
+            )
+            # Members were fitted on X_train inside the race's final refit;
+            # refit on the full labeled data so inference uses everything.
+            members = []
+            for p in self._race_result.elite:
+                fresh = p.clone()
+                try:
+                    fresh.fit(X, y)
+                except Exception as exc:
+                    _log.warning(
+                        "full-data refit failed for %s: %s: %s",
+                        p,
+                        type(exc).__name__,
+                        exc,
+                    )
+                    continue
+                members.append(fresh)
+            if not members:
+                raise ValidationError("no pipeline survived training")
+            self._ensemble = ensemble_cls(members)
+        _log.info(
+            "trained: %d ensemble members, %d evaluations, prune ratio %.1f%%",
+            len(members),
+            self._race_result.n_evaluations,
+            100 * self._race_result.prune_ratio,
         )
-        seeds = seed_pipelines or make_seed_pipelines(self.classifier_names)
-        race = ModelRace(self.config)
-        self._race_result = race.run(seeds, X_train, y_train, X_test, y_test)
-        ensemble_cls = (
-            SoftVotingEnsemble if self.voting == "soft" else MajorityVotingEnsemble
-        )
-        # Members were fitted on X_train inside the race's final refit; refit
-        # on the full labeled data so inference uses everything.
-        members = []
-        for p in self._race_result.elite:
-            fresh = p.clone()
-            try:
-                fresh.fit(X, y)
-            except Exception:
-                continue
-            members.append(fresh)
-        if not members:
-            raise ValidationError("no pipeline survived training")
-        self._ensemble = ensemble_cls(members)
         # Kept for export/serialization (see repro.core.serialization).
         self._train_X = X
         self._train_y = y
@@ -145,9 +179,15 @@ class ADarts:
 
     def fit_datasets(self, datasets: list[TimeSeriesDataset]) -> "ADarts":
         """Full training path: cluster-label the datasets, then train."""
-        corpus = self.labeler.label_corpus(list(datasets))
-        self._labeled_corpus = corpus
-        return self.fit_labeled(corpus)
+        datasets = list(datasets)
+        with get_tracer().span(
+            "adarts.fit_datasets",
+            subsystem="training",
+            n_datasets=len(datasets),
+        ):
+            corpus = self.labeler.label_corpus(datasets)
+            self._labeled_corpus = corpus
+            return self.fit_labeled(corpus)
 
     # ------------------------------------------------------------------
     # Inference
@@ -176,23 +216,57 @@ class ADarts:
         return self.recommend_many([series])[0]
 
     def recommend_many(self, series_list) -> list[Recommendation]:
-        """Vectorized recommendation over several series."""
+        """Vectorized recommendation over several series.
+
+        Inference latency is recorded into the
+        ``repro_inference_seconds`` (per request) and
+        ``repro_inference_seconds_per_series`` histograms of the process
+        metrics registry, and the whole call runs under an
+        ``adarts.recommend_many`` span — all no-ops unless observability
+        is installed.
+        """
         if self._ensemble is None:
             raise NotFittedError("ADarts is not fitted")
-        X = self.extractor.extract_many(series_list)
-        proba = self._ensemble.predict_proba(X)
-        classes = [str(c) for c in self._ensemble.classes_]
-        out = []
-        for row in proba:
-            order = np.argsort(row)[::-1]
-            ranking = tuple(classes[j] for j in order)
-            out.append(
-                Recommendation(
-                    algorithm=ranking[0],
-                    ranking=ranking,
-                    probabilities={classes[j]: float(row[j]) for j in order},
+        tracer = get_tracer()
+        metrics = get_metrics()
+        n_series = len(series_list)
+        timer = Timer()
+        with timer, tracer.span(
+            "adarts.recommend_many", subsystem="inference", n_series=n_series
+        ):
+            with tracer.span("inference.extract", subsystem="inference"):
+                X = self.extractor.extract_many(series_list)
+            with tracer.span("inference.vote", subsystem="inference"):
+                proba = self._ensemble.predict_proba(X)
+            classes = [str(c) for c in self._ensemble.classes_]
+            out = []
+            for row in proba:
+                order = np.argsort(row)[::-1]
+                ranking = tuple(classes[j] for j in order)
+                out.append(
+                    Recommendation(
+                        algorithm=ranking[0],
+                        ranking=ranking,
+                        probabilities={classes[j]: float(row[j]) for j in order},
+                    )
                 )
-            )
+        metrics.counter(
+            "repro_inference_requests_total",
+            "recommend/recommend_many calls served",
+        ).inc()
+        metrics.counter(
+            "repro_inference_series_total",
+            "Series scored through the recommendation path",
+        ).inc(n_series)
+        metrics.histogram(
+            "repro_inference_seconds",
+            "Wall seconds per recommend_many request",
+        ).observe(timer.elapsed)
+        if n_series:
+            metrics.histogram(
+                "repro_inference_seconds_per_series",
+                "Wall seconds per individual series recommendation",
+            ).observe(timer.elapsed / n_series)
         return out
 
     def repair(self, series: TimeSeries) -> TimeSeries:

@@ -14,6 +14,16 @@ The race iterates over growing partial training sets.  Each iteration:
 
 Distinct from classic AutoML racing, multiple configurations of the *same*
 classifier family can survive — duplicates are the point (Section VII-D).
+
+Telemetry
+---------
+The race emits its full lifecycle into a
+:class:`~repro.observability.observer.RaceObserver` (pass one to
+``ModelRace(observer=...)`` or ``run(observer=...)``), opens spans on the
+process tracer (``repro.observability.get_tracer()``), and increments
+counters/histograms on the process metrics registry.  With nothing
+installed every emission is a shared no-op, so the uninstrumented hot
+path is unchanged.
 """
 
 from __future__ import annotations
@@ -26,11 +36,21 @@ from scipy import stats as sps
 from repro.core.config import ModelRaceConfig
 from repro.datasets.splits import stratified_kfold
 from repro.exceptions import ValidationError
+from repro.observability import (
+    IterationRecord,
+    NULL_OBSERVER,
+    RaceObserver,
+    get_logger,
+    get_metrics,
+    get_tracer,
+)
 from repro.pipeline.pipeline import Pipeline
 from repro.pipeline.scoring import PipelineScore, score_pipeline
 from repro.pipeline.synthesizer import Synthesizer
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -43,21 +63,54 @@ class RaceResult:
         Surviving pipelines (fitted on the full training set).
     scores:
         Accumulated fold scores per surviving pipeline config key.
-    history:
-        Per-iteration record: candidates, early-terminated, pruned counts.
+    iterations:
+        Structured per-iteration diagnostics
+        (:class:`~repro.observability.observer.IterationRecord`).
     runtime:
         Total wall-clock seconds of the race.
     """
 
     elite: list[Pipeline]
     scores: dict[tuple, list[float]]
-    history: list[dict] = field(default_factory=list)
+    iterations: list[IterationRecord] = field(default_factory=list)
     runtime: float = 0.0
+
+    @property
+    def history(self) -> list[dict]:
+        """Legacy view: per-iteration records as plain dicts."""
+        return [record.as_dict() for record in self.iterations]
 
     @property
     def n_evaluations(self) -> int:
         """Total number of (pipeline, fold) evaluations performed."""
-        return sum(h["n_evaluations"] for h in self.history)
+        return sum(r.n_evaluations for r in self.iterations)
+
+    @property
+    def n_potential_evaluations(self) -> int:
+        """Evaluations a pruning-free race would have run."""
+        return sum(r.n_potential_evaluations for r in self.iterations)
+
+    @property
+    def n_early_terminated(self) -> int:
+        """Total phase-1 (fold-margin) terminations."""
+        return sum(r.n_early_terminated for r in self.iterations)
+
+    @property
+    def n_ttest_pruned(self) -> int:
+        """Total phase-2 (t-test) prunes."""
+        return sum(r.n_ttest_pruned for r in self.iterations)
+
+    @property
+    def prune_ratio(self) -> float:
+        """Fraction of potential evaluations avoided by pruning (Fig. 8).
+
+        ``1 - n_evaluations / n_potential_evaluations``; 0.0 when nothing
+        could have been pruned.
+        """
+        potential = self.n_potential_evaluations
+        if potential <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.n_evaluations / potential)
 
 
 class ModelRace:
@@ -67,10 +120,18 @@ class ModelRace:
     ----------
     config:
         :class:`ModelRaceConfig` tuning knobs.
+    observer:
+        Default :class:`RaceObserver` receiving race lifecycle events
+        (may be overridden per :meth:`run` call).
     """
 
-    def __init__(self, config: ModelRaceConfig | None = None):
+    def __init__(
+        self,
+        config: ModelRaceConfig | None = None,
+        observer: RaceObserver | None = None,
+    ):
         self.config = config or ModelRaceConfig()
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def _partial_sets(
@@ -134,6 +195,7 @@ class ModelRace:
         y: np.ndarray,
         X_test: np.ndarray,
         y_test: np.ndarray,
+        observer: RaceObserver | None = None,
     ) -> RaceResult:
         """Race the pipelines; return the surviving elite fitted on all of X.
 
@@ -145,6 +207,9 @@ class ModelRace:
             Training features/labels (the union of partial sets S).
         X_test, y_test:
             The held-out test set T used for evaluation inside the race.
+        observer:
+            Race event callbacks for this run (overrides the instance
+            default; ``None`` falls back to it, then to a no-op).
         """
         if not seed_pipelines:
             raise ValidationError("seed_pipelines must be non-empty")
@@ -153,6 +218,38 @@ class ModelRace:
         if X.shape[0] != y.shape[0]:
             raise ValidationError("X and y disagree on sample count")
         cfg = self.config
+        obs = observer or self.observer or NULL_OBSERVER
+        tracer = get_tracer()
+        metrics = get_metrics()
+        eval_counter = metrics.counter(
+            "repro_race_evaluations_total",
+            "Pipeline-fold evaluations executed by ModelRace",
+        )
+        early_counter = metrics.counter(
+            "repro_race_early_terminations_total",
+            "Candidates dropped by phase-1 (fold-margin) pruning",
+        )
+        ttest_counter = metrics.counter(
+            "repro_race_ttest_pruned_total",
+            "Candidates dropped by phase-2 (t-test) pruning",
+        )
+        failure_counter = metrics.counter(
+            "repro_race_eval_failures_total",
+            "Evaluations that raised inside pipeline fit/predict",
+        )
+        score_hist = metrics.histogram(
+            "repro_race_eval_score",
+            "Distribution of per-evaluation race scores",
+        )
+        eval_time_hist = metrics.histogram(
+            "repro_race_eval_seconds",
+            "Per-evaluation pipeline fit+predict wall seconds",
+        )
+        iteration_time_hist = metrics.histogram(
+            "repro_race_iteration_seconds",
+            "Per-iteration wall seconds of the race",
+        )
+
         rng = ensure_rng(cfg.random_state)
         synthesizer = Synthesizer(
             n_children_per_parent=cfg.n_children_per_parent,
@@ -160,60 +257,122 @@ class ModelRace:
         )
         scores: dict[tuple, list[float]] = {}
         elite: list[Pipeline] = list(seed_pipelines)
-        history: list[dict] = []
+        records: list[IterationRecord] = []
         time_scale = cfg.time_budget  # absolute normalizer for `time`
+        obs.on_race_start(len(seed_pipelines), int(X.shape[0]))
         total_timer = Timer()
-        with total_timer:
+        with total_timer, tracer.span(
+            "race.run",
+            subsystem="race",
+            n_seeds=len(seed_pipelines),
+            n_samples=int(X.shape[0]),
+        ) as race_span:
             for iteration, subset in enumerate(self._partial_sets(X.shape[0], rng)):
-                new = synthesizer.synthesize(
-                    elite, known=set(scores)
-                ) if iteration > 0 else synthesizer.synthesize(elite)
-                candidates = _dedupe(elite + new)
-                active = {p.config_key() for p in candidates}
-                n_evals = 0
-                n_early = 0
-                X_sub, y_sub = X[subset], y[subset]
-                n_folds = min(cfg.n_folds, max(2, len(subset) // 2))
-                folds = list(
-                    stratified_kfold(y_sub, n_splits=n_folds, random_state=rng)
+                iteration_timer = Timer()
+                iteration_span = tracer.span(
+                    "race.iteration",
+                    subsystem="race",
+                    iteration=iteration,
+                    subset_size=int(len(subset)),
                 )
-                for train_idx, _fold_test_idx in folds:
-                    fold_best = -np.inf
-                    for pipeline in candidates:
-                        key = pipeline.config_key()
-                        if key not in active:
-                            continue  # early-terminated on a previous fold
-                        result: PipelineScore = score_pipeline(
-                            pipeline.clone(),
-                            X_sub[train_idx],
-                            y_sub[train_idx],
-                            X_test,
-                            y_test,
-                            weights=cfg.weights,
-                            time_scale=time_scale,
-                        )
-                        n_evals += 1
-                        scores.setdefault(key, []).append(result.score)
-                        fold_best = max(fold_best, result.score)
-                        # Phase-1 pruning: early termination (lines 11-12).
-                        if result.score < fold_best - cfg.early_termination_margin:
-                            active.discard(key)
-                            n_early += 1
-                survivors = [p for p in candidates if p.config_key() in active]
-                if not survivors:  # safety: never lose everything
-                    survivors = candidates
-                elite, n_pruned = self._prune_ttest(survivors, scores)
-                history.append(
-                    {
-                        "iteration": iteration,
-                        "subset_size": int(len(subset)),
-                        "n_candidates": len(candidates),
-                        "n_early_terminated": n_early,
-                        "n_ttest_pruned": n_pruned,
-                        "n_elite": len(elite),
-                        "n_evaluations": n_evals,
-                    }
+                with iteration_timer, iteration_span:
+                    new = synthesizer.synthesize(
+                        elite, known=set(scores)
+                    ) if iteration > 0 else synthesizer.synthesize(elite)
+                    candidates = _dedupe(elite + new)
+                    obs.on_iteration_start(
+                        iteration, int(len(subset)), len(candidates)
+                    )
+                    active = {p.config_key() for p in candidates}
+                    n_evals = 0
+                    n_early = 0
+                    n_failures = 0
+                    X_sub, y_sub = X[subset], y[subset]
+                    n_folds = min(cfg.n_folds, max(2, len(subset) // 2))
+                    folds = list(
+                        stratified_kfold(y_sub, n_splits=n_folds, random_state=rng)
+                    )
+                    for fold_idx, (train_idx, _fold_test_idx) in enumerate(folds):
+                        fold_best = -np.inf
+                        for pipeline in candidates:
+                            key = pipeline.config_key()
+                            if key not in active:
+                                continue  # early-terminated on a previous fold
+                            if tracer.enabled:
+                                with tracer.span(
+                                    "race.evaluate",
+                                    subsystem="race",
+                                    iteration=iteration,
+                                    fold=fold_idx,
+                                    classifier=pipeline.classifier_name,
+                                ):
+                                    result: PipelineScore = score_pipeline(
+                                        pipeline.clone(),
+                                        X_sub[train_idx],
+                                        y_sub[train_idx],
+                                        X_test,
+                                        y_test,
+                                        weights=cfg.weights,
+                                        time_scale=time_scale,
+                                    )
+                            else:
+                                result = score_pipeline(
+                                    pipeline.clone(),
+                                    X_sub[train_idx],
+                                    y_sub[train_idx],
+                                    X_test,
+                                    y_test,
+                                    weights=cfg.weights,
+                                    time_scale=time_scale,
+                                )
+                            n_evals += 1
+                            eval_counter.inc()
+                            score_hist.observe(result.score)
+                            eval_time_hist.observe(result.runtime)
+                            if result.error is not None:
+                                n_failures += 1
+                            obs.on_candidate_scored(
+                                iteration, fold_idx, key, result
+                            )
+                            scores.setdefault(key, []).append(result.score)
+                            fold_best = max(fold_best, result.score)
+                            # Phase-1 pruning: early termination (lines 11-12).
+                            if result.score < fold_best - cfg.early_termination_margin:
+                                active.discard(key)
+                                n_early += 1
+                                early_counter.inc()
+                                obs.on_early_termination(iteration, fold_idx, key)
+                    survivors = [p for p in candidates if p.config_key() in active]
+                    if not survivors:  # safety: never lose everything
+                        survivors = candidates
+                    elite, n_pruned = self._prune_ttest(survivors, scores)
+                    ttest_counter.inc(n_pruned)
+                    obs.on_ttest_prune(iteration, n_pruned)
+                record = IterationRecord(
+                    iteration=iteration,
+                    subset_size=int(len(subset)),
+                    n_candidates=len(candidates),
+                    n_folds=n_folds,
+                    n_evaluations=n_evals,
+                    n_early_terminated=n_early,
+                    n_ttest_pruned=n_pruned,
+                    n_failures=n_failures,
+                    n_elite=len(elite),
+                    wall_time=iteration_timer.elapsed,
                 )
+                iteration_time_hist.observe(record.wall_time)
+                for tag in (
+                    "n_candidates",
+                    "n_folds",
+                    "n_evaluations",
+                    "n_early_terminated",
+                    "n_ttest_pruned",
+                    "n_failures",
+                    "n_elite",
+                ):
+                    iteration_span.set_tag(tag, record[tag])
+                records.append(record)
+                obs.on_iteration_end(record)
             # Final band filter: the vote is only as strong as its weakest
             # member, so keep diversity among *top* performers only.
             means = {
@@ -232,21 +391,38 @@ class ModelRace:
                     elite = banded
             # Final fit of the elite on the full training data.
             fitted = []
-            for pipeline in elite:
-                fresh = pipeline.clone()
-                try:
-                    fresh.fit(X, y)
-                except Exception:
-                    continue
-                fitted.append(fresh)
+            with tracer.span(
+                "race.elite_refit", subsystem="race", n_elite=len(elite)
+            ):
+                for pipeline in elite:
+                    fresh = pipeline.clone()
+                    try:
+                        fresh.fit(X, y)
+                    except Exception as exc:
+                        _log.warning(
+                            "elite refit failed for %s: %s: %s",
+                            pipeline,
+                            type(exc).__name__,
+                            exc,
+                        )
+                        continue
+                    fitted.append(fresh)
+            obs.on_elite_refit(len(elite), len(fitted))
             if not fitted:
                 raise ValidationError("no elite pipeline could be fitted")
-        return RaceResult(
+            race_span.set_tag("n_elite", len(fitted))
+        result = RaceResult(
             elite=fitted,
             scores={p.config_key(): scores.get(p.config_key(), []) for p in fitted},
-            history=history,
+            iterations=records,
             runtime=total_timer.elapsed,
         )
+        metrics.gauge(
+            "repro_race_prune_ratio",
+            "Fraction of potential evaluations avoided by pruning",
+        ).set(result.prune_ratio)
+        obs.on_race_end(result)
+        return result
 
 
 def _dedupe(pipelines: list[Pipeline]) -> list[Pipeline]:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.observability import get_metrics, get_tracer
 from repro.features.statistical import (
     STATISTICAL_FEATURE_NAMES,
     statistical_features,
@@ -78,22 +79,45 @@ class FeatureExtractor:
         return len(self._names)
 
     def extract(self, series) -> np.ndarray:
-        """Extract the feature vector of one series (array or TimeSeries)."""
+        """Extract the feature vector of one series (array or TimeSeries).
+
+        Each enabled feature block is individually timed into the
+        ``repro_features_block_seconds{block=...}`` histogram of the
+        process metrics registry (a no-op unless a registry is
+        installed), so the per-block latency breakdown the paper's
+        inference-cost analysis needs is always available.
+        """
+        metrics = get_metrics()
         feats: dict[str, float] = {}
         if self.use_statistical:
-            feats.update(statistical_features(series))
+            with metrics.histogram(
+                "repro_features_block_seconds",
+                "Per-feature-block extraction wall seconds",
+                labels={"block": "statistical"},
+            ).time():
+                feats.update(statistical_features(series))
         if self.use_topological:
-            feats.update(
-                topological_features(
-                    series,
-                    dimension=self.embedding_dimension,
-                    delay=self.embedding_delay,
+            with metrics.histogram(
+                "repro_features_block_seconds",
+                "Per-feature-block extraction wall seconds",
+                labels={"block": "topological"},
+            ).time():
+                feats.update(
+                    topological_features(
+                        series,
+                        dimension=self.embedding_dimension,
+                        delay=self.embedding_delay,
+                    )
                 )
-            )
         if self.use_missing_pattern:
             from repro.timeseries.patterns import missing_pattern_features
 
-            feats.update(missing_pattern_features(series))
+            with metrics.histogram(
+                "repro_features_block_seconds",
+                "Per-feature-block extraction wall seconds",
+                labels={"block": "missing_pattern"},
+            ).time():
+                feats.update(missing_pattern_features(series))
         vector = np.array([feats[name] for name in self._names], dtype=float)
         return np.nan_to_num(vector, nan=0.0, posinf=0.0, neginf=0.0)
 
@@ -101,7 +125,23 @@ class FeatureExtractor:
         """Extract a feature matrix (n_series, n_features)."""
         if not len(series_list):
             raise ValidationError("series_list is empty")
-        return np.vstack([self.extract(s) for s in series_list])
+        tracer = get_tracer()
+        metrics = get_metrics()
+        with tracer.span(
+            "features.extract_many",
+            subsystem="features",
+            n_series=len(series_list),
+            n_features=self.n_features,
+        ), metrics.histogram(
+            "repro_features_extract_many_seconds",
+            "Wall seconds per extract_many batch",
+        ).time():
+            matrix = np.vstack([self.extract(s) for s in series_list])
+        metrics.counter(
+            "repro_features_series_total",
+            "Series pushed through feature extraction",
+        ).inc(len(series_list))
+        return matrix
 
     def __repr__(self) -> str:
         return (

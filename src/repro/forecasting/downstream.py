@@ -57,7 +57,7 @@ class BinaryVectorRecommender:
     def dataset_properties(dataset: TimeSeriesDataset) -> np.ndarray:
         """Binary property vector (high_correlation, periodic, irregular, trending)."""
         from repro.timeseries.correlation import average_pairwise_correlation
-        from repro.features.statistical import dependency_features, trend_features
+        from repro.features.statistical import trend_features
 
         sample = list(dataset.series)[: min(8, len(dataset))]
         corr = average_pairwise_correlation(sample)

@@ -17,7 +17,9 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.exceptions import ImputationError, RegistryError, ValidationError
+from repro.observability import get_metrics, get_tracer
 from repro.timeseries.series import TimeSeries, TimeSeriesDataset
+from repro.utils.timing import Timer
 
 
 def interpolate_rows(X: np.ndarray) -> np.ndarray:
@@ -75,7 +77,28 @@ class BaseImputer(ABC):
             return X.copy()
         if mask.all():
             raise ImputationError("matrix is entirely missing; nothing to learn from")
-        completed = self._impute(X.copy(), mask)
+        tracer = get_tracer()
+        metrics = get_metrics()
+        timer = Timer()
+        with timer, tracer.span(
+            f"impute.{self.name}",
+            subsystem="imputation",
+            algorithm=self.name,
+            n_series=int(X.shape[0]),
+            length=int(X.shape[1]),
+            n_missing=int(mask.sum()),
+        ):
+            completed = self._impute(X.copy(), mask)
+        metrics.counter(
+            "repro_imputation_runs_total",
+            "Imputation invocations per algorithm",
+            labels={"algorithm": self.name},
+        ).inc()
+        metrics.histogram(
+            "repro_imputation_seconds",
+            "Per-invocation imputation wall seconds",
+            labels={"algorithm": self.name},
+        ).observe(timer.elapsed)
         completed = np.asarray(completed, dtype=float)
         if completed.shape != X.shape:
             raise ImputationError(
@@ -102,6 +125,27 @@ class BaseImputer(ABC):
             name=dataset.name,
             category=dataset.category,
         )
+
+    def _record_convergence(self, n_iterations: int, converged: bool) -> None:
+        """Report an iterative algorithm's loop outcome to the telemetry.
+
+        Iterative imputers (CDRec, SVDImp, SoftImpute, ...) call this at
+        the end of ``_impute`` so the metrics registry accumulates
+        per-algorithm iteration counts and convergence rates — free
+        no-ops unless a registry is installed.
+        """
+        metrics = get_metrics()
+        labels = {"algorithm": self.name}
+        metrics.counter(
+            "repro_imputation_iterations_total",
+            "Inner-loop iterations spent by iterative imputers",
+            labels=labels,
+        ).inc(max(0, int(n_iterations)))
+        metrics.counter(
+            "repro_imputation_convergence_total",
+            "Iterative-imputer runs by convergence outcome",
+            labels={**labels, "converged": str(bool(converged)).lower()},
+        ).inc()
 
     @abstractmethod
     def _impute(self, X: np.ndarray, mask: np.ndarray) -> np.ndarray:

@@ -95,13 +95,17 @@ class CDRecImputer(BaseImputer):
         n = X.shape[0]
         rank = self.rank if self.rank is not None else max(1, n // 3)
         prev = current[mask]
-        for _ in range(self.max_iter):
+        converged = False
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
             L, R = centroid_decomposition(current, k=rank)
             approx = L @ R.T
             current[mask] = approx[mask]
             new = current[mask]
             denom = np.linalg.norm(prev) + 1e-12
             if np.linalg.norm(new - prev) / denom < self.tol:
+                converged = True
                 break
             prev = new
+        self._record_convergence(n_iter, converged)
         return current

@@ -1,0 +1,93 @@
+"""repro.observability — tracing, metrics, race telemetry, and logging.
+
+The instrumentation substrate for every performance claim in the repro:
+
+* :mod:`repro.observability.tracing` — nested :class:`Span` context
+  managers with JSON and Chrome ``trace_event`` export;
+* :mod:`repro.observability.metrics` — counters, gauges, and
+  numpy-backed histograms with JSON / Prometheus text export;
+* :mod:`repro.observability.observer` — the :class:`RaceObserver`
+  event-callback API that :class:`~repro.core.modelrace.ModelRace`
+  emits into, plus the structured :class:`IterationRecord`;
+* :mod:`repro.observability.log` — stdlib-``logging`` integration,
+  silent by default;
+* :mod:`repro.observability.report` — human-readable run summaries
+  from saved trace/metrics files (the ``repro report`` subcommand).
+
+Everything is zero-dependency, thread-safe, and free when disabled: the
+module-level defaults are no-op singletons, so library code instruments
+hot paths unconditionally and users pay only when they install a real
+:class:`Tracer` / :class:`MetricsRegistry` via :func:`set_tracer`,
+:func:`set_metrics`, or the scoped :class:`use_tracer` /
+:class:`use_metrics` context managers.
+"""
+
+from repro.observability.log import (
+    disable_console_logging,
+    enable_console_logging,
+    get_logger,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.observability.observer import (
+    CompositeObserver,
+    IterationRecord,
+    LoggingObserver,
+    NULL_OBSERVER,
+    RaceObserver,
+    RecordingObserver,
+)
+from repro.observability.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "span",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    # observer
+    "RaceObserver",
+    "RecordingObserver",
+    "CompositeObserver",
+    "LoggingObserver",
+    "IterationRecord",
+    "NULL_OBSERVER",
+    # logging
+    "get_logger",
+    "enable_console_logging",
+    "disable_console_logging",
+]

@@ -1,0 +1,78 @@
+"""Stdlib ``logging`` integration with a silent-by-default policy.
+
+Library modules obtain loggers via :func:`get_logger`; the ``repro`` root
+logger carries a ``NullHandler`` so importing the library never prints
+anything or trips the "no handlers could be found" warning.  Applications
+(and the CLI's ``--verbose`` flag) opt in with
+:func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the library's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+# Silent default: the library never logs unless the host application
+# attaches handlers (directly or via enable_console_logging).
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("repro.core.modelrace")`` and
+    ``get_logger("core.modelrace")`` return the same logger; ``None``
+    returns the root ``repro`` logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(
+    level: int = logging.INFO, stream=None
+) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` root logger.
+
+    Idempotent: a second call adjusts the existing handler's level instead
+    of stacking duplicate handlers.  Returns the handler so callers can
+    remove it with :func:`disable_console_logging`.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    stream = stream if stream is not None else sys.stderr
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            handler.setLevel(level)
+            root.setLevel(level)
+            return handler
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+def disable_console_logging(handler: logging.Handler | None = None) -> None:
+    """Detach ``handler`` (or every non-null handler) from the root logger."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    targets = (
+        [handler]
+        if handler is not None
+        else [
+            h
+            for h in root.handlers
+            if not isinstance(h, logging.NullHandler)
+        ]
+    )
+    for target in targets:
+        root.removeHandler(target)

@@ -1,0 +1,437 @@
+"""Metrics registry: counters, gauges, and numpy-backed histograms.
+
+Zero-dependency (numpy is already a core dependency) and thread-safe.
+Like tracing, the module-level default is a :class:`NullMetricsRegistry`
+whose instruments are shared no-op singletons, so instrumented library
+code pays nothing until a real :class:`MetricsRegistry` is installed via
+:func:`set_metrics` / :class:`use_metrics`.
+
+Export formats:
+
+* :meth:`MetricsRegistry.to_json` — nested JSON document;
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  format (counters/gauges as-is, histograms as ``summary`` quantiles).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+
+import numpy as np
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict | None) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce ``name`` into a legal Prometheus metric name."""
+    out = [c if (c.isalnum() or c in "_:") else "_" for c in str(name)]
+    if not out or out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge:
+    """Instantaneous value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Observation store with numpy-computed percentile summaries.
+
+    Keeps raw observations (float64, amortized-growth buffer) so the
+    p50/p95/p99 summaries are exact rather than bucket-approximated — the
+    right trade-off at reproduction scale where a run records thousands,
+    not billions, of samples.
+    """
+
+    kind = "histogram"
+
+    #: Quantiles exported by :meth:`summary` / Prometheus text format.
+    QUANTILES = (0.5, 0.95, 0.99)
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._buffer = np.empty(64, dtype=float)
+        self._n = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (non-finite values are dropped)."""
+        value = float(value)
+        if not np.isfinite(value):
+            return
+        with self._lock:
+            if self._n == len(self._buffer):
+                self._buffer = np.concatenate(
+                    [self._buffer, np.empty(len(self._buffer), dtype=float)]
+                )
+            self._buffer[self._n] = value
+            self._n += 1
+
+    def time(self):
+        """Context manager observing the elapsed wall seconds of a block."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def values(self) -> np.ndarray:
+        """Copy of the recorded observations."""
+        with self._lock:
+            return self._buffer[: self._n].copy()
+
+    def summary(self) -> dict:
+        """count / sum / mean / min / max / p50 / p95 / p99."""
+        data = self.values()
+        if data.size == 0:
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "mean": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
+        quantiles = np.percentile(data, [100 * q for q in self.QUANTILES])
+        return {
+            "count": int(data.size),
+            "sum": float(data.sum()),
+            "mean": float(data.mean()),
+            "min": float(data.min()),
+            "max": float(data.max()),
+            "p50": float(quantiles[0]),
+            "p95": float(quantiles[1]),
+            "p99": float(quantiles[2]),
+        }
+
+    def as_dict(self) -> dict:
+        return {"type": self.kind, **self.summary()}
+
+
+class _HistogramTimer:
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self):
+        import time
+
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        import time
+
+        self._histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+# ---------------------------------------------------------------------------
+# No-op instruments (module-wide singletons)
+# ---------------------------------------------------------------------------
+class _NullInstrument:
+    """Accepts every instrument method as a no-op."""
+
+    __slots__ = ()
+    kind = "null"
+    name = "null"
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self):
+        return _NULL_TIMER
+
+    def values(self):
+        return np.empty(0)
+
+    def summary(self) -> dict:
+        return {}
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Default registry: every instrument is the shared no-op singleton."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labels: dict | None = None):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labels: dict | None = None):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", labels: dict | None = None):
+        return NULL_INSTRUMENT
+
+    def as_dict(self) -> dict:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_METRICS = NullMetricsRegistry()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named (and optionally labeled) instruments.
+
+    Instruments are keyed by ``(name, sorted(labels))``; requesting an
+    existing name with a different instrument type raises ``ValueError``.
+    """
+
+    enabled = True
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, _LabelKey], object] = {}
+        self._kinds: dict[str, str] = {}
+        self._helps: dict[str, str] = {}
+
+    def _get_or_create(
+        self, kind: str, name: str, help: str, labels: dict | None
+    ):
+        name = sanitize_metric_name(name)
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is not None and existing_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing_kind}, "
+                    f"requested {kind}"
+                )
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = self._KINDS[kind](name, help)
+                self._instruments[key] = instrument
+                self._kinds[name] = kind
+                if help:
+                    self._helps[name] = help
+            return instrument
+
+    def counter(
+        self, name: str, help: str = "", labels: dict | None = None
+    ) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create("counter", name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: dict | None = None
+    ) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create("gauge", name, help, labels)
+
+    def histogram(
+        self, name: str, help: str = "", labels: dict | None = None
+    ) -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create("histogram", name, help, labels)
+
+    def clear(self) -> None:
+        """Drop every registered instrument."""
+        with self._lock:
+            self._instruments.clear()
+            self._kinds.clear()
+            self._helps.clear()
+
+    # -- export ----------------------------------------------------------
+    def _snapshot(self) -> list[tuple[str, _LabelKey, object]]:
+        with self._lock:
+            return [
+                (name, labels, inst)
+                for (name, labels), inst in sorted(self._instruments.items())
+            ]
+
+    def as_dict(self) -> dict:
+        """Nested JSON-friendly dump: ``{name: {labels_repr: payload}}``."""
+        out: dict = {}
+        for name, labels, inst in self._snapshot():
+            out.setdefault(name, {})[_render_labels(labels) or "_"] = (
+                inst.as_dict()
+            )
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def to_prometheus(self) -> str:
+        """Render the Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_header: set[str] = set()
+        for name, labels, inst in self._snapshot():
+            if name not in seen_header:
+                seen_header.add(name)
+                help_text = self._helps.get(name, "")
+                if help_text:
+                    lines.append(f"# HELP {name} {help_text}")
+                prom_type = (
+                    "summary" if inst.kind == "histogram" else inst.kind
+                )
+                lines.append(f"# TYPE {name} {prom_type}")
+            rendered = _render_labels(labels)
+            if inst.kind == "histogram":
+                summary = inst.summary()
+                for quantile in Histogram.QUANTILES:
+                    q_labels = _render_labels(
+                        labels + (("quantile", str(quantile)),)
+                    )
+                    pct = int(round(quantile * 100))
+                    lines.append(f"{name}{q_labels} {summary[f'p{pct}']}")
+                lines.append(f"{name}_sum{rendered} {summary['sum']}")
+                lines.append(f"{name}_count{rendered} {summary['count']}")
+            else:
+                lines.append(f"{name}{rendered} {inst.value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export(self, path) -> pathlib.Path:
+        """Write metrics to ``path``; ``.prom``/``.txt`` selects text format."""
+        path = pathlib.Path(path)
+        if path.suffix in (".prom", ".txt"):
+            path.write_text(self.to_prometheus())
+        else:
+            path.write_text(self.to_json())
+        return path
+
+
+# ---------------------------------------------------------------------------
+# Module-level default registry (a no-op unless explicitly installed).
+# ---------------------------------------------------------------------------
+_default_metrics: MetricsRegistry | NullMetricsRegistry = NULL_METRICS
+_default_lock = threading.Lock()
+
+
+def get_metrics() -> MetricsRegistry | NullMetricsRegistry:
+    """The currently installed registry (a shared no-op by default)."""
+    return _default_metrics
+
+
+def set_metrics(
+    registry: MetricsRegistry | None,
+) -> MetricsRegistry | NullMetricsRegistry:
+    """Install ``registry`` as the process-wide default; ``None`` resets."""
+    global _default_metrics
+    with _default_lock:
+        _default_metrics = registry if registry is not None else NULL_METRICS
+    return _default_metrics
+
+
+class use_metrics:
+    """Context manager installing a registry for the duration of a block."""
+
+    def __init__(self, registry: MetricsRegistry | None):
+        self.registry = registry
+        self._previous: MetricsRegistry | NullMetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry | NullMetricsRegistry:
+        self._previous = get_metrics()
+        return set_metrics(self.registry)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_metrics(
+            self._previous
+            if isinstance(self._previous, MetricsRegistry)
+            else None
+        )
+        return False

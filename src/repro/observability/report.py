@@ -1,0 +1,251 @@
+"""Human-readable run reports from saved trace / metrics files.
+
+Powers the ``repro report`` CLI subcommand: load a trace exported by
+:class:`~repro.observability.tracing.Tracer` (either the plain-JSON span
+list or the Chrome ``trace_event`` document), aggregate per-span-name
+statistics, recover the race's evaluation/pruning counts from the
+iteration span tags, and render a fixed-width text summary.  Metrics
+dumps (JSON or Prometheus text) are folded in when provided.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.exceptions import ValidationError
+
+
+def load_trace(path) -> list[dict]:
+    """Load spans from ``path`` into a normalized list of dicts.
+
+    Accepts both export formats; the normalized spans carry ``name``,
+    ``wall_time`` (seconds), and ``tags``.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such trace file: {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path} is not valid JSON: {exc}") from None
+    if isinstance(document, dict) and "traceEvents" in document:
+        spans = []
+        for event in document["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            spans.append(
+                {
+                    "name": event.get("name", "?"),
+                    "wall_time": float(event.get("dur", 0.0)) / 1e6,
+                    "start_time": float(event.get("ts", 0.0)) / 1e6,
+                    "tags": dict(event.get("args", {})),
+                }
+            )
+        return spans
+    if isinstance(document, list):
+        return [
+            {
+                "name": span.get("name", "?"),
+                "wall_time": float(span.get("wall_time", 0.0)),
+                "start_time": float(span.get("start_time", 0.0)),
+                "tags": dict(span.get("tags", {})),
+            }
+            for span in document
+        ]
+    raise ValidationError(
+        f"{path}: unrecognized trace format (expected a span list or a "
+        "Chrome traceEvents document)"
+    )
+
+
+def load_metrics(path) -> dict:
+    """Load a metrics dump (JSON or Prometheus text) into a flat dict.
+
+    Returns ``{rendered_name: value}`` where histogram summaries keep
+    their quantile/sum/count sub-entries.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such metrics file: {path}")
+    text = path.read_text()
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        return _parse_prometheus(text)
+    flat: dict = {}
+    for name, by_labels in document.items():
+        for labels, payload in by_labels.items():
+            key = name if labels == "_" else f"{name}{labels}"
+            if payload.get("type") == "histogram":
+                for stat, value in payload.items():
+                    if stat != "type":
+                        flat[f"{key}:{stat}"] = value
+            else:
+                flat[key] = payload.get("value", 0.0)
+    return flat
+
+
+def _parse_prometheus(text: str) -> dict:
+    flat: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(None, 1)
+            flat[name_part] = float(value_part)
+        except ValueError:
+            continue
+    return flat
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+def summarize_trace(spans: list[dict]) -> dict:
+    """Aggregate normalized spans into report-ready statistics."""
+    by_name: dict[str, dict] = {}
+    for span in spans:
+        stats = by_name.setdefault(
+            span["name"],
+            {"count": 0, "total": 0.0, "max": 0.0},
+        )
+        stats["count"] += 1
+        stats["total"] += span["wall_time"]
+        stats["max"] = max(stats["max"], span["wall_time"])
+    for stats in by_name.values():
+        stats["mean"] = stats["total"] / max(stats["count"], 1)
+
+    # Race bookkeeping lives in the iteration span tags.
+    iteration_tags = [
+        span["tags"] for span in spans if span["name"] == "race.iteration"
+    ]
+    n_evaluations = sum(
+        int(t.get("n_evaluations", 0) or 0) for t in iteration_tags
+    )
+    n_potential = sum(
+        int(t.get("n_candidates", 0) or 0) * int(t.get("n_folds", 0) or 0)
+        for t in iteration_tags
+    )
+    n_early = sum(
+        int(t.get("n_early_terminated", 0) or 0) for t in iteration_tags
+    )
+    n_pruned = sum(
+        int(t.get("n_ttest_pruned", 0) or 0) for t in iteration_tags
+    )
+    n_candidates = sum(
+        int(t.get("n_candidates", 0) or 0) for t in iteration_tags
+    )
+    n_failures = sum(int(t.get("n_failures", 0) or 0) for t in iteration_tags)
+    prune_ratio = (
+        1.0 - n_evaluations / n_potential if n_potential else 0.0
+    )
+    early_ratio = n_early / n_candidates if n_candidates else 0.0
+
+    subsystems = sorted(
+        {
+            str(span["tags"].get("subsystem"))
+            for span in spans
+            if span["tags"].get("subsystem")
+        }
+    )
+    return {
+        "n_spans": len(spans),
+        "total_wall_time": sum(s["wall_time"] for s in spans),
+        "by_name": by_name,
+        "subsystems": subsystems,
+        "race": {
+            "n_iterations": len(iteration_tags),
+            "n_candidates": n_candidates,
+            "n_evaluations": n_evaluations,
+            "n_potential_evaluations": n_potential,
+            "n_early_terminated": n_early,
+            "n_ttest_pruned": n_pruned,
+            "n_failures": n_failures,
+            "prune_ratio": prune_ratio,
+            "early_termination_ratio": early_ratio,
+        },
+    }
+
+
+def slowest_spans(spans: list[dict], top: int = 10) -> list[dict]:
+    """The ``top`` individually slowest spans, slowest first."""
+    return sorted(spans, key=lambda s: s["wall_time"], reverse=True)[:top]
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+def render_report(
+    spans: list[dict], metrics: dict | None = None, top: int = 10
+) -> str:
+    """Render the full fixed-width text report."""
+    summary = summarize_trace(spans)
+    race = summary["race"]
+    lines: list[str] = []
+    lines.append("=" * 72)
+    lines.append("A-DARTS run report")
+    lines.append("=" * 72)
+    lines.append(f"spans recorded     : {summary['n_spans']}")
+    lines.append(
+        f"subsystems covered : {', '.join(summary['subsystems']) or '(none)'}"
+    )
+    lines.append("")
+
+    lines.append("-- ModelRace ----------------------------------------------")
+    lines.append(f"iterations            : {race['n_iterations']}")
+    lines.append(f"candidates raced      : {race['n_candidates']}")
+    lines.append(
+        f"evaluations           : {race['n_evaluations']} "
+        f"(of {race['n_potential_evaluations']} potential)"
+    )
+    lines.append(f"early-terminated      : {race['n_early_terminated']}")
+    lines.append(f"t-test pruned         : {race['n_ttest_pruned']}")
+    lines.append(f"failed evaluations    : {race['n_failures']}")
+    lines.append(f"prune ratio           : {race['prune_ratio']:.1%}")
+    lines.append(
+        f"early-termination rate: {race['early_termination_ratio']:.1%}"
+    )
+    lines.append("")
+
+    lines.append("-- Time by span name --------------------------------------")
+    lines.append(
+        f"{'name':<32}{'count':>7}{'total(s)':>11}{'mean(s)':>11}{'max(s)':>11}"
+    )
+    ordered = sorted(
+        summary["by_name"].items(),
+        key=lambda item: item[1]["total"],
+        reverse=True,
+    )
+    for name, stats in ordered:
+        lines.append(
+            f"{name[:31]:<32}{stats['count']:>7}{stats['total']:>11.4f}"
+            f"{stats['mean']:>11.5f}{stats['max']:>11.4f}"
+        )
+    lines.append("")
+
+    lines.append("-- Slowest spans ------------------------------------------")
+    lines.append(f"{'name':<32}{'wall(s)':>11}  tags")
+    for span in slowest_spans(spans, top=top):
+        tags = {
+            k: v
+            for k, v in span["tags"].items()
+            if k not in ("cpu_time",)
+        }
+        tag_text = ", ".join(f"{k}={v}" for k, v in list(tags.items())[:4])
+        lines.append(
+            f"{span['name'][:31]:<32}{span['wall_time']:>11.4f}  {tag_text}"
+        )
+
+    if metrics:
+        lines.append("")
+        lines.append("-- Metrics ------------------------------------------------")
+        for key in sorted(metrics):
+            value = metrics[key]
+            if isinstance(value, float) and not value.is_integer():
+                lines.append(f"{key:<56} {value:.6g}")
+            else:
+                lines.append(f"{key:<56} {value}")
+    lines.append("=" * 72)
+    return "\n".join(lines)

@@ -1,0 +1,325 @@
+"""Structured tracing: nested spans with JSON and Chrome trace_event export.
+
+Design goals (in priority order):
+
+1. **Zero cost when disabled.**  The module-level default tracer is a
+   :class:`NullTracer` whose :meth:`~NullTracer.span` hands back a shared
+   no-op singleton — no allocation, no lock, no clock read.  Library code
+   can therefore instrument hot paths unconditionally.
+2. **Zero dependencies.**  Stdlib only (``threading``, ``time``, ``json``).
+3. **Thread safety.**  Finished spans are appended under a lock; the
+   parent/child nesting stack is thread-local, so concurrent threads each
+   get their own span tree sharing one tracer.
+
+Typical use::
+
+    from repro.observability import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        engine.fit_datasets(datasets)       # instrumented internally
+    tracer.export_chrome_trace("trace.json")  # open in chrome://tracing
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import pathlib
+import threading
+import time
+
+
+class Span:
+    """One timed, tagged, nestable unit of work.
+
+    Spans are context managers produced by :meth:`Tracer.span`; entering
+    starts the wall/CPU clocks and links the span to the innermost open
+    span of the current thread, exiting stops the clocks and files the
+    span with its tracer.
+    """
+
+    __slots__ = (
+        "name",
+        "tags",
+        "span_id",
+        "parent_id",
+        "thread_id",
+        "start_time",
+        "wall_time",
+        "cpu_time",
+        "error",
+        "_tracer",
+        "_perf_start",
+        "_cpu_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict):
+        self.name = str(name)
+        self.tags = tags
+        self.span_id = tracer._next_id()
+        self.parent_id: int | None = None
+        self.thread_id = threading.get_ident()
+        self.start_time = 0.0  # epoch seconds
+        self.wall_time = 0.0  # elapsed wall seconds
+        self.cpu_time = 0.0  # elapsed process CPU seconds
+        self.error: str | None = None
+        self._tracer = tracer
+        self._perf_start = 0.0
+        self._cpu_start = 0.0
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+        stack.append(self)
+        self.start_time = time.time()
+        self._cpu_start = time.process_time()
+        self._perf_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_time = time.perf_counter() - self._perf_start
+        self.cpu_time = time.process_time() - self._cpu_start
+        if exc is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # defensive: unbalanced exit order
+            stack.remove(self)
+        self._tracer._record(self)
+        return False  # never swallow exceptions
+
+    # -- tag access ------------------------------------------------------
+    def set_tag(self, key: str, value) -> "Span":
+        """Attach/overwrite one tag; chainable."""
+        self.tags[key] = value
+        return self
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation of the finished span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start_time": self.start_time,
+            "wall_time": self.wall_time,
+            "cpu_time": self.cpu_time,
+            "error": self.error,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, wall={self.wall_time:.6f}s, tags={self.tags})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_tag(self, key: str, value) -> "_NullSpan":
+        return self
+
+
+#: Module-wide no-op span singleton (identity-comparable in tests).
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Default tracer: every span is the shared no-op singleton."""
+
+    enabled = False
+
+    def span(self, name: str, **tags) -> _NullSpan:
+        """Return the shared no-op span; ``name``/``tags`` are ignored."""
+        return NULL_SPAN
+
+    def finished_spans(self) -> list[Span]:
+        """A null tracer never records anything."""
+        return []
+
+    def clear(self) -> None:
+        """Nothing to clear."""
+
+
+#: Module-wide null tracer singleton; the default until ``set_tracer``.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects finished :class:`Span` objects, thread-safely.
+
+    Parameters
+    ----------
+    name:
+        Process-level label used in Chrome trace export.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "repro"):
+        self.name = str(name)
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        self._counter = itertools.count(1)
+
+    # -- internals -------------------------------------------------------
+    def _next_id(self) -> int:
+        return next(self._counter)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    # -- public API ------------------------------------------------------
+    def span(self, name: str, **tags) -> Span:
+        """Create a new span context manager under the current thread."""
+        return Span(self, name, tags)
+
+    def current_span(self) -> Span | None:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished_spans(self) -> list[Span]:
+        """Snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        """Drop all recorded spans."""
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    # -- export ----------------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        """All finished spans as plain dicts."""
+        return [s.as_dict() for s in self.finished_spans()]
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize finished spans as a JSON array."""
+        return json.dumps(self.to_dicts(), indent=indent, default=str)
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` document (open in ``chrome://tracing``).
+
+        Spans become complete (``"ph": "X"``) events with microsecond
+        timestamps; tags travel in ``args``.
+        """
+        pid = os.getpid()
+        events = []
+        for span in self.finished_spans():
+            args = {k: _jsonable(v) for k, v in span.tags.items()}
+            args["cpu_time"] = span.cpu_time
+            if span.error:
+                args["error"] = span.error
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": str(span.tags.get("subsystem", "repro")),
+                    "ph": "X",
+                    "ts": span.start_time * 1e6,
+                    "dur": span.wall_time * 1e6,
+                    "pid": pid,
+                    "tid": span.thread_id,
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"tracer": self.name},
+        }
+
+    def export_json(self, path) -> pathlib.Path:
+        """Write the plain-JSON span list to ``path``."""
+        path = pathlib.Path(path)
+        path.write_text(self.to_json(indent=2))
+        return path
+
+    def export_chrome_trace(self, path) -> pathlib.Path:
+        """Write the Chrome trace_event document to ``path``."""
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace(), default=str))
+        return path
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Module-level default tracer (a no-op unless explicitly installed).
+# ---------------------------------------------------------------------------
+_default_tracer: Tracer | NullTracer = NULL_TRACER
+_default_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently installed tracer (a shared no-op by default)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` as the process-wide default; ``None`` resets."""
+    global _default_tracer
+    with _default_lock:
+        _default_tracer = tracer if tracer is not None else NULL_TRACER
+    return _default_tracer
+
+
+class use_tracer:
+    """Context manager installing a tracer for the duration of a block.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with use_tracer(tracer):
+    ...     with get_tracer().span("work"):
+    ...         pass
+    >>> len(tracer)
+    1
+    """
+
+    def __init__(self, tracer: Tracer | None):
+        self.tracer = tracer
+        self._previous: Tracer | NullTracer | None = None
+
+    def __enter__(self) -> Tracer | NullTracer:
+        self._previous = get_tracer()
+        return set_tracer(self.tracer)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_tracer(
+            self._previous if isinstance(self._previous, Tracer) else None
+        )
+        return False
+
+
+def span(name: str, **tags):
+    """Open a span on the default tracer (no-op when none installed)."""
+    return _default_tracer.span(name, **tags)

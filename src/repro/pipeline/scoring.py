@@ -16,9 +16,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.observability import get_logger, get_metrics
 from repro.pipeline.metrics import f1_weighted, recall_at_k
 from repro.pipeline.pipeline import Pipeline
 from repro.utils.timing import Timer
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -47,12 +50,24 @@ class ScoreWeights:
 
 @dataclass(frozen=True)
 class PipelineScore:
-    """One evaluation outcome of a pipeline on one fold."""
+    """One evaluation outcome of a pipeline on one fold.
+
+    ``error`` is ``None`` for clean evaluations; when the pipeline raised
+    inside fit/predict it holds ``"ExceptionType: message"`` and the score
+    is ``-inf`` (the pipeline loses the race instead of crashing it — but
+    the failure is *recorded*, not silently swallowed).
+    """
 
     f1: float
     recall_at_3: float
     runtime: float
     score: float
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this evaluation raised instead of scoring."""
+        return self.error is not None
 
 
 def score_pipeline(
@@ -78,8 +93,19 @@ def score_pipeline(
             pipeline.fit(X_train, y_train)
             y_pred = pipeline.predict(X_test)
             rankings = pipeline.predict_rankings(X_test)
-    except Exception:
-        return PipelineScore(0.0, 0.0, float("inf"), float("-inf"))
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        _log.warning(
+            "pipeline %s failed during scoring: %s", pipeline, error
+        )
+        get_metrics().counter(
+            "repro_pipeline_failures_total",
+            "Pipelines that raised during scoring fit/predict",
+            labels={"classifier": pipeline.classifier_name},
+        ).inc()
+        return PipelineScore(
+            0.0, 0.0, float("inf"), float("-inf"), error=error
+        )
     f1 = f1_weighted(y_test, y_pred)
     r3 = recall_at_k(y_test, rankings, k=3)
     norm_time = min(1.0, timer.elapsed / max(time_scale, 1e-9))

@@ -13,8 +13,6 @@ Duplicates of already-known configurations are filtered out.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.classifiers.spaces import param_space
 from repro.exceptions import ValidationError
 from repro.features.scaling import scaler_search_space

@@ -12,7 +12,7 @@ from repro.clustering import (
     kshape_iterative,
 )
 from repro.exceptions import ClusteringError, ValidationError
-from repro.timeseries import TimeSeries, TimeSeriesDataset
+from repro.timeseries import TimeSeries
 
 
 def _make_groups(rng, n_per=6, length=120):

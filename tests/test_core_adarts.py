@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import ADarts, ModelRaceConfig, TimeSeries
+from repro import ADarts, ModelRaceConfig
 from repro.clustering.labeling import ClusterLabeler, LabeledCorpus
 from repro.exceptions import NotFittedError, ValidationError
 
@@ -28,6 +28,21 @@ class TestConstruction:
             engine.winning_pipelines
         with pytest.raises(NotFittedError):
             engine.race_result
+
+    def test_labeled_corpus_initialized_to_none(self):
+        """Regression: ``_labeled_corpus`` used to be set only inside
+        ``fit_datasets``, so attribute access after ``__init__`` (or after
+        ``fit_features``/``fit_labeled``, which skip the labeling stage)
+        raised ``AttributeError`` instead of returning ``None``."""
+        engine = ADarts(**FAST)
+        assert engine._labeled_corpus is None
+
+    def test_labeled_corpus_still_none_after_fit_features(
+        self, labeled_features
+    ):
+        X, y = labeled_features
+        engine = ADarts(**FAST).fit_features(X, y)
+        assert engine._labeled_corpus is None  # no labeling stage ran
 
 
 class TestFitFeatures:
@@ -98,6 +113,10 @@ class TestFitLabeledAndRecommend:
         rec = trained.recommend(faulty_series)
         out = rec.impute(faulty_series)
         assert not out.has_missing
+
+    def test_labeled_corpus_retained_after_fit_datasets(self, trained):
+        assert trained._labeled_corpus is not None
+        assert len(trained._labeled_corpus) > 0
 
 
 class TestFitLabeledCorpusDirect:

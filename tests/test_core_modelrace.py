@@ -1,6 +1,5 @@
 """Unit tests for ModelRace (Algorithm 1)."""
 
-import numpy as np
 import pytest
 
 from repro.core import ModelRace, ModelRaceConfig

@@ -7,7 +7,6 @@ from repro import ADarts, ModelRaceConfig, TimeSeries
 from repro.core import ModelRace, SoftVotingEnsemble
 from repro.core.config import ModelRaceConfig as Config
 from repro.datasets.splits import holdout_split
-from repro.exceptions import ValidationError
 from repro.features import FeatureExtractor, get_scaler
 from repro.imputation import get_imputer
 from repro.pipeline import Pipeline, make_seed_pipelines

@@ -5,7 +5,6 @@ import pytest
 
 from repro.exceptions import ValidationError
 from repro.features import FeatureExtractor, extract_features_matrix
-from repro.timeseries import TimeSeries
 
 
 class TestFeatureExtractor:

@@ -7,7 +7,6 @@ from repro.exceptions import ImputationError, RegistryError, ValidationError
 from repro.imputation import available_imputers, get_imputer
 from repro.imputation.base import (
     BaseImputer,
-    IMPUTER_REGISTRY,
     interpolate_rows,
     register_imputer,
 )

@@ -1,0 +1,283 @@
+"""End-to-end observability: traced training + inference, report, CLI.
+
+Acceptance path: a full ``ADarts.fit_datasets`` + ``recommend_many`` run
+with a tracer and metrics registry installed must produce a valid Chrome
+``trace_event`` JSON and a Prometheus-text dump covering at least four
+subsystems (race, features, imputation, inference), and ``repro report``
+must render evaluation counts, prune ratios, and a slowest-span table
+from the saved trace file alone.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ADarts, ModelRaceConfig, TimeSeries
+from repro.cli import main
+from repro.clustering.labeling import ClusterLabeler
+from repro.exceptions import ValidationError
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    use_metrics,
+    use_tracer,
+)
+from repro.observability.report import (
+    load_metrics,
+    load_trace,
+    render_report,
+    slowest_spans,
+    summarize_trace,
+)
+
+
+REQUIRED_SUBSYSTEMS = {"race", "features", "imputation", "inference"}
+
+
+def _faulty_series() -> TimeSeries:
+    t = np.linspace(0, 4 * np.pi, 160)
+    values = np.sin(t) + 0.1 * np.cos(3 * t)
+    values[50:70] = np.nan
+    return TimeSeries(values, name="faulty")
+
+
+@pytest.fixture(scope="module")
+def traced_artifacts(small_climate_dataset, tmp_path_factory):
+    """Run the full traced pipeline once; export every artifact."""
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    engine = ADarts(
+        labeler=ClusterLabeler(
+            imputer_names=("linear", "knn", "svdimp", "mean"),
+            random_state=0,
+        ),
+        config=ModelRaceConfig(
+            n_partial_sets=2, n_folds=2, max_elite=3, random_state=0
+        ),
+        classifier_names=["knn", "decision_tree", "gaussian_nb"],
+    )
+    with use_tracer(tracer), use_metrics(registry):
+        engine.fit_datasets([small_climate_dataset])
+        recs = engine.recommend_many([_faulty_series()])
+    out = tmp_path_factory.mktemp("observability")
+    return {
+        "tracer": tracer,
+        "registry": registry,
+        "recommendations": recs,
+        "trace_path": tracer.export_chrome_trace(out / "trace.json"),
+        "prom_path": registry.export(out / "metrics.prom"),
+        "json_metrics_path": registry.export(out / "metrics.json"),
+    }
+
+
+class TestTracedRun:
+    def test_chrome_trace_is_valid(self, traced_artifacts):
+        document = json.loads(traced_artifacts["trace_path"].read_text())
+        assert "traceEvents" in document
+        events = document["traceEvents"]
+        assert len(events) > 20
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert isinstance(event["name"], str)
+
+    def test_subsystem_coverage(self, traced_artifacts):
+        spans = load_trace(traced_artifacts["trace_path"])
+        covered = {
+            span["tags"].get("subsystem")
+            for span in spans
+            if span["tags"].get("subsystem")
+        }
+        assert REQUIRED_SUBSYSTEMS <= covered
+        assert len(covered) >= 4
+
+    def test_prometheus_dump_covers_subsystems(self, traced_artifacts):
+        text = traced_artifacts["prom_path"].read_text()
+        for family in (
+            "repro_race_evaluations_total",
+            "repro_features_extract_many_seconds",
+            "repro_imputation_runs_total",
+            "repro_inference_requests_total",
+        ):
+            assert family in text
+        assert text.endswith("\n")
+
+    def test_json_metrics_round_trip(self, traced_artifacts):
+        flat = load_metrics(traced_artifacts["json_metrics_path"])
+        race_evals = flat.get("repro_race_evaluations_total")
+        assert race_evals and race_evals > 0
+
+    def test_recommendation_produced(self, traced_artifacts):
+        (rec,) = traced_artifacts["recommendations"]
+        assert rec.algorithm in ("linear", "knn", "svdimp", "mean")
+
+    def test_metrics_match_race_telemetry(self, traced_artifacts):
+        registry = traced_artifacts["registry"]
+        evals = registry.counter("repro_race_evaluations_total").value
+        spans = load_trace(traced_artifacts["trace_path"])
+        assert summarize_trace(spans)["race"]["n_evaluations"] == evals
+
+
+class TestReportFromSavedTrace:
+    def test_summary_recovers_race_counts(self, traced_artifacts):
+        spans = load_trace(traced_artifacts["trace_path"])
+        summary = summarize_trace(spans)
+        race = summary["race"]
+        assert race["n_iterations"] == 2
+        assert 0 < race["n_evaluations"] <= race["n_potential_evaluations"]
+        assert 0.0 <= race["prune_ratio"] < 1.0
+        assert REQUIRED_SUBSYSTEMS <= set(summary["subsystems"])
+
+    def test_render_mentions_key_sections(self, traced_artifacts):
+        spans = load_trace(traced_artifacts["trace_path"])
+        metrics = load_metrics(traced_artifacts["prom_path"])
+        text = render_report(spans, metrics=metrics)
+        assert "A-DARTS run report" in text
+        assert "evaluations" in text
+        assert "prune ratio" in text
+        assert "Slowest spans" in text
+        assert "race.iteration" in text
+
+    def test_slowest_spans_sorted(self, traced_artifacts):
+        spans = load_trace(traced_artifacts["trace_path"])
+        slow = slowest_spans(spans, top=5)
+        times = [s["wall_time"] for s in slow]
+        assert times == sorted(times, reverse=True)
+
+    def test_cli_report_subcommand(self, traced_artifacts, capsys):
+        code = main(
+            [
+                "report",
+                "--trace", str(traced_artifacts["trace_path"]),
+                "--metrics", str(traced_artifacts["prom_path"]),
+                "--top", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "A-DARTS run report" in out
+        assert "prune ratio" in out
+        assert "repro_race_evaluations_total" in out
+
+
+class TestReportSynthetic:
+    """Report logic against a hand-built trace file (no training run)."""
+
+    def _write_trace(self, path):
+        spans = [
+            {
+                "name": "race.iteration",
+                "wall_time": 0.5,
+                "start_time": 100.0,
+                "tags": {
+                    "subsystem": "race", "n_candidates": 10, "n_folds": 2,
+                    "n_evaluations": 16, "n_early_terminated": 2,
+                    "n_ttest_pruned": 3, "n_failures": 1,
+                },
+            },
+            {
+                "name": "race.iteration",
+                "wall_time": 0.25,
+                "start_time": 101.0,
+                "tags": {
+                    "subsystem": "race", "n_candidates": 5, "n_folds": 2,
+                    "n_evaluations": 8, "n_early_terminated": 0,
+                    "n_ttest_pruned": 1, "n_failures": 0,
+                },
+            },
+            {
+                "name": "features.extract_many",
+                "wall_time": 0.125,
+                "start_time": 99.0,
+                "tags": {"subsystem": "features"},
+            },
+        ]
+        path.write_text(json.dumps(spans))
+        return path
+
+    def test_plain_span_list_format(self, tmp_path):
+        path = self._write_trace(tmp_path / "spans.json")
+        summary = summarize_trace(load_trace(path))
+        race = summary["race"]
+        assert race["n_iterations"] == 2
+        assert race["n_evaluations"] == 24
+        assert race["n_potential_evaluations"] == 30
+        assert race["prune_ratio"] == pytest.approx(1.0 - 24 / 30)
+        assert race["n_early_terminated"] == 2
+        assert race["n_ttest_pruned"] == 4
+        assert race["n_failures"] == 1
+        assert summary["by_name"]["race.iteration"]["count"] == 2
+        assert summary["by_name"]["race.iteration"]["max"] == 0.5
+
+    def test_rendered_numbers(self, tmp_path):
+        path = self._write_trace(tmp_path / "spans.json")
+        text = render_report(load_trace(path))
+        assert "24 (of 30 potential)" in text
+        assert "20.0%" in text  # prune ratio
+
+    def test_load_trace_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_trace(tmp_path / "nope.json")
+
+    def test_load_trace_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+    def test_load_trace_unrecognized_format(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text('{"spans": []}')
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+    def test_load_metrics_prometheus_text(self, tmp_path):
+        path = tmp_path / "m.prom"
+        path.write_text(
+            "# HELP repro_x_total help\n"
+            "# TYPE repro_x_total counter\n"
+            "repro_x_total 7.0\n"
+            'repro_y{algo="knn"} 2.0\n'
+        )
+        flat = load_metrics(path)
+        assert flat["repro_x_total"] == 7.0
+        assert flat['repro_y{algo="knn"}'] == 2.0
+
+
+class TestCliObservabilityFlags:
+    def test_list_imputers_writes_artifacts(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "list-imputers",
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "wrote trace to" in captured.err
+        assert "wrote metrics to" in captured.err
+        document = json.loads(trace_path.read_text())
+        assert "traceEvents" in document
+        assert metrics_path.exists()
+
+    def test_flags_accepted_by_every_subcommand(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["train", "--out", "x.json"],
+            ["recommend", "--engine", "e.json", "--data", "d.csv"],
+            ["repair", "--engine", "e.json", "--data", "d.csv", "--out", "o"],
+            ["list-imputers"],
+            ["report", "--trace", "t.json"],
+        ):
+            args = parser.parse_args(
+                argv + ["--trace-out", "t.json", "--metrics-out", "m.prom"]
+            )
+            assert args.trace_out == "t.json"
+            assert args.metrics_out == "m.prom"

@@ -1,0 +1,196 @@
+"""Unit tests for repro.observability.metrics."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    NULL_METRICS,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.observability.metrics import (
+    NULL_INSTRUMENT,
+    sanitize_metric_name,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_metrics():
+    yield
+    set_metrics(None)
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_events_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total")
+        b = registry.counter("repro_x_total")
+        assert a is b
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("repro_x_total").inc(-1)
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x")
+
+    def test_labels_partition_values(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_runs_total", labels={"algo": "knn"}).inc()
+        registry.counter("repro_runs_total", labels={"algo": "cdrec"}).inc(4)
+        text = registry.to_prometheus()
+        assert 'repro_runs_total{algo="knn"} 1.0' in text
+        assert 'repro_runs_total{algo="cdrec"} 4.0' in text
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_active")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_percentiles_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_seconds")
+        for v in np.linspace(0.0, 1.0, 101):  # 0.00, 0.01, ..., 1.00
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 101
+        assert summary["p50"] == pytest.approx(0.5, abs=1e-9)
+        assert summary["p95"] == pytest.approx(0.95, abs=1e-9)
+        assert summary["p99"] == pytest.approx(0.99, abs=1e-9)
+        assert summary["min"] == 0.0
+        assert summary["max"] == 1.0
+        assert summary["mean"] == pytest.approx(0.5)
+        assert summary["sum"] == pytest.approx(50.5)
+
+    def test_empty_summary_is_zeroed(self):
+        registry = MetricsRegistry()
+        summary = registry.histogram("repro_empty").summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+    def test_nonfinite_observations_dropped(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_h")
+        hist.observe(float("nan"))
+        hist.observe(float("inf"))
+        hist.observe(1.0)
+        assert hist.count == 1
+
+    def test_buffer_growth(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_big")
+        for i in range(1000):  # crosses several buffer doublings
+            hist.observe(float(i))
+        assert hist.count == 1000
+        assert hist.summary()["max"] == 999.0
+
+    def test_time_context_manager(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_timed_seconds")
+        with hist.time():
+            pass
+        assert hist.count == 1
+        assert hist.values()[0] >= 0.0
+
+    def test_thread_safe_observe(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_mt")
+        counter = registry.counter("repro_mt_total")
+
+        def worker():
+            for i in range(500):
+                hist.observe(float(i))
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 8 * 500
+        assert counter.value == 8 * 500
+
+
+class TestExport:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_evals_total", "Evaluations").inc(42)
+        registry.gauge("repro_ratio", "A ratio").set(0.85)
+        hist = registry.histogram("repro_lat_seconds", "Latency")
+        for v in (0.1, 0.2, 0.3):
+            hist.observe(v)
+        return registry
+
+    def test_prometheus_text_format(self):
+        text = self._populated().to_prometheus()
+        assert "# HELP repro_evals_total Evaluations" in text
+        assert "# TYPE repro_evals_total counter" in text
+        assert "repro_evals_total 42.0" in text
+        assert "# TYPE repro_lat_seconds summary" in text
+        assert 'repro_lat_seconds{quantile="0.5"} 0.2' in text
+        assert "repro_lat_seconds_count 3" in text
+        assert "repro_lat_seconds_sum" in text
+        assert text.endswith("\n")
+
+    def test_json_round_trip(self):
+        document = json.loads(self._populated().to_json())
+        assert document["repro_evals_total"]["_"]["value"] == 42
+        assert document["repro_lat_seconds"]["_"]["count"] == 3
+
+    def test_export_by_extension(self, tmp_path):
+        registry = self._populated()
+        prom = registry.export(tmp_path / "metrics.prom")
+        assert "# TYPE" in prom.read_text()
+        js = registry.export(tmp_path / "metrics.json")
+        json.loads(js.read_text())
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("a b-c.d") == "a_b_c_d"
+        assert sanitize_metric_name("9lives")[0] == "_"
+
+
+class TestNullRegistry:
+    def test_default_is_null(self):
+        assert get_metrics() is NULL_METRICS
+        assert not get_metrics().enabled
+
+    def test_null_instruments_are_shared_noops(self):
+        c = NULL_METRICS.counter("x")
+        h = NULL_METRICS.histogram("y")
+        assert c is h is NULL_INSTRUMENT
+        c.inc()
+        h.observe(1.0)
+        with h.time():
+            pass
+        assert NULL_METRICS.as_dict() == {}
+
+    def test_use_metrics_scopes_installation(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert get_metrics() is registry
+            get_metrics().counter("repro_in_scope_total").inc()
+        assert get_metrics() is NULL_METRICS
+        assert registry.counter("repro_in_scope_total").value == 1

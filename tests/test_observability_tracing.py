@@ -1,0 +1,221 @@
+"""Unit tests for repro.observability.tracing."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_tracer():
+    yield
+    set_tracer(None)
+
+
+class TestNullTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_null_span_is_shared_singleton(self):
+        """The no-op path allocates nothing: every span is the same object."""
+        a = NULL_TRACER.span("x", foo=1)
+        b = NULL_TRACER.span("y")
+        assert a is b is NULL_SPAN
+
+    def test_null_span_context_and_tags(self):
+        with NULL_TRACER.span("noop") as s:
+            assert s.set_tag("k", "v") is s
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("noop"):
+            pass
+        assert NULL_TRACER.finished_spans() == []
+
+    def test_module_level_span_helper_is_noop_by_default(self):
+        assert span("anything") is NULL_SPAN
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("boom"):
+                raise RuntimeError("boom")
+
+
+class TestSpanNesting:
+    def test_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        spans = {s.name: s for s in tracer.finished_spans()}
+        assert spans["outer"].parent_id is None
+        assert spans["middle"].parent_id == spans["outer"].span_id
+        assert spans["inner"].parent_id == spans["middle"].span_id
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = {s.name: s for s in tracer.finished_spans()}
+        assert spans["a"].parent_id == spans["root"].span_id
+        assert spans["b"].parent_id == spans["root"].span_id
+
+    def test_timing_and_tags(self):
+        tracer = Tracer()
+        with tracer.span("work", subsystem="test", n=3) as s:
+            s.set_tag("extra", "yes")
+        (finished,) = tracer.finished_spans()
+        assert finished.wall_time >= 0.0
+        assert finished.cpu_time >= 0.0
+        assert finished.start_time > 0.0
+        assert finished.tags == {"subsystem": "test", "n": 3, "extra": "yes"}
+
+    def test_error_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("explode"):
+                raise ValueError("bad")
+        (finished,) = tracer.finished_spans()
+        assert "ValueError: bad" == finished.error
+
+    def test_current_span(self):
+        tracer = Tracer()
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestExport:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("outer", subsystem="race"):
+            with tracer.span("inner", subsystem="race", k=1):
+                pass
+        return tracer
+
+    def test_json_round_trip(self, tmp_path):
+        tracer = self._traced()
+        path = tracer.export_json(tmp_path / "trace_spans.json")
+        loaded = json.loads(path.read_text())
+        assert len(loaded) == 2
+        by_name = {s["name"]: s for s in loaded}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["tags"] == {"subsystem": "race", "k": 1}
+
+    def test_chrome_trace_structure(self, tmp_path):
+        tracer = self._traced()
+        path = tracer.export_chrome_trace(tmp_path / "chrome.json")
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["cat"] == "race"
+
+    def test_chrome_args_carry_tags(self):
+        tracer = self._traced()
+        events = tracer.to_chrome_trace()["traceEvents"]
+        inner = next(e for e in events if e["name"] == "inner")
+        assert inner["args"]["k"] == 1
+
+    def test_non_jsonable_tags_coerced(self):
+        tracer = Tracer()
+        with tracer.span("x", key=("a", 1)):
+            pass
+        document = tracer.to_chrome_trace()
+        assert document["traceEvents"][0]["args"]["key"] == "('a', 1)"
+        json.dumps(document)  # must serialize cleanly
+
+
+class TestInstallation:
+    def test_set_and_reset(self):
+        tracer = Tracer()
+        assert set_tracer(tracer) is tracer
+        assert get_tracer() is tracer
+        assert set_tracer(None) is NULL_TRACER
+
+    def test_use_tracer_scopes_installation(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with get_tracer().span("inside"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert len(tracer) == 1
+
+    def test_use_tracer_restores_previous(self):
+        first = Tracer()
+        second = Tracer()
+        with use_tracer(first):
+            with use_tracer(second):
+                assert get_tracer() is second
+            assert get_tracer() is first
+
+    def test_custom_null_tracer_type(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestThreadSafety:
+    def test_concurrent_span_recording(self):
+        tracer = Tracer()
+        n_threads, n_spans = 8, 50
+        errors = []
+
+        def worker(tid):
+            try:
+                with tracer.span(f"thread-{tid}"):
+                    for i in range(n_spans):
+                        with tracer.span(f"thread-{tid}-span-{i}"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(tracer) == n_threads * (n_spans + 1)
+        # Nesting stacks are thread-local: each inner span's parent is its
+        # own thread's root span.
+        spans = tracer.finished_spans()
+        roots = {
+            s.name: s.span_id for s in spans if s.parent_id is None
+        }
+        assert len(roots) == n_threads
+        for s in spans:
+            if s.parent_id is not None:
+                prefix = s.name.rsplit("-span-", 1)[0]
+                assert s.parent_id == roots[prefix]

@@ -125,6 +125,32 @@ class TestScoring:
         result = score_pipeline(p, X[:10], y[:10], X[10:20], y[10:20])
         assert result.score == float("-inf")
 
+    def test_error_field_captures_exception(self, labeled_features):
+        """The failure reason survives in ``PipelineScore.error`` and the
+        failure counter, instead of vanishing into the -inf score."""
+        from repro.observability import MetricsRegistry, use_metrics
+
+        X, y = labeled_features
+        p = Pipeline("knn")
+        p.fit = lambda *a, **k: (_ for _ in ()).throw(ValueError("bad fold"))
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            result = score_pipeline(p, X[:10], y[:10], X[10:20], y[10:20])
+        assert result.failed
+        assert result.error == "ValueError: bad fold"
+        assert (
+            registry.counter(
+                "repro_pipeline_failures_total", labels={"classifier": "knn"}
+            ).value
+            == 1
+        )
+
+    def test_successful_score_has_no_error(self, labeled_features):
+        X, y = labeled_features
+        result = score_pipeline(Pipeline("knn"), X[:80], y[:80], X[80:], y[80:])
+        assert result.error is None
+        assert not result.failed
+
     def test_gamma_penalizes_time(self, labeled_features):
         X, y = labeled_features
         fast_biased = ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0)

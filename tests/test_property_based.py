@@ -10,7 +10,6 @@ from repro.features.topological import persistence_diagram
 from repro.imputation import get_imputer
 from repro.pipeline.metrics import (
     accuracy_score,
-    f1_weighted,
     mean_reciprocal_rank,
     recall_at_k,
     weighted_precision_recall_f1,

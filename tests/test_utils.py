@@ -104,3 +104,49 @@ class TestTimer:
     def test_stop_without_start_raises(self):
         with pytest.raises(RuntimeError):
             Timer().stop()
+
+    def test_restart_after_with_block(self):
+        """start/stop works on a timer previously used as a context manager."""
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+        first = t.elapsed
+        assert first >= 0.001
+        t.start()
+        time.sleep(0.002)
+        second = t.stop()
+        assert second >= 0.001
+        assert t.elapsed == second  # elapsed reflects the latest run only
+
+    def test_stop_twice_raises(self):
+        """A stopped timer needs a fresh start before stopping again."""
+        t = Timer()
+        t.start()
+        t.stop()
+        with pytest.raises(RuntimeError):
+            t.stop()
+
+    def test_start_restarts_running_timer(self):
+        """Calling start on a running timer restarts the clock."""
+        t = Timer()
+        t.start()
+        time.sleep(0.01)
+        t.start()  # restart: discard the elapsed time so far
+        elapsed = t.stop()
+        assert elapsed < 0.009
+
+    def test_stop_after_exit_of_with_block_raises(self):
+        """Exiting the with block consumes the start; stop() then raises."""
+        t = Timer()
+        with t:
+            pass
+        with pytest.raises(RuntimeError):
+            t.stop()
+
+    def test_reuse_as_context_manager(self):
+        t = Timer()
+        with t:
+            pass
+        with t:  # reuse of the same object is supported
+            time.sleep(0.001)
+        assert t.elapsed > 0.0
