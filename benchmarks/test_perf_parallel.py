@@ -1,0 +1,202 @@
+"""Perf — serial vs. parallel wall time for the three parallelized hot paths.
+
+Measures the fixed synthetic workloads below under (a) the historical
+serial path and (b) ``ParallelConfig(n_jobs=4, backend="process")`` with
+the feature cache / score memo enabled, then writes ``BENCH_parallel.json``
+at the repo root so future PRs have a perf trajectory::
+
+    {workload: {serial_s, parallel_s, n_jobs, speedup}}
+
+Workloads:
+
+* ``extract_many`` — a corpus in which every distinct series appears six
+  times (realistic for labeling, where faulty variants of one series are
+  re-featurized).  The parallel arm combines worker fan-out with the
+  content-addressed :class:`FeatureCache`, so repeated series are
+  extracted once; on a single-core box this dedup is what produces the
+  speedup, on multicore boxes the process pool stacks on top.
+* ``race`` — one ModelRace over a synthetic classification snapshot,
+  fold evaluations fanned out and memoized via :class:`ScoreMemo`.
+* ``labeling`` — cluster-representative imputer races across a small
+  Water corpus.
+
+Set ``REPRO_BENCH_TINY=1`` to shrink every workload (CI smoke mode); the
+JSON schema and the correctness assertions are identical in both modes.
+The acceptance gate asserts that the best observed speedup is >= 1.5x and
+that parallel outputs match the serial ones exactly (determinism is
+tested exhaustively in ``tests/test_parallel_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.clustering.labeling import ClusterLabeler
+from repro.core.config import ModelRaceConfig
+from repro.core.modelrace import ModelRace
+from repro.datasets import load_category
+from repro.features import FeatureExtractor
+from repro.parallel import FeatureCache, ParallelConfig, ScoreMemo
+from repro.pipeline.pipeline import make_seed_pipelines
+from repro.pipeline.scoring import ScoreWeights
+from repro.timeseries import TimeSeries
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+N_JOBS = 4
+PARALLEL = ParallelConfig(n_jobs=N_JOBS, backend="process")
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+#: gamma=0 keeps race scores wall-clock free so arms are comparable.
+BENCH_WEIGHTS = ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _record(results: dict, workload: str, serial_s: float, parallel_s: float):
+    results[workload] = {
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "n_jobs": N_JOBS,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else float("inf"),
+    }
+
+
+def _merge_json(results: dict) -> dict:
+    """Merge this run's workloads into BENCH_parallel.json and return it."""
+    doc = {}
+    if BENCH_JSON.exists():
+        try:
+            doc = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            doc = {}
+    doc.update(results)
+    BENCH_JSON.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Workload builders (fixed seeds — identical corpus on every run).
+# ---------------------------------------------------------------------------
+
+def _feature_corpus() -> list[TimeSeries]:
+    n_distinct, repeats, length = (12, 6, 192) if TINY else (40, 6, 256)
+    rng = np.random.default_rng(11)
+    distinct = [
+        TimeSeries(rng.normal(size=length).cumsum(), name=f"series_{i}")
+        for i in range(n_distinct)
+    ]
+    return [s for _ in range(repeats) for s in distinct]
+
+
+def _race_snapshot():
+    n, d = (60, 5) if TINY else (280, 6)
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(n, d))
+    y = np.array(["cdrec", "knn", "linear"], dtype=object)[
+        rng.integers(0, 3, size=n)
+    ]
+    X[y == "cdrec"] += 1.0
+    X[y == "knn"] -= 1.0
+    split = n // 4
+    return X[split:], y[split:], X[:split], y[:split]
+
+
+def _race_config(parallel: ParallelConfig | None) -> ModelRaceConfig:
+    return ModelRaceConfig(
+        n_partial_sets=2 if TINY else 3,
+        n_folds=2 if TINY else 3,
+        max_elite=4,
+        weights=BENCH_WEIGHTS,
+        random_state=0,
+        parallel=parallel or ParallelConfig(),
+    )
+
+
+def _labeling_corpus():
+    n_series, n_datasets = (4, 1) if TINY else (16, 3)
+    return load_category("Water", n_series=n_series, n_datasets=n_datasets)
+
+
+def _labeler(parallel: ParallelConfig | None) -> ClusterLabeler:
+    return ClusterLabeler(
+        imputer_names=("linear", "knn", "svdimp"),
+        missing_ratio=(0.1, 0.2),
+        random_state=0,
+        parallel=parallel,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The benchmark.
+# ---------------------------------------------------------------------------
+
+def test_parallel_speedup_and_report():
+    results: dict[str, dict] = {}
+
+    # -- extract_many -----------------------------------------------------
+    corpus = _feature_corpus()
+    serial_X, serial_s = _timed(lambda: FeatureExtractor().extract_many(corpus))
+    fast = FeatureExtractor(parallel=PARALLEL, cache=FeatureCache())
+    parallel_X, parallel_s = _timed(lambda: fast.extract_many(corpus))
+    assert parallel_X.tobytes() == serial_X.tobytes()
+    _record(results, "extract_many", serial_s, parallel_s)
+
+    # -- race -------------------------------------------------------------
+    data = _race_snapshot()
+    seed_names = ["knn", "gaussian_nb", "ridge"] if TINY else [
+        "knn", "decision_tree", "gaussian_nb", "ridge", "nearest_centroid",
+    ]
+    serial_race, serial_s = _timed(
+        lambda: ModelRace(_race_config(None)).run(
+            make_seed_pipelines(seed_names), *data
+        )
+    )
+    parallel_race, parallel_s = _timed(
+        lambda: ModelRace(_race_config(PARALLEL), score_memo=ScoreMemo()).run(
+            make_seed_pipelines(seed_names), *data
+        )
+    )
+    assert [p.config_key() for p in parallel_race.elite] == [
+        p.config_key() for p in serial_race.elite
+    ]
+    assert parallel_race.scores == serial_race.scores
+    _record(results, "race", serial_s, parallel_s)
+
+    # -- labeling ---------------------------------------------------------
+    datasets = _labeling_corpus()
+    serial_corpus, serial_s = _timed(lambda: _labeler(None).label_corpus(datasets))
+    parallel_corpus, parallel_s = _timed(
+        lambda: _labeler(PARALLEL).label_corpus(datasets)
+    )
+    assert list(parallel_corpus.labels) == list(serial_corpus.labels)
+    _record(results, "labeling", serial_s, parallel_s)
+
+    # -- report -----------------------------------------------------------
+    doc = _merge_json(results)
+    emit(
+        f"Parallel speedup (n_jobs={N_JOBS}, process backend"
+        f"{', tiny' if TINY else ''})",
+        [
+            f"{name:<14} serial {row['serial_s']:8.3f}s   "
+            f"parallel {row['parallel_s']:8.3f}s   "
+            f"speedup {row['speedup']:5.2f}x"
+            for name, row in results.items()
+        ]
+        + [f"wrote {BENCH_JSON.name} ({len(doc)} workloads)"],
+    )
+
+    best = max(row["speedup"] for row in results.values())
+    assert best >= 1.5, (
+        f"expected >=1.5x speedup on at least one workload, best was {best:.2f}x: "
+        f"{ {k: v['speedup'] for k, v in results.items()} }"
+    )

@@ -14,14 +14,18 @@ for a faulty time series.  The public API surface:
 """
 
 from repro.core import ADarts, ModelRace, ModelRaceConfig, Recommendation
+from repro.parallel import ExecutionEngine, FeatureCache, ParallelConfig
 from repro.timeseries import TimeSeries, TimeSeriesDataset
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ADarts",
+    "ExecutionEngine",
+    "FeatureCache",
     "ModelRace",
     "ModelRaceConfig",
+    "ParallelConfig",
     "Recommendation",
     "TimeSeries",
     "TimeSeriesDataset",

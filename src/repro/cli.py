@@ -55,7 +55,17 @@ from repro.observability import (
     use_tracer,
 )
 from repro.observability.report import load_metrics, load_trace, render_report
+from repro.parallel import BACKENDS, ParallelConfig
 from repro.timeseries.series import TimeSeries
+
+
+def _parallel_from_args(args) -> ParallelConfig | None:
+    """Build a ParallelConfig from --jobs/--backend (None = serial default)."""
+    jobs = getattr(args, "jobs", 1)
+    backend = getattr(args, "backend", "auto")
+    if jobs == 1 and backend == "auto":
+        return None
+    return ParallelConfig(n_jobs=jobs, backend=backend)
 
 
 def read_series_csv(path) -> list[TimeSeries]:
@@ -110,6 +120,7 @@ def _cmd_train(args) -> int:
         ),
         random_state=args.seed,
         observer=LoggingObserver() if args.verbose else None,
+        parallel=_parallel_from_args(args),
     )
     print(
         f"training on {sum(len(d) for d in datasets)} series "
@@ -126,6 +137,9 @@ def _cmd_train(args) -> int:
 
 def _cmd_recommend(args) -> int:
     engine = load_engine(args.engine)
+    parallel = _parallel_from_args(args)
+    if parallel is not None:
+        engine.extractor.parallel = parallel
     series_list = read_series_csv(args.data)
     for series, rec in zip(series_list, engine.recommend_many(series_list)):
         ranking = ",".join(rec.ranking)
@@ -135,6 +149,9 @@ def _cmd_recommend(args) -> int:
 
 def _cmd_repair(args) -> int:
     engine = load_engine(args.engine)
+    parallel = _parallel_from_args(args)
+    if parallel is not None:
+        engine.extractor.parallel = parallel
     series_list = read_series_csv(args.data)
     repaired = []
     for series, rec in zip(series_list, engine.recommend_many(series_list)):
@@ -180,6 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--verbose", "-v", action="store_true",
         help="log progress to stderr via the repro logger",
+    )
+    common.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker count for parallel stages (1=serial, 0=all CPUs)",
+    )
+    common.add_argument(
+        "--backend", choices=BACKENDS, default="auto",
+        help="parallel backend (auto selects by workload size)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

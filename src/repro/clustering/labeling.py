@@ -8,6 +8,8 @@ propagated to the rest of the cluster.
 
 from __future__ import annotations
 
+import functools
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,11 +19,28 @@ from repro.exceptions import ValidationError
 from repro.observability import get_logger, get_metrics, get_tracer
 from repro.imputation.base import BaseImputer, get_imputer
 from repro.imputation.evaluation import rank_imputers
+from repro.parallel import ExecutionEngine, ParallelConfig
 from repro.timeseries.missing import inject_missing_block, inject_tip_block
 from repro.timeseries.series import TimeSeries, TimeSeriesDataset
 from repro.utils.rng import ensure_rng
 
 _log = get_logger(__name__)
+
+
+def _rank_worker(
+    job: tuple[np.ndarray, np.ndarray], *, imputer_names: tuple[str, ...]
+) -> tuple[list[tuple[str, float]], float]:
+    """Race the imputer slate on one (truth, mask) pair (picklable worker).
+
+    Returns the ranking plus the wall seconds it took, so the parent
+    process can record per-race latency even under the process backend
+    (where worker-side metrics registries are no-ops).
+    """
+    truth, mask = job
+    imputers = [get_imputer(name) for name in imputer_names]
+    start = time.perf_counter()
+    ranked = rank_imputers(imputers, truth, mask)
+    return ranked, time.perf_counter() - start
 
 #: Default algorithm slate used for labeling — one strong member per family,
 #: kept small so labeling stays laptop-fast.
@@ -96,6 +115,12 @@ class ClusterLabeler:
         ``imputer_names`` order.  0.0 disables tie handling.
     random_state:
         Seed for block injection.
+    parallel:
+        Optional :class:`~repro.parallel.ParallelConfig`.  Mask injection
+        stays serial (it consumes the seeded RNG in a fixed order), but
+        the per-(cluster, ratio, pattern) imputer races — the dominant
+        labeling cost — fan out across workers.  Results are identical
+        to the serial path for a fixed seed.
     """
 
     def __init__(
@@ -106,6 +131,7 @@ class ClusterLabeler:
         patterns: tuple[str, ...] = ("block",),
         tie_epsilon: float = 0.0,
         random_state: int | None = 0,
+        parallel: ParallelConfig | None = None,
     ):
         if imputer_names is None:
             imputer_names = DEFAULT_LABELING_IMPUTERS
@@ -133,6 +159,7 @@ class ClusterLabeler:
         self.tie_epsilon = float(tie_epsilon)
         self._clustering_template = clustering
         self.random_state = random_state
+        self.parallel = parallel
 
     @property
     def missing_ratio(self) -> float:
@@ -176,7 +203,11 @@ class ClusterLabeler:
         return tied + rest
 
     # ------------------------------------------------------------------
-    def label_dataset(self, dataset: TimeSeriesDataset) -> LabeledCorpus:
+    def label_dataset(
+        self,
+        dataset: TimeSeriesDataset,
+        engine: ExecutionEngine | None = None,
+    ) -> LabeledCorpus:
         """Cluster one dataset and label each cluster via its members.
 
         The whole cluster matrix (not a single series) is fed to the
@@ -184,7 +215,13 @@ class ClusterLabeler:
         missing block injected into every member.  One labeled sample is
         produced per (series, missing-ratio) combination: varying block
         sizes diversify which algorithm wins.
+
+        ``engine`` lets :meth:`label_corpus` share one worker pool across
+        datasets; standalone calls build (and tear down) their own.
         """
+        if engine is None:
+            with ExecutionEngine(self.parallel) as engine:
+                return self.label_dataset(dataset, engine=engine)
         tracer = get_tracer()
         metrics = get_metrics()
         labeling_span = tracer.span(
@@ -198,7 +235,7 @@ class ClusterLabeler:
             "Wall seconds per (cluster, ratio, pattern) algorithm race",
         )
         with labeling_span:
-            corpus = self._label_dataset_inner(dataset, rank_hist)
+            corpus = self._label_dataset_inner(dataset, rank_hist, engine)
         labeling_span.set_tag("n_clusters", corpus.n_benchmark_runs)
         labeling_span.set_tag("n_labeled", len(corpus))
         metrics.counter(
@@ -218,15 +255,16 @@ class ClusterLabeler:
         return corpus
 
     def _label_dataset_inner(
-        self, dataset: TimeSeriesDataset, rank_hist
+        self, dataset: TimeSeriesDataset, rank_hist, engine: ExecutionEngine
     ) -> LabeledCorpus:
         rng = ensure_rng(self.random_state)
         clustering = self._make_clustering().fit(list(dataset.series))
-        imputers = self._imputers()
-        labels: list[str] = []
-        rankings: list[list[str]] = []
-        faulty_series: list[TimeSeries] = []
-        n_runs = 0
+        # Phase 1 (serial, RNG-ordered): build one job per
+        # (cluster, ratio, pattern) — the injected masks and faulty
+        # series are produced in a fixed order so parallel execution
+        # cannot perturb the seeded randomness.
+        jobs: list[tuple[np.ndarray, np.ndarray]] = []
+        job_faulty: list[list[TimeSeries]] = []
         for members in clustering.clusters_:
             cluster_series = [dataset[i] for i in members]
             min_len = min(len(s) for s in cluster_series)
@@ -253,27 +291,41 @@ class ClusterLabeler:
                                 np.where(mask[row_idx], np.nan, truth[row_idx])
                             )
                         )
-                    with rank_hist.time():
-                        ranked = rank_imputers(imputers, truth, mask)
-                    n_runs += 1
-                    ranking_names = self._resolve_ties(ranked)
-                    for faulty in cluster_faulty:
-                        faulty_series.append(faulty)
-                        labels.append(ranking_names[0])
-                        rankings.append(list(ranking_names))
+                    jobs.append((truth, mask))
+                    job_faulty.append(cluster_faulty)
+        # Phase 2 (parallel): race the imputer slate on every
+        # representative job.  Each job is independent; the engine
+        # preserves job order, so labels come back deterministic.
+        task = functools.partial(
+            _rank_worker, imputer_names=self.imputer_names
+        )
+        outcomes = engine.map(task, jobs, label="labeling.rank_clusters")
+        # Phase 3 (serial): resolve ties and propagate labels.
+        labels: list[str] = []
+        rankings: list[list[str]] = []
+        faulty_series: list[TimeSeries] = []
+        for (ranked, elapsed), cluster_faulty in zip(outcomes, job_faulty):
+            rank_hist.observe(elapsed)
+            ranking_names = self._resolve_ties(ranked)
+            for faulty in cluster_faulty:
+                faulty_series.append(faulty)
+                labels.append(ranking_names[0])
+                rankings.append(list(ranking_names))
         return LabeledCorpus(
             series=faulty_series,
             labels=np.array(labels, dtype=object),
             rankings=rankings,
             categories=[dataset.category] * len(faulty_series),
-            n_benchmark_runs=n_runs,
+            n_benchmark_runs=len(jobs),
         )
 
     def label_corpus(self, datasets: list[TimeSeriesDataset]) -> LabeledCorpus:
         """Label several datasets and concatenate the results."""
         if not datasets:
             raise ValidationError("datasets list is empty")
-        parts = [self.label_dataset(ds) for ds in datasets]
+        # One engine (one worker pool) shared across every dataset.
+        with ExecutionEngine(self.parallel) as engine:
+            parts = [self.label_dataset(ds, engine=engine) for ds in datasets]
         return LabeledCorpus(
             series=[s for p in parts for s in p.series],
             labels=np.concatenate([p.labels for p in parts]),

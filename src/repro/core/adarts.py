@@ -17,11 +17,12 @@ and soft-vote over the winning pipelines (7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.clustering.labeling import ClusterLabeler, LabeledCorpus
+from repro.parallel import FeatureCache, ParallelConfig
 from repro.core.config import ModelRaceConfig
 from repro.core.modelrace import ModelRace, RaceResult
 from repro.core.voting import MajorityVotingEnsemble, SoftVotingEnsemble
@@ -88,6 +89,16 @@ class ADarts:
     observer:
         Optional :class:`~repro.observability.RaceObserver` receiving the
         ModelRace lifecycle events during training.
+    parallel:
+        Optional :class:`~repro.parallel.ParallelConfig` applied to every
+        parallelizable stage — cluster labeling, feature extraction, and
+        the ModelRace fold evaluations.  Stage-level configs already set
+        on an explicitly passed ``config`` / ``labeler`` / ``extractor``
+        are left untouched.
+    feature_cache:
+        Optional :class:`~repro.parallel.FeatureCache` installed on the
+        extractor (unless the extractor already has one), deduplicating
+        repeated series across training and inference batches.
     """
 
     def __init__(
@@ -100,12 +111,25 @@ class ADarts:
         test_ratio: float = 0.25,
         random_state: int | None = 0,
         observer: RaceObserver | None = None,
+        parallel: ParallelConfig | None = None,
+        feature_cache: FeatureCache | None = None,
     ):
         if voting not in ("soft", "majority"):
             raise ValidationError(f"voting must be soft/majority, got {voting!r}")
         self.extractor = extractor or FeatureExtractor()
         self.config = config or ModelRaceConfig()
         self.labeler = labeler or ClusterLabeler()
+        self.parallel = parallel
+        if parallel is not None:
+            # Copy-on-write: never mutate a caller-shared config object.
+            if self.config.parallel.n_jobs == 1:
+                self.config = replace(self.config, parallel=parallel)
+            if self.labeler.parallel is None:
+                self.labeler.parallel = parallel
+            if self.extractor.parallel is None:
+                self.extractor.parallel = parallel
+        if feature_cache is not None and self.extractor.cache is None:
+            self.extractor.cache = feature_cache
         self.classifier_names = classifier_names
         self.voting = voting
         self.test_ratio = float(test_ratio)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import ValidationError
+from repro.parallel import ParallelConfig
 from repro.pipeline.scoring import ScoreWeights
 
 
@@ -48,6 +49,13 @@ class ModelRaceConfig:
         set always reaches 1.0.
     random_state:
         Seed for folds, sampling, and synthesis.
+    parallel:
+        :class:`~repro.parallel.ParallelConfig` governing how the race
+        fans candidate evaluations out across workers.  The default is
+        serial (``n_jobs=1``), which executes the historical
+        single-core path; results are deterministic across backends for
+        a fixed seed (wall-clock-free scoring, i.e. ``gamma=0``, makes
+        them bit-identical).
     """
 
     n_partial_sets: int = 3
@@ -61,6 +69,7 @@ class ModelRaceConfig:
     n_children_per_parent: int = 2
     initial_fraction: float = 0.4
     random_state: int | None = 0
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
         if self.n_partial_sets < 1:

@@ -7,7 +7,12 @@ The race iterates over growing partial training sets.  Each iteration:
 2. **Evaluate** every candidate on stratified k-folds of the current partial
    set, scoring ``(alpha*F1 + beta*R@3 - gamma*time) / (alpha+beta+gamma)``;
 3. **Early-terminate** (phase-1 pruning) candidates that trail the fold's
-   best score by a margin — they skip the remaining folds;
+   best score by a margin — they skip the remaining folds.  All of a
+   fold's evaluations complete *before* the margin test runs (a
+   deterministic post-fold barrier), so every candidate is judged
+   against the true fold best regardless of evaluation order — and the
+   fold's evaluations can fan out across workers
+   (``ModelRaceConfig.parallel``) without changing the outcome;
 4. **Prune** (phase-2) via pairwise Welch t-tests on accumulated score
    distributions: statistically *similar* pipelines are redundant, so the
    lower-mean member is dropped; the elite is finally capped by mean score.
@@ -28,6 +33,7 @@ path is unchanged.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,6 +50,7 @@ from repro.observability import (
     get_metrics,
     get_tracer,
 )
+from repro.parallel import ExecutionEngine, ScoreMemo, hash_arrays
 from repro.pipeline.pipeline import Pipeline
 from repro.pipeline.scoring import PipelineScore, score_pipeline
 from repro.pipeline.synthesizer import Synthesizer
@@ -51,6 +58,44 @@ from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
 
 _log = get_logger(__name__)
+
+
+def _evaluate_candidate(
+    pipeline: Pipeline,
+    *,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    weights,
+    time_scale: float,
+    iteration: int,
+    fold: int,
+) -> PipelineScore:
+    """Score one candidate on one fold (picklable parallel worker).
+
+    The single ``score_pipeline`` call site of the race.  The span is a
+    shared no-op unless a tracer is installed in *this* process —
+    process-backend workers therefore trace nothing, while serial and
+    thread execution feed the parent tracer as before.
+    """
+    tracer = get_tracer()
+    with tracer.span(
+        "race.evaluate",
+        subsystem="race",
+        iteration=iteration,
+        fold=fold,
+        classifier=pipeline.classifier_name,
+    ):
+        return score_pipeline(
+            pipeline.clone(),
+            X_train,
+            y_train,
+            X_test,
+            y_test,
+            weights=weights,
+            time_scale=time_scale,
+        )
 
 
 @dataclass
@@ -129,9 +174,15 @@ class ModelRace:
         self,
         config: ModelRaceConfig | None = None,
         observer: RaceObserver | None = None,
+        score_memo: ScoreMemo | None = None,
     ):
         self.config = config or ModelRaceConfig()
         self.observer = observer
+        #: Memo of (pipeline, fold-content) → PipelineScore.  ``None``
+        #: creates a fresh per-race memo inside each :meth:`run`; pass a
+        #: shared :class:`~repro.parallel.ScoreMemo` to reuse scores
+        #: across repeated races over the same corpus.
+        self.score_memo = score_memo
 
     # ------------------------------------------------------------------
     def _partial_sets(
@@ -152,27 +203,49 @@ class ModelRace:
     def _prune_ttest(
         self, candidates: list[Pipeline], scores: dict[tuple, list[float]]
     ) -> tuple[list[Pipeline], int]:
-        """Phase-2 pruning: drop the lower-mean member of similar pairs."""
+        """Phase-2 pruning: drop the lower-mean member of similar pairs.
+
+        Per-key count/mean/variance are computed **once** up front; the
+        pairwise Welch tests then run from those sufficient statistics
+        (``ttest_ind_from_stats``), so the O(n²) comparison loop never
+        touches the raw score lists again.  Decisions are identical to
+        the naive recompute-everything implementation (snapshot-tested).
+        """
         cfg = self.config
         alive = {p.config_key(): p for p in candidates}
+        # Sufficient statistics, one pass per key.
+        stats: dict[tuple, tuple[int, float, float]] = {}
+        for key in alive:
+            dist = scores.get(key) or []
+            arr = np.asarray(dist, dtype=float)
+            n = int(arr.size)
+            mean = float(arr.mean()) if n else float("nan")
+            # ddof=1 sample std matches scipy.stats.ttest_ind internals.
+            std = float(arr.std(ddof=1)) if n >= 2 else 0.0
+            stats[key] = (n, mean, std)
         keys = sorted(
             alive,
-            key=lambda k: float(np.mean(scores[k])) if scores.get(k) else -np.inf,
+            key=lambda k: stats[k][1] if stats[k][0] else -np.inf,
             reverse=True,
         )
         pruned = 0
         kept: list[tuple] = []
         for key in keys:
-            dist = scores.get(key, [])
+            n_d, mean_d, std_d = stats[key]
             redundant = False
             for kept_key in kept:
-                ref = scores[kept_key]
-                if len(dist) < 2 or len(ref) < 2:
+                n_r, mean_r, std_r = stats[kept_key]
+                if n_d < 2 or n_r < 2:
+                    # Empty-dist fallback mirrors the historical
+                    # ``np.mean(dist or [0.0])`` expression exactly.
                     similar = np.isclose(
-                        np.mean(dist or [0.0]), np.mean(ref), atol=1e-3
+                        mean_d if n_d else 0.0, mean_r, atol=1e-3
                     )
                 else:
-                    stat = sps.ttest_ind(ref, dist, equal_var=False)
+                    stat = sps.ttest_ind_from_stats(
+                        mean_r, std_r, n_r, mean_d, std_d, n_d,
+                        equal_var=False,
+                    )
                     similar = (
                         np.isnan(stat.pvalue) or stat.pvalue > cfg.ttest_pvalue
                     )
@@ -255,13 +328,24 @@ class ModelRace:
             n_children_per_parent=cfg.n_children_per_parent,
             random_state=rng,
         )
+        engine = ExecutionEngine(cfg.parallel)
+        memo = self.score_memo if self.score_memo is not None else ScoreMemo()
+        # Run-level context folded into every memo key: identical fold
+        # data under a different test set / scoring config never collides.
+        memo_context = hash_arrays(
+            X_test,
+            y_test,
+            extra=repr((cfg.weights, cfg.time_budget)),
+        )
         scores: dict[tuple, list[float]] = {}
         elite: list[Pipeline] = list(seed_pipelines)
         records: list[IterationRecord] = []
         time_scale = cfg.time_budget  # absolute normalizer for `time`
         obs.on_race_start(len(seed_pipelines), int(X.shape[0]))
         total_timer = Timer()
-        with total_timer, tracer.span(
+        # ``engine`` participates in the with-block so its worker pools
+        # (reused across folds) are torn down when the race finishes.
+        with engine, total_timer, tracer.span(
             "race.run",
             subsystem="race",
             n_seeds=len(seed_pipelines),
@@ -293,38 +377,49 @@ class ModelRace:
                         stratified_kfold(y_sub, n_splits=n_folds, random_state=rng)
                     )
                     for fold_idx, (train_idx, _fold_test_idx) in enumerate(folds):
-                        fold_best = -np.inf
-                        for pipeline in candidates:
+                        # Candidates still racing (early-terminated ones
+                        # skip the remaining folds), in stable order.
+                        fold_pipelines = [
+                            p for p in candidates if p.config_key() in active
+                        ]
+                        if not fold_pipelines:
+                            continue
+                        X_train, y_train = X_sub[train_idx], y_sub[train_idx]
+                        fold_key = hash_arrays(
+                            X_train, y_train, extra=memo_context
+                        )
+                        # Memo lookup: identical (pipeline, fold-content)
+                        # work is never rescored.
+                        slots: list[PipelineScore | None] = []
+                        pending: list[Pipeline] = []
+                        for pipeline in fold_pipelines:
+                            cached = memo.get((pipeline.config_key(), fold_key))
+                            slots.append(cached)
+                            if cached is None:
+                                pending.append(pipeline)
+                        task = functools.partial(
+                            _evaluate_candidate,
+                            X_train=X_train,
+                            y_train=y_train,
+                            X_test=X_test,
+                            y_test=y_test,
+                            weights=cfg.weights,
+                            time_scale=time_scale,
+                            iteration=iteration,
+                            fold=fold_idx,
+                        )
+                        computed = iter(
+                            engine.map(task, pending, label="race.evaluate_fold")
+                            if pending
+                            else []
+                        )
+                        results: list[PipelineScore] = [
+                            slot if slot is not None else next(computed)
+                            for slot in slots
+                        ]
+                        for pipeline, result in zip(fold_pipelines, results):
                             key = pipeline.config_key()
-                            if key not in active:
-                                continue  # early-terminated on a previous fold
-                            if tracer.enabled:
-                                with tracer.span(
-                                    "race.evaluate",
-                                    subsystem="race",
-                                    iteration=iteration,
-                                    fold=fold_idx,
-                                    classifier=pipeline.classifier_name,
-                                ):
-                                    result: PipelineScore = score_pipeline(
-                                        pipeline.clone(),
-                                        X_sub[train_idx],
-                                        y_sub[train_idx],
-                                        X_test,
-                                        y_test,
-                                        weights=cfg.weights,
-                                        time_scale=time_scale,
-                                    )
-                            else:
-                                result = score_pipeline(
-                                    pipeline.clone(),
-                                    X_sub[train_idx],
-                                    y_sub[train_idx],
-                                    X_test,
-                                    y_test,
-                                    weights=cfg.weights,
-                                    time_scale=time_scale,
-                                )
+                            memo.put((key, fold_key), result)
                             n_evals += 1
                             eval_counter.inc()
                             score_hist.observe(result.score)
@@ -335,13 +430,23 @@ class ModelRace:
                                 iteration, fold_idx, key, result
                             )
                             scores.setdefault(key, []).append(result.score)
-                            fold_best = max(fold_best, result.score)
-                            # Phase-1 pruning: early termination (lines 11-12).
-                            if result.score < fold_best - cfg.early_termination_margin:
+                        # Phase-1 pruning (lines 11-12) as a deterministic
+                        # post-fold barrier: every candidate is judged
+                        # against the *true* fold best, so the decision no
+                        # longer depends on candidate evaluation order.
+                        fold_best = max(r.score for r in results)
+                        for pipeline, result in zip(fold_pipelines, results):
+                            if (
+                                result.score
+                                < fold_best - cfg.early_termination_margin
+                            ):
+                                key = pipeline.config_key()
                                 active.discard(key)
                                 n_early += 1
                                 early_counter.inc()
-                                obs.on_early_termination(iteration, fold_idx, key)
+                                obs.on_early_termination(
+                                    iteration, fold_idx, key
+                                )
                     survivors = [p for p in candidates if p.config_key() in active]
                     if not survivors:  # safety: never lose everything
                         survivors = candidates
@@ -421,6 +526,10 @@ class ModelRace:
             "repro_race_prune_ratio",
             "Fraction of potential evaluations avoided by pruning",
         ).set(result.prune_ratio)
+        metrics.gauge(
+            "repro_race_score_memo_hit_rate",
+            "Fraction of race evaluations served from the score memo",
+        ).set(memo.hit_rate)
         obs.on_race_end(result)
         return result
 

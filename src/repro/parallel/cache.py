@@ -1,0 +1,231 @@
+"""Content-addressed caches for the feature-extraction and race hot paths.
+
+Two caches, both with hit/miss counters on the process metrics registry:
+
+* :class:`FeatureCache` — maps ``sha1(series bytes + extractor
+  fingerprint)`` to the extracted feature vector.  Optionally persists
+  each vector as an ``.npy`` file under a cache directory (default
+  ``~/.cache/repro/features``, overridable via ``REPRO_CACHE_DIR``), so
+  repeated runs over the same corpus skip extraction entirely.
+* :class:`ScoreMemo` — a per-race memo of ``(pipeline config key, fold
+  content hash)`` → :class:`~repro.pipeline.scoring.PipelineScore`.
+  Because the key hashes the *content* of the fold's training data, any
+  repeat of identical work — nested partial sets that resolve to the
+  same fold, or back-to-back races over the same corpus when the memo is
+  shared — returns the cached score instead of refitting the pipeline.
+
+Keys are content hashes, never object identities, so cache correctness
+is invariant to how the caller arrived at the data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import threading
+
+import numpy as np
+
+from repro.observability import get_logger, get_metrics
+
+_log = get_logger(__name__)
+
+
+def hash_array(array: np.ndarray) -> str:
+    """Stable content hash of a numpy array (dtype/shape aware).
+
+    Numeric arrays hash their raw bytes; object/string arrays (e.g.
+    label vectors) hash the string rendering of their elements.
+    """
+    arr = np.ascontiguousarray(array)
+    digest = hashlib.sha1()
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    if arr.dtype.kind in "OUS":  # object / unicode / bytes
+        digest.update("\x1f".join(str(v) for v in arr.ravel()).encode())
+    else:
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def hash_arrays(*arrays: np.ndarray, extra: str = "") -> str:
+    """Joint content hash of several arrays plus an optional context tag."""
+    digest = hashlib.sha1()
+    for array in arrays:
+        digest.update(hash_array(array).encode())
+    if extra:
+        digest.update(extra.encode())
+    return digest.hexdigest()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Root of the on-disk cache (``REPRO_CACHE_DIR`` or ``~/.cache/repro``)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return pathlib.Path(root).expanduser()
+    return pathlib.Path("~/.cache/repro").expanduser()
+
+
+class FeatureCache:
+    """Thread-safe feature-vector cache, optionally disk-persistent.
+
+    Parameters
+    ----------
+    directory:
+        Where to persist vectors as ``<key>.npy``.  ``None`` keeps the
+        cache memory-only; :meth:`persistent` builds one rooted at
+        :func:`default_cache_dir`.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = pathlib.Path(directory) if directory else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._mem: dict[str, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def persistent(cls) -> "FeatureCache":
+        """Disk-backed cache under the default cache directory."""
+        return cls(default_cache_dir() / "features")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(values: np.ndarray, fingerprint: tuple) -> str:
+        """Cache key: content hash of the series plus the extractor config."""
+        return hash_arrays(
+            np.asarray(values, dtype=float), extra=repr(fingerprint)
+        )
+
+    def get(self, key: str) -> np.ndarray | None:
+        """Cached vector for ``key`` (a fresh copy), or ``None``."""
+        with self._lock:
+            vector = self._mem.get(key)
+        if vector is None and self.directory is not None:
+            path = self.directory / f"{key}.npy"
+            if path.exists():
+                try:
+                    vector = np.load(path)
+                except (OSError, ValueError) as exc:  # corrupt entry
+                    _log.warning("dropping unreadable cache entry %s: %s", path, exc)
+                    vector = None
+                else:
+                    with self._lock:
+                        self._mem[key] = vector
+        if vector is None:
+            self.misses += 1
+            get_metrics().counter(
+                "repro_feature_cache_misses_total",
+                "Feature-cache lookups that required extraction",
+            ).inc()
+            return None
+        self.hits += 1
+        get_metrics().counter(
+            "repro_feature_cache_hits_total",
+            "Feature-cache lookups served without extraction",
+        ).inc()
+        return vector.copy()
+
+    def put(self, key: str, vector: np.ndarray) -> None:
+        """Store ``vector`` under ``key`` (memory, plus disk if configured)."""
+        vector = np.asarray(vector, dtype=float).copy()
+        with self._lock:
+            self._mem[key] = vector
+        if self.directory is not None:
+            path = self.directory / f"{key}.npy"
+            # Write-then-rename for atomicity; the tmp name keeps the
+            # ``.npy`` ending so ``np.save`` does not append another one.
+            tmp = path.with_name(f"{key}.tmp.npy")
+            try:
+                np.save(tmp, vector)
+                tmp.replace(path)
+            except OSError as exc:  # disk full / read-only: stay memory-only
+                _log.warning("feature cache write failed for %s: %s", path, exc)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop in-memory entries; ``disk=True`` also removes persisted files."""
+        with self._lock:
+            self._mem.clear()
+        self.hits = 0
+        self.misses = 0
+        if disk and self.directory is not None:
+            for path in self.directory.glob("*.npy"):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - best effort
+                    pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.directory) if self.directory else "memory"
+        return (
+            f"FeatureCache({where}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class ScoreMemo:
+    """Memo of pipeline evaluation outcomes keyed by work content.
+
+    The key is ``(pipeline config key, fold content hash)`` where the
+    fold hash covers the training slice, the evaluation context (test
+    set, weights, time scale), and nothing else — identical work always
+    collides, different work never does.
+    """
+
+    def __init__(self):
+        self._store: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        """Cached :class:`PipelineScore` for ``key``, or ``None``."""
+        with self._lock:
+            result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+            get_metrics().counter(
+                "repro_race_score_memo_misses_total",
+                "Race evaluations that had to be executed",
+            ).inc()
+            return None
+        self.hits += 1
+        get_metrics().counter(
+            "repro_race_score_memo_hits_total",
+            "Race evaluations served from the score memo",
+        ).inc()
+        return result
+
+    def put(self, key: tuple, score) -> None:
+        with self._lock:
+            self._store[key] = score
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,121 @@
+"""Parallel execution configuration.
+
+:class:`ParallelConfig` is the single knob bundle threaded through every
+parallelizable subsystem (``ModelRaceConfig.parallel``,
+``FeatureExtractor(parallel=...)``, ``ClusterLabeler(parallel=...)``,
+``ADarts(parallel=...)``, and the CLI's ``--jobs/--backend`` flags).
+
+Backend semantics
+-----------------
+``serial``
+    Plain in-process loop — byte-identical to the historical code path
+    and the reference the determinism tests compare against.
+``thread``
+    ``concurrent.futures.ThreadPoolExecutor``.  Cheap to spin up; wins
+    when tasks release the GIL (numpy/scipy kernels) or batches are
+    small enough that process startup would dominate.
+``process``
+    ``concurrent.futures.ProcessPoolExecutor``.  True multi-core
+    parallelism for CPU-bound pure-Python work; pays fork/pickle
+    overhead, so it is only worth it for large batches.
+``auto``
+    Picks one of the above from the workload size at call time (see
+    :meth:`ParallelConfig.resolve_backend`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+#: Legal backend names.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+#: ``auto`` falls back to ``serial`` below this many tasks — pool setup
+#: would cost more than it saves.
+AUTO_SERIAL_MAX_TASKS = 2
+
+#: ``auto`` prefers ``thread`` below this many tasks and ``process`` at or
+#: above it (fork + pickle overhead amortizes only over large batches).
+AUTO_PROCESS_MIN_TASKS = 16
+
+
+def available_cpus() -> int:
+    """Best-effort CPU count (always >= 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How a batch of independent tasks should be executed.
+
+    Attributes
+    ----------
+    n_jobs:
+        Worker count.  ``1`` means serial regardless of backend;
+        ``0``/negative means "all available CPUs".
+    backend:
+        One of :data:`BACKENDS`.  ``auto`` selects per-batch by
+        workload size.
+    chunk_size:
+        Tasks per worker dispatch.  ``None`` derives
+        ``ceil(n_tasks / (4 * n_jobs))`` so each worker sees ~4 chunks
+        (good load balancing without per-task dispatch overhead).
+    """
+
+    n_jobs: int = 1
+    backend: str = "auto"
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValidationError(
+                f"chunk_size must be >= 1 or None, got {self.chunk_size}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_jobs(self) -> int:
+        """Resolved worker count (``n_jobs <= 0`` → all CPUs)."""
+        if self.n_jobs <= 0:
+            return available_cpus()
+        return self.n_jobs
+
+    def resolve_backend(self, n_tasks: int) -> str:
+        """Concrete backend for a batch of ``n_tasks`` tasks.
+
+        Serial whenever only one worker or a trivial batch; otherwise the
+        configured backend, with ``auto`` choosing ``thread`` for small
+        batches and ``process`` for large ones.
+        """
+        if self.effective_jobs <= 1 or n_tasks < AUTO_SERIAL_MAX_TASKS:
+            return "serial"
+        if self.backend != "auto":
+            return self.backend
+        if n_tasks < AUTO_PROCESS_MIN_TASKS:
+            return "thread"
+        return "process"
+
+    def resolve_chunk_size(self, n_tasks: int) -> int:
+        """Tasks per dispatched chunk for a batch of ``n_tasks``."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        jobs = self.effective_jobs
+        return max(1, -(-n_tasks // (4 * jobs)))
+
+    # ------------------------------------------------------------------
+    def with_jobs(self, n_jobs: int) -> "ParallelConfig":
+        """Copy of this config with a different worker count."""
+        return ParallelConfig(
+            n_jobs=n_jobs, backend=self.backend, chunk_size=self.chunk_size
+        )
+
+
+#: Shared serial default — the zero-surprise configuration.
+SERIAL = ParallelConfig(n_jobs=1, backend="serial")

@@ -1,0 +1,187 @@
+"""Backend-pluggable execution engine for embarrassingly parallel batches.
+
+:class:`ExecutionEngine` exposes one operation — :meth:`ExecutionEngine.map`
+— which applies a function to a list of items and returns the results **in
+input order**, regardless of backend.  Order preservation is what makes the
+engine safe to drop into deterministic code paths: ModelRace's post-fold
+pruning barrier, ``extract_many``'s feature-matrix assembly, and the
+labeler's cluster-ranking loop all rely on it.
+
+Every batch opens a span (``parallel.map``) on the process tracer tagged
+with backend / task count / worker count, and increments per-backend
+counters and batch-latency histograms on the process metrics registry, so
+``repro report`` shows how work was spread across backends.
+
+Process-backend caveats: the mapped function and every item must be
+picklable, and child processes see the *default* (no-op) tracer/metrics —
+workers therefore return any timing they measured (e.g.
+``PipelineScore.runtime``) so the parent can record it.  If the process
+pool cannot be created at all (restricted environments without semaphore
+support), the engine logs a warning and degrades to threads.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _futures
+
+from repro.observability import get_logger, get_metrics, get_tracer
+from repro.parallel.config import ParallelConfig
+
+_log = get_logger(__name__)
+
+
+def _apply_chunk(fn, chunk):
+    """Module-level chunk runner (picklable for the process backend)."""
+    return [fn(item) for item in chunk]
+
+
+def _chunked(items: list, size: int) -> list[list]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+class ExecutionEngine:
+    """Run homogeneous task batches under a :class:`ParallelConfig`.
+
+    Parameters
+    ----------
+    config:
+        The parallelism knobs; ``None`` means serial execution.
+    """
+
+    def __init__(self, config: ParallelConfig | None = None):
+        self.config = config or ParallelConfig()
+        #: Lazily created, reused across batches; see :meth:`shutdown`.
+        self._pools: dict[str, _futures.Executor] = {}
+        self._process_pool_broken = False
+
+    # ------------------------------------------------------------------
+    def map(self, fn, items, *, label: str = "parallel.map") -> list:
+        """Apply ``fn`` to every item; results come back in input order.
+
+        Parameters
+        ----------
+        fn:
+            Callable of one argument.  Must be picklable (a module-level
+            function or ``functools.partial`` of one) when the process
+            backend may be chosen.
+        items:
+            Iterable of task inputs (materialized internally).
+        label:
+            Span name recorded on the process tracer for this batch.
+        """
+        items = list(items)
+        if not items:
+            return []
+        cfg = self.config
+        backend = cfg.resolve_backend(len(items))
+        jobs = min(cfg.effective_jobs, len(items))
+        chunk = cfg.resolve_chunk_size(len(items))
+        metrics = get_metrics()
+        tracer = get_tracer()
+        batch_timer = metrics.histogram(
+            "repro_parallel_batch_seconds",
+            "Wall seconds per ExecutionEngine.map batch",
+            labels={"backend": backend},
+        )
+        with tracer.span(
+            label,
+            subsystem="parallel",
+            backend=backend,
+            n_tasks=len(items),
+            n_jobs=jobs,
+            chunk_size=chunk,
+        ), batch_timer.time():
+            if backend == "serial":
+                results = self._map_serial(fn, items)
+            elif backend == "thread":
+                results = self._map_pool(fn, items, jobs, chunk)
+            elif backend == "process":
+                results = self._map_process(fn, items, jobs, chunk)
+            else:  # pragma: no cover - ParallelConfig validates backends
+                raise ValueError(f"unknown backend {backend!r}")
+        metrics.counter(
+            "repro_parallel_tasks_total",
+            "Tasks executed through ExecutionEngine.map",
+            labels={"backend": backend},
+        ).inc(len(items))
+        metrics.counter(
+            "repro_parallel_batches_total",
+            "Batches executed through ExecutionEngine.map",
+            labels={"backend": backend},
+        ).inc()
+        return results
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle.  Pools are created lazily on first use and *reused*
+    # across map() calls — ModelRace issues one batch per fold, and paying
+    # process-pool startup per fold would dominate small fold times.  Call
+    # :meth:`shutdown` (or use the engine as a context manager) when the
+    # batches are done; garbage collection is the best-effort fallback.
+    # ------------------------------------------------------------------
+    def _thread_pool(self) -> _futures.Executor:
+        pool = self._pools.get("thread")
+        if pool is None:
+            pool = _futures.ThreadPoolExecutor(
+                max_workers=self.config.effective_jobs
+            )
+            self._pools["thread"] = pool
+        return pool
+
+    def _process_pool(self) -> _futures.Executor:
+        if self._process_pool_broken:
+            return self._thread_pool()
+        pool = self._pools.get("process")
+        if pool is None:
+            try:
+                pool = _futures.ProcessPoolExecutor(
+                    max_workers=self.config.effective_jobs
+                )
+            except (OSError, ValueError, NotImplementedError) as exc:
+                _log.warning(
+                    "process pool unavailable (%s: %s); falling back to threads",
+                    type(exc).__name__,
+                    exc,
+                )
+                self._process_pool_broken = True
+                return self._thread_pool()
+            self._pools["process"] = pool
+        return pool
+
+    def shutdown(self) -> None:
+        """Tear down any pools created by previous :meth:`map` calls."""
+        pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            for pool in self._pools.values():
+                pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _map_serial(fn, items: list) -> list:
+        return [fn(item) for item in items]
+
+    @staticmethod
+    def _drain(pool: _futures.Executor, fn, items: list, chunk: int) -> list:
+        chunks = _chunked(items, chunk)
+        futures = [pool.submit(_apply_chunk, fn, c) for c in chunks]
+        out: list = []
+        for future in futures:  # submission order == input order
+            out.extend(future.result())
+        return out
+
+    def _map_pool(self, fn, items: list, jobs: int, chunk: int) -> list:
+        return self._drain(self._thread_pool(), fn, items, chunk)
+
+    def _map_process(self, fn, items: list, jobs: int, chunk: int) -> list:
+        return self._drain(self._process_pool(), fn, items, chunk)
