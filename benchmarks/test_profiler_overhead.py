@@ -1,0 +1,116 @@
+"""Perf — sampling-profiler overhead on a fig8-style race workload.
+
+Acceptance: attaching :class:`SamplingProfiler` (thread mode, default
+5 ms interval) to the ModelRace workload used in the Fig. 8 runtime
+benchmark must cost **less than 5%** wall time.  Each arm (bare /
+profiled) is run three times and the minimum is compared — the minimum
+is the standard noise-robust estimator for wall-clock microbenchmarks.
+
+The profiled arm also round-trips its collapsed-stack output through
+``parse_collapsed`` and asserts that the race actually appears in the
+sampled stacks, so the overhead number is known to come from a profiler
+that was genuinely sampling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.core.config import ModelRaceConfig
+from repro.core.modelrace import ModelRace
+from repro.datasets import holdout_split
+from repro.observability import SamplingProfiler, parse_collapsed
+from repro.pipeline.pipeline import make_seed_pipelines
+from repro.pipeline.scoring import ScoreWeights
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+N_RUNS = 3
+MAX_OVERHEAD = 0.05  # 5%
+
+
+def _make_snapshot(rng, n_per_class=40, n_features=12):
+    labels = ["cdrec", "linear", "tkcm"]
+    X_parts, y_parts = [], []
+    for k, label in enumerate(labels):
+        center = np.zeros(n_features)
+        center[k * 3 : k * 3 + 3] = 3.0
+        X_parts.append(center + rng.normal(size=(n_per_class, n_features)))
+        y_parts.extend([label] * n_per_class)
+    return np.vstack(X_parts), np.array(y_parts)
+
+
+def _race_workload():
+    """One deterministic ModelRace, the Fig. 8 unit of work."""
+    rng = np.random.default_rng(0)
+    X, y = _make_snapshot(rng, n_per_class=20 if TINY else 120)
+    X_tr, X_te, y_tr, y_te = holdout_split(
+        X, y, test_ratio=0.3, random_state=0
+    )
+    config = ModelRaceConfig(
+        n_partial_sets=2 if TINY else 3,
+        n_folds=2,
+        max_elite=3,
+        random_state=0,
+        weights=ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0),
+    )
+    names = ["knn", "decision_tree", "gaussian_nb", "ridge"]
+    if not TINY:
+        names += ["nearest_centroid"]
+    seeds = make_seed_pipelines(names)
+    race = ModelRace(config=config)
+    return race.run(seeds, X_tr, y_tr, X_te, y_te)
+
+
+def _min_wall(fn, runs=N_RUNS):
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_profiler_overhead_under_five_percent(tmp_path):
+    # Warm up imports/JITs outside either timed arm.
+    _race_workload()
+
+    bare_s = _min_wall(_race_workload)
+
+    profilers = []
+
+    def profiled():
+        with SamplingProfiler(interval=0.005, mode="thread") as prof:
+            _race_workload()
+        profilers.append(prof)
+
+    profiled_s = _min_wall(profiled)
+
+    overhead = profiled_s / bare_s - 1.0
+    emit(
+        "profiler overhead (fig8 race workload)",
+        [
+            f"bare       : {bare_s:.4f}s (min of {N_RUNS})",
+            f"profiled   : {profiled_s:.4f}s (min of {N_RUNS})",
+            f"overhead   : {overhead:+.2%} (budget {MAX_OVERHEAD:.0%})",
+            f"samples    : {profilers[-1].n_samples}",
+        ],
+    )
+
+    # -- collapsed-stack round trip: the profiler really sampled the race.
+    prof = profilers[-1]
+    assert prof.n_samples > 0, "profiler collected no samples"
+    path = prof.export(tmp_path / "race.collapsed")
+    counts = parse_collapsed(path.read_text())
+    assert counts == prof.counts()
+    assert any("repro" in stack for stack in counts), (
+        "race frames never appeared in the sampled stacks"
+    )
+
+    assert overhead < MAX_OVERHEAD, (
+        f"profiler overhead {overhead:.2%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(bare {bare_s:.4f}s vs profiled {profiled_s:.4f}s)"
+    )

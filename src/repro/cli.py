@@ -22,6 +22,19 @@ List the available imputation algorithms::
 
     python -m repro list-imputers
 
+Serve recommendations through the inference monitor and render the
+serving-health document (latency quantiles, confidence, soft-vote
+disagreement, drift scores, cache hit rates)::
+
+    python -m repro monitor --engine engine.json --data faulty.csv \
+        --out health.json --prom-out health.prom
+
+Sample the inference path with the low-overhead profiler and write
+flamegraph-ready collapsed stacks::
+
+    python -m repro profile --engine engine.json --data faulty.csv \
+        --out profile.collapsed
+
 Every subcommand accepts ``--trace-out trace.json`` (Chrome
 ``trace_event`` export, open in ``chrome://tracing`` or Perfetto) and
 ``--metrics-out metrics.prom`` (Prometheus text; a ``.json`` suffix
@@ -47,15 +60,18 @@ from repro.datasets import CATEGORIES, load_category
 from repro.exceptions import ReproError, ValidationError
 from repro.imputation import available_imputers
 from repro.observability import (
+    DriftDetector,
+    InferenceMonitor,
     LoggingObserver,
     MetricsRegistry,
+    SamplingProfiler,
     Tracer,
     enable_console_logging,
     use_metrics,
     use_tracer,
 )
 from repro.observability.report import load_metrics, load_trace, render_report
-from repro.parallel import BACKENDS, ParallelConfig
+from repro.parallel import BACKENDS, FeatureCache, ParallelConfig
 from repro.timeseries.series import TimeSeries
 
 
@@ -170,6 +186,71 @@ def _cmd_list_imputers(args) -> int:
     return 0
 
 
+def _load_serving_engine(args):
+    """Load an engine for a serving subcommand (parallel + cache wired)."""
+    engine = load_engine(args.engine)
+    parallel = _parallel_from_args(args)
+    if parallel is not None:
+        engine.extractor.parallel = parallel
+    if engine.extractor.cache is None:
+        engine.extractor.cache = FeatureCache()
+    return engine
+
+
+def _cmd_monitor(args) -> int:
+    engine = _load_serving_engine(args)
+    series_list = read_series_csv(args.data)
+    if engine.feature_baseline_ is None:
+        print(
+            "note: engine has no feature baseline; drift monitoring disabled",
+            file=sys.stderr,
+        )
+        detector = None
+    else:
+        detector = DriftDetector(
+            engine.feature_baseline_,
+            window_size=args.drift_window,
+            min_samples=min(args.drift_window, args.drift_min_samples),
+            psi_threshold=args.psi_threshold,
+            ks_threshold=args.ks_threshold,
+        )
+    monitor = InferenceMonitor(
+        engine, window=args.window, drift_detector=detector
+    )
+    batch = max(1, args.batch)
+    for _ in range(max(1, args.repeat)):
+        for start in range(0, len(series_list), batch):
+            monitor.recommend_many(series_list[start : start + batch])
+    snapshot = monitor.snapshot()
+    if args.out:
+        path = snapshot.export(args.out)
+        print(f"wrote health snapshot to {path}", file=sys.stderr)
+    if args.prom_out:
+        path = pathlib.Path(args.prom_out)
+        path.write_text(snapshot.to_prometheus())
+        print(f"wrote Prometheus health document to {path}", file=sys.stderr)
+    print(
+        snapshot.to_prometheus() if args.format == "prometheus"
+        else snapshot.to_json()
+    )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    engine = _load_serving_engine(args)
+    series_list = read_series_csv(args.data)
+    profiler = SamplingProfiler(
+        interval=args.interval / 1000.0, mode=args.mode
+    )
+    with profiler:
+        for _ in range(max(1, args.repeat)):
+            engine.recommend_many(series_list)
+    path = profiler.export(args.out)
+    print(f"wrote collapsed stacks to {path}", file=sys.stderr)
+    print(profiler.render_top(args.top))
+    return 0
+
+
 def _cmd_report(args) -> int:
     spans = load_trace(args.trace)
     metrics = load_metrics(args.metrics) if args.metrics else None
@@ -243,6 +324,82 @@ def build_parser() -> argparse.ArgumentParser:
         "list-imputers", help="list available algorithms", parents=[common]
     )
     lister.set_defaults(func=_cmd_list_imputers)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="serve recommendations and render the serving-health document",
+        parents=[common],
+    )
+    monitor.add_argument("--engine", required=True, help="engine JSON path")
+    monitor.add_argument("--data", required=True, help="faulty series CSV")
+    monitor.add_argument(
+        "--repeat", type=int, default=1,
+        help="times to replay the CSV through the monitor",
+    )
+    monitor.add_argument(
+        "--batch", type=int, default=1,
+        help="series per monitored request (1 = one request per series)",
+    )
+    monitor.add_argument(
+        "--window", type=int, default=512,
+        help="rolling-window capacity for latency/confidence stats",
+    )
+    monitor.add_argument(
+        "--drift-window", type=int, default=256,
+        help="feature vectors held by the drift detector",
+    )
+    monitor.add_argument(
+        "--drift-min-samples", type=int, default=64,
+        help="vectors required before drift scoring starts",
+    )
+    monitor.add_argument(
+        "--psi-threshold", type=float, default=0.25,
+        help="PSI alert threshold (population stability index)",
+    )
+    monitor.add_argument(
+        "--ks-threshold", type=float, default=0.5,
+        help="KS-statistic alert threshold",
+    )
+    monitor.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="stdout rendering of the health document",
+    )
+    monitor.add_argument(
+        "--out", default=None, help="also write the health JSON here"
+    )
+    monitor.add_argument(
+        "--prom-out", default=None,
+        help="also write the Prometheus text exposition here",
+    )
+    monitor.set_defaults(func=_cmd_monitor)
+
+    profile = sub.add_parser(
+        "profile",
+        help="sample the inference path and write collapsed stacks",
+        parents=[common],
+    )
+    profile.add_argument("--engine", required=True, help="engine JSON path")
+    profile.add_argument("--data", required=True, help="faulty series CSV")
+    profile.add_argument(
+        "--out", required=True,
+        help="collapsed-stack output path (flamegraph.pl / speedscope input)",
+    )
+    profile.add_argument(
+        "--repeat", type=int, default=10,
+        help="times to replay the CSV under the profiler",
+    )
+    profile.add_argument(
+        "--interval", type=float, default=5.0,
+        help="sampling interval in milliseconds",
+    )
+    profile.add_argument(
+        "--mode", choices=("thread", "signal"), default="thread",
+        help="sampler: thread (all threads, wall) or signal (main, CPU)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10, help="rows in the hotspot table"
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     report = sub.add_parser(
         "report",

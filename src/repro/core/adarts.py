@@ -31,6 +31,7 @@ from repro.exceptions import NotFittedError, ValidationError
 from repro.features.extractor import FeatureExtractor
 from repro.imputation.base import get_imputer
 from repro.observability import (
+    FeatureBaseline,
     RaceObserver,
     get_logger,
     get_metrics,
@@ -140,6 +141,10 @@ class ADarts:
         self._labeled_corpus: LabeledCorpus | None = None
         self._train_X: np.ndarray | None = None
         self._train_y: np.ndarray | None = None
+        #: Distributional fingerprint of the training feature matrix,
+        #: captured by :meth:`fit_features` and consumed by the serving
+        #: drift monitor (see :mod:`repro.observability.serving`).
+        self.feature_baseline_: FeatureBaseline | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -194,6 +199,20 @@ class ADarts:
         # Kept for export/serialization (see repro.core.serialization).
         self._train_X = X
         self._train_y = y
+        # Fingerprint the training distribution so a serving-side
+        # DriftDetector can compare incoming traffic against it.
+        try:
+            names = (
+                self.extractor.feature_names
+                if X.ndim == 2 and X.shape[1] == self.extractor.n_features
+                else None
+            )
+            self.feature_baseline_ = FeatureBaseline.from_matrix(
+                X, feature_names=names
+            )
+        except ValueError as exc:  # degenerate matrices: skip, don't fail fit
+            _log.warning("feature baseline capture skipped: %s", exc)
+            self.feature_baseline_ = None
         return self
 
     def fit_labeled(self, corpus: LabeledCorpus) -> "ADarts":
@@ -239,6 +258,31 @@ class ADarts:
         """Recommend the best imputation algorithm for one faulty series."""
         return self.recommend_many([series])[0]
 
+    def extract_features(self, series_list) -> np.ndarray:
+        """Inference-path feature extraction (traced, cache-aware)."""
+        with get_tracer().span("inference.extract", subsystem="inference"):
+            return self.extractor.extract_many(series_list)
+
+    def _recommendations_from_proba(
+        self, proba: np.ndarray
+    ) -> list[Recommendation]:
+        """Turn an ensemble probability matrix into Recommendations."""
+        if self._ensemble is None:
+            raise NotFittedError("ADarts is not fitted")
+        classes = [str(c) for c in self._ensemble.classes_]
+        out = []
+        for row in proba:
+            order = np.argsort(row)[::-1]
+            ranking = tuple(classes[j] for j in order)
+            out.append(
+                Recommendation(
+                    algorithm=ranking[0],
+                    ranking=ranking,
+                    probabilities={classes[j]: float(row[j]) for j in order},
+                )
+            )
+        return out
+
     def recommend_many(self, series_list) -> list[Recommendation]:
         """Vectorized recommendation over several series.
 
@@ -258,22 +302,10 @@ class ADarts:
         with timer, tracer.span(
             "adarts.recommend_many", subsystem="inference", n_series=n_series
         ):
-            with tracer.span("inference.extract", subsystem="inference"):
-                X = self.extractor.extract_many(series_list)
+            X = self.extract_features(series_list)
             with tracer.span("inference.vote", subsystem="inference"):
                 proba = self._ensemble.predict_proba(X)
-            classes = [str(c) for c in self._ensemble.classes_]
-            out = []
-            for row in proba:
-                order = np.argsort(row)[::-1]
-                ranking = tuple(classes[j] for j in order)
-                out.append(
-                    Recommendation(
-                        algorithm=ranking[0],
-                        ranking=ranking,
-                        probabilities={classes[j]: float(row[j]) for j in order},
-                    )
-                )
+            out = self._recommendations_from_proba(proba)
         metrics.counter(
             "repro_inference_requests_total",
             "recommend/recommend_many calls served",

@@ -21,6 +21,7 @@ from repro.core.adarts import ADarts
 from repro.core.voting import MajorityVotingEnsemble, SoftVotingEnsemble
 from repro.exceptions import NotFittedError, ValidationError
 from repro.features.extractor import FeatureExtractor
+from repro.observability.serving import FeatureBaseline
 from repro.pipeline.pipeline import Pipeline
 
 FORMAT_VERSION = 1
@@ -70,7 +71,7 @@ def export_engine(engine: ADarts) -> dict:
             "engine has no stored training data; was it fitted via "
             "fit_features/fit_labeled/fit_datasets?"
         )
-    return {
+    document = {
         "format_version": FORMAT_VERSION,
         "voting": engine.voting,
         "extractor": {
@@ -86,6 +87,11 @@ def export_engine(engine: ADarts) -> dict:
         "training_features": np.asarray(X, dtype=float).tolist(),
         "training_labels": [str(label) for label in y],
     }
+    # Optional drift fingerprint: serving-side monitors rebuild their
+    # DriftDetector from this without re-touching the training matrix.
+    if engine.feature_baseline_ is not None:
+        document["feature_baseline"] = engine.feature_baseline_.as_dict()
+    return document
 
 
 def import_engine(document: dict) -> ADarts:
@@ -118,6 +124,23 @@ def import_engine(document: dict) -> ADarts:
     engine._ensemble = ensemble_cls(members)
     engine._train_X = X
     engine._train_y = y
+    baseline = document.get("feature_baseline")
+    if baseline is not None:
+        engine.feature_baseline_ = FeatureBaseline.from_dict(baseline)
+    else:
+        # Legacy documents carry no fingerprint; rebuild it from the
+        # stored training matrix so restored engines stay monitorable.
+        try:
+            names = (
+                extractor.feature_names
+                if X.ndim == 2 and X.shape[1] == extractor.n_features
+                else None
+            )
+            engine.feature_baseline_ = FeatureBaseline.from_matrix(
+                X, feature_names=names
+            )
+        except ValueError:
+            engine.feature_baseline_ = None
     return engine
 
 

@@ -42,6 +42,18 @@ class _BaseEnsemble:
             out[:, col_of[cls]] = proba[:, j]
         return out
 
+    def member_probas(self, X) -> np.ndarray:
+        """Per-member aligned probability tensor.
+
+        Shape ``(n_members, n_samples, n_classes)`` on the union class
+        axis — the raw material for serving-side disagreement metrics
+        (see :func:`repro.observability.serving.vote_disagreement`).
+        """
+        X = np.asarray(X, dtype=float)
+        return np.stack(
+            [self._aligned_proba(p, X) for p in self.pipelines], axis=0
+        )
+
     def predict(self, X) -> np.ndarray:
         """Hard recommendations: the top-probability class per sample."""
         proba = self.predict_proba(X)

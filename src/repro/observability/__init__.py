@@ -12,7 +12,16 @@ The instrumentation substrate for every performance claim in the repro:
 * :mod:`repro.observability.log` — stdlib-``logging`` integration,
   silent by default;
 * :mod:`repro.observability.report` — human-readable run summaries
-  from saved trace/metrics files (the ``repro report`` subcommand).
+  from saved trace/metrics files (the ``repro report`` subcommand);
+* :mod:`repro.observability.serving` — inference-path telemetry:
+  :class:`InferenceMonitor` rolling windows (latency, confidence,
+  soft-vote disagreement, recommendation mix), :class:`DriftDetector`
+  PSI/KS scoring against a fit-time :class:`FeatureBaseline`, and the
+  aggregated :class:`HealthSnapshot` JSON/Prometheus health document
+  (the ``repro monitor`` subcommand);
+* :mod:`repro.observability.profiler` — :class:`SamplingProfiler`,
+  a low-overhead thread/signal sampling profiler with collapsed-stack
+  (flamegraph) output (the ``repro profile`` subcommand).
 
 Everything is zero-dependency, thread-safe, and free when disabled: the
 module-level defaults are no-op singletons, so library code instruments
@@ -45,6 +54,20 @@ from repro.observability.observer import (
     NULL_OBSERVER,
     RaceObserver,
     RecordingObserver,
+    RecordingServingObserver,
+    ServingObserver,
+)
+from repro.observability.profiler import (
+    SamplingProfiler,
+    parse_collapsed,
+)
+from repro.observability.serving import (
+    DriftDetector,
+    DriftReport,
+    FeatureBaseline,
+    HealthSnapshot,
+    InferenceMonitor,
+    RollingWindow,
 )
 from repro.observability.tracing import (
     NULL_SPAN,
@@ -86,6 +109,18 @@ __all__ = [
     "LoggingObserver",
     "IterationRecord",
     "NULL_OBSERVER",
+    "ServingObserver",
+    "RecordingServingObserver",
+    # serving
+    "DriftDetector",
+    "DriftReport",
+    "FeatureBaseline",
+    "HealthSnapshot",
+    "InferenceMonitor",
+    "RollingWindow",
+    # profiler
+    "SamplingProfiler",
+    "parse_collapsed",
     # logging
     "get_logger",
     "enable_console_logging",

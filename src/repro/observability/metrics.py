@@ -10,7 +10,16 @@ Export formats:
 
 * :meth:`MetricsRegistry.to_json` — nested JSON document;
 * :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
-  format (counters/gauges as-is, histograms as ``summary`` quantiles).
+  format (counters/gauges as-is, histograms as ``summary`` quantiles by
+  default, or native ``histogram`` ``_bucket``/``_sum``/``_count``
+  series when ``native_histograms`` is enabled).
+
+Long-running serving safety: each metric name may hold at most
+``max_label_sets`` distinct label combinations (default 64).  Once the
+cap is hit, further label sets are folded into a single
+``{overflow="true"}`` instrument and a warning is logged once per
+metric — a per-series or per-request label can therefore never grow the
+registry without bound.
 """
 
 from __future__ import annotations
@@ -22,6 +31,10 @@ import threading
 import numpy as np
 
 _LabelKey = tuple[tuple[str, str], ...]
+
+#: Label set absorbing new label combinations once a metric hits its
+#: cardinality cap (see ``MetricsRegistry(max_label_sets=...)``).
+OVERFLOW_LABELS: _LabelKey = (("overflow", "true"),)
 
 
 def _label_key(labels: dict | None) -> _LabelKey:
@@ -35,6 +48,13 @@ def _render_labels(key: _LabelKey) -> str:
         return ""
     inner = ",".join(f'{k}="{v}"' for k, v in key)
     return "{" + inner + "}"
+
+
+def _get_module_logger():
+    """Lazy logger lookup (avoids an import cycle at package init)."""
+    from repro.observability.log import get_logger
+
+    return get_logger(__name__)
 
 
 def sanitize_metric_name(name: str) -> str:
@@ -115,6 +135,13 @@ class Histogram:
     #: Quantiles exported by :meth:`summary` / Prometheus text format.
     QUANTILES = (0.5, 0.95, 0.99)
 
+    #: Default ``le`` bucket ladder for native Prometheus exposition
+    #: (latency-oriented: 1 ms .. 30 s).
+    DEFAULT_BUCKETS = (
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+        0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    )
+
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
@@ -173,6 +200,21 @@ class Histogram:
             "p95": float(quantiles[1]),
             "p99": float(quantiles[2]),
         }
+
+    def bucket_counts(self, buckets=None) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs for native Prometheus buckets.
+
+        Exact (computed from the raw observations), monotonically
+        non-decreasing, and always ending with ``(inf, count)``.
+        """
+        edges = tuple(buckets) if buckets is not None else self.DEFAULT_BUCKETS
+        data = np.sort(self.values())
+        out = [
+            (float(le), int(np.searchsorted(data, le, side="right")))
+            for le in edges
+        ]
+        out.append((float("inf"), int(data.size)))
+        return out
 
     def as_dict(self) -> dict:
         return {"type": self.kind, **self.summary()}
@@ -278,23 +320,49 @@ class MetricsRegistry:
 
     Instruments are keyed by ``(name, sorted(labels))``; requesting an
     existing name with a different instrument type raises ``ValueError``.
+
+    Parameters
+    ----------
+    max_label_sets:
+        Cardinality cap: maximum distinct label combinations per metric
+        name.  New combinations beyond the cap share one
+        ``{overflow="true"}`` instrument (warned once per metric), so an
+        unbounded label (series name, request id) cannot blow up a
+        long-running registry.
+    native_histograms:
+        When true, :meth:`to_prometheus` exports histograms in the
+        native ``histogram`` exposition (``_bucket``/``_sum``/``_count``
+        with ``le`` labels) instead of the default ``summary``
+        quantiles.
     """
 
     enabled = True
 
     _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
-    def __init__(self):
+    def __init__(
+        self,
+        *,
+        max_label_sets: int = 64,
+        native_histograms: bool = False,
+    ):
+        if max_label_sets < 1:
+            raise ValueError("max_label_sets must be >= 1")
+        self.max_label_sets = int(max_label_sets)
+        self.native_histograms = bool(native_histograms)
         self._lock = threading.Lock()
         self._instruments: dict[tuple[str, _LabelKey], object] = {}
         self._kinds: dict[str, str] = {}
         self._helps: dict[str, str] = {}
+        self._label_counts: dict[str, int] = {}
+        self._overflowed: set[str] = set()
 
     def _get_or_create(
         self, kind: str, name: str, help: str, labels: dict | None
     ):
         name = sanitize_metric_name(name)
-        key = (name, _label_key(labels))
+        label_key = _label_key(labels)
+        key = (name, label_key)
         with self._lock:
             existing_kind = self._kinds.get(name)
             if existing_kind is not None and existing_kind != kind:
@@ -304,12 +372,41 @@ class MetricsRegistry:
                 )
             instrument = self._instruments.get(key)
             if instrument is None:
+                if (
+                    label_key
+                    and label_key != OVERFLOW_LABELS
+                    and self._label_counts.get(name, 0) >= self.max_label_sets
+                ):
+                    # Cardinality cap: fold this new combination into the
+                    # shared overflow instrument instead of registering it.
+                    if name not in self._overflowed:
+                        self._overflowed.add(name)
+                        _get_module_logger().warning(
+                            "metric %s exceeded %d label sets; folding new "
+                            "label combinations into %s",
+                            name,
+                            self.max_label_sets,
+                            _render_labels(OVERFLOW_LABELS),
+                        )
+                    key = (name, OVERFLOW_LABELS)
+                    instrument = self._instruments.get(key)
+                    if instrument is not None:
+                        return instrument
                 instrument = self._KINDS[kind](name, help)
                 self._instruments[key] = instrument
                 self._kinds[name] = kind
+                if key[1] and key[1] != OVERFLOW_LABELS:
+                    self._label_counts[name] = (
+                        self._label_counts.get(name, 0) + 1
+                    )
                 if help:
                     self._helps[name] = help
             return instrument
+
+    def overflowed_metrics(self) -> set[str]:
+        """Names whose label cardinality hit the cap at least once."""
+        with self._lock:
+            return set(self._overflowed)
 
     def counter(
         self, name: str, help: str = "", labels: dict | None = None
@@ -335,6 +432,8 @@ class MetricsRegistry:
             self._instruments.clear()
             self._kinds.clear()
             self._helps.clear()
+            self._label_counts.clear()
+            self._overflowed.clear()
 
     # -- export ----------------------------------------------------------
     def _snapshot(self) -> list[tuple[str, _LabelKey, object]]:
@@ -356,8 +455,16 @@ class MetricsRegistry:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
 
-    def to_prometheus(self) -> str:
-        """Render the Prometheus text exposition format."""
+    def to_prometheus(self, native_histograms: bool | None = None) -> str:
+        """Render the Prometheus text exposition format.
+
+        ``native_histograms`` overrides the registry-level flag for this
+        render only: ``True`` exports histograms as native ``histogram``
+        series (cumulative ``_bucket{le=...}`` plus ``_sum``/``_count``),
+        ``False``/default keeps the historical ``summary`` quantiles.
+        """
+        if native_histograms is None:
+            native_histograms = self.native_histograms
         lines: list[str] = []
         seen_header: set[str] = set()
         for name, labels, inst in self._snapshot():
@@ -366,19 +473,30 @@ class MetricsRegistry:
                 help_text = self._helps.get(name, "")
                 if help_text:
                     lines.append(f"# HELP {name} {help_text}")
-                prom_type = (
-                    "summary" if inst.kind == "histogram" else inst.kind
-                )
+                if inst.kind == "histogram":
+                    prom_type = (
+                        "histogram" if native_histograms else "summary"
+                    )
+                else:
+                    prom_type = inst.kind
                 lines.append(f"# TYPE {name} {prom_type}")
             rendered = _render_labels(labels)
             if inst.kind == "histogram":
                 summary = inst.summary()
-                for quantile in Histogram.QUANTILES:
-                    q_labels = _render_labels(
-                        labels + (("quantile", str(quantile)),)
-                    )
-                    pct = int(round(quantile * 100))
-                    lines.append(f"{name}{q_labels} {summary[f'p{pct}']}")
+                if native_histograms:
+                    for le, count in inst.bucket_counts():
+                        le_text = "+Inf" if le == float("inf") else repr(le)
+                        b_labels = _render_labels(
+                            labels + (("le", le_text),)
+                        )
+                        lines.append(f"{name}_bucket{b_labels} {count}")
+                else:
+                    for quantile in Histogram.QUANTILES:
+                        q_labels = _render_labels(
+                            labels + (("quantile", str(quantile)),)
+                        )
+                        pct = int(round(quantile * 100))
+                        lines.append(f"{name}{q_labels} {summary[f'p{pct}']}")
                 lines.append(f"{name}_sum{rendered} {summary['sum']}")
                 lines.append(f"{name}_count{rendered} {summary['count']}")
             else:

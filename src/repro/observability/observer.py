@@ -222,6 +222,49 @@ class RecordingObserver(RaceObserver):
         self._push("race_end", result=result)
 
 
+class ServingObserver:
+    """Event-callback API for the serving path (the inference-side bus).
+
+    :class:`~repro.observability.serving.InferenceMonitor` and
+    :class:`~repro.observability.serving.DriftDetector` emit into this
+    interface, mirroring how ModelRace emits into :class:`RaceObserver`.
+    Every callback is a no-op; subclass and override what you need.
+    """
+
+    def on_request(self, n_series: int, latency: float, recommendations) -> None:
+        """A monitored recommend/recommend_many call finished."""
+
+    def on_drift_alert(self, report) -> None:
+        """The drift detector crossed a threshold (``report`` is a
+        :class:`~repro.observability.serving.DriftReport`)."""
+
+
+@dataclass
+class RecordingServingObserver(ServingObserver):
+    """Records serving events as ``(event_name, payload)`` tuples."""
+
+    events: list = field(default_factory=list)
+
+    def of_type(self, name: str) -> list:
+        """Payloads of every recorded event called ``name``."""
+        return [payload for event, payload in self.events if event == name]
+
+    def on_request(self, n_series, latency, recommendations):
+        self.events.append(
+            (
+                "request",
+                {
+                    "n_series": n_series,
+                    "latency": latency,
+                    "recommendations": recommendations,
+                },
+            )
+        )
+
+    def on_drift_alert(self, report):
+        self.events.append(("drift_alert", {"report": report}))
+
+
 class LoggingObserver(RaceObserver):
     """Narrates race progress through the ``repro`` logger hierarchy."""
 

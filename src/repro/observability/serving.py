@@ -1,0 +1,809 @@
+"""Serving-side quality observability: monitors, drift, and health docs.
+
+The training path is instrumented (tracing/metrics/race events); this
+module watches the *inference* path that production traffic actually
+hits.  Four cooperating pieces:
+
+* :class:`RollingWindow` — fixed-capacity ring buffer of float
+  observations with exact quantile summaries; the storage behind every
+  per-request statistic.
+* :class:`FeatureBaseline` — a fingerprint of the training feature
+  matrix captured at fit time (per-feature mean/std, quantile sketch,
+  expected bucket proportions).  JSON-serializable, persisted alongside
+  the engine by :mod:`repro.core.serialization`.
+* :class:`DriftDetector` — scores incoming feature vectors against a
+  :class:`FeatureBaseline` with PSI (population stability index) and a
+  two-sample KS statistic per feature, raising threshold-crossing
+  :class:`DriftReport` events through
+  :class:`~repro.observability.observer.ServingObserver` callbacks and a
+  ``repro_drift_alerts_total`` counter.
+* :class:`InferenceMonitor` — wraps a fitted
+  :class:`~repro.core.adarts.ADarts` engine; every ``recommend`` /
+  ``recommend_many`` records latency, ensemble top-1 confidence,
+  soft-vote disagreement (Jensen-Shannon-style entropy gap across member
+  probabilities), the per-algorithm recommendation mix, and feeds the
+  drift detector.
+* :class:`HealthSnapshot` — one JSON / Prometheus document aggregating
+  the monitor windows, drift scores, cache hit rates
+  (:class:`~repro.parallel.FeatureCache` / ``ScoreMemo``), and execution
+  engine backend stats.  Surfaced by ``python -m repro monitor``.
+
+Everything here follows the substrate's rules: zero extra dependencies,
+thread-safe, and free when unused — a monitor is opt-in, and library
+code never imports this module on the hot path.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.observability.log import get_logger
+from repro.observability.metrics import MetricsRegistry, get_metrics
+from repro.observability.observer import ServingObserver
+from repro.observability.tracing import get_tracer
+
+_log = get_logger(__name__)
+
+_EPS = 1e-4
+
+
+# ---------------------------------------------------------------------------
+# Rolling windows
+# ---------------------------------------------------------------------------
+class RollingWindow:
+    """Thread-safe ring buffer of the last ``capacity`` float observations.
+
+    Unlike :class:`~repro.observability.metrics.Histogram` (which keeps
+    every observation for run-level summaries), a window forgets: serving
+    statistics must reflect *recent* traffic, not the whole process
+    lifetime.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("window capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._buffer = np.zeros(self.capacity, dtype=float)
+        self._n = 0  # filled slots (<= capacity)
+        self._head = 0  # next write position
+        self._total = 0  # lifetime observation count
+        self._lock = threading.Lock()
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        if not np.isfinite(value):
+            return
+        with self._lock:
+            self._buffer[self._head] = value
+            self._head = (self._head + 1) % self.capacity
+            self._n = min(self._n + 1, self.capacity)
+            self._total += 1
+
+    def extend(self, values) -> None:
+        for value in np.asarray(values, dtype=float).ravel():
+            self.push(value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._n
+
+    @property
+    def total(self) -> int:
+        """Lifetime number of observations pushed (not capped)."""
+        with self._lock:
+            return self._total
+
+    def values(self) -> np.ndarray:
+        """Copy of the window contents, oldest first."""
+        with self._lock:
+            if self._n < self.capacity:
+                return self._buffer[: self._n].copy()
+            return np.concatenate(
+                [self._buffer[self._head:], self._buffer[: self._head]]
+            )
+
+    def summary(self) -> dict:
+        """count/mean/min/max/p50/p95/p99 over the current window."""
+        data = self.values()
+        if data.size == 0:
+            return {
+                "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+        p50, p95, p99 = np.percentile(data, [50, 95, 99])
+        return {
+            "count": int(data.size),
+            "mean": float(data.mean()),
+            "min": float(data.min()),
+            "max": float(data.max()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Feature baseline + drift scoring
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FeatureBaseline:
+    """Distributional fingerprint of a training feature matrix.
+
+    Captured once at fit time (see ``ADarts.fit_features``) and compared
+    against serving traffic forever after.  Stores, per feature:
+
+    * ``mean`` / ``std`` — first moments, for cheap z-score checks;
+    * ``sketch_values`` — feature values at ``sketch_probs`` quantiles
+      (the ECDF sketch the KS statistic is computed against);
+    * ``edges`` — interior bucket edges (``n_bins - 1`` per feature);
+    * ``expected`` — the baseline's own bucket occupancy, computed by
+      re-binning the training matrix (robust to ties and constant
+      features, unlike assuming uniform ``1/n_bins``).
+    """
+
+    feature_names: tuple[str, ...]
+    n_samples: int
+    mean: np.ndarray  # (d,)
+    std: np.ndarray  # (d,)
+    sketch_probs: np.ndarray  # (s,)
+    sketch_values: np.ndarray  # (d, s)
+    edges: np.ndarray  # (d, n_bins - 1)
+    expected: np.ndarray  # (d, n_bins)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    @property
+    def n_bins(self) -> int:
+        return self.expected.shape[1]
+
+    @classmethod
+    def from_matrix(
+        cls,
+        X: np.ndarray,
+        feature_names=None,
+        *,
+        n_bins: int = 10,
+        n_sketch: int = 21,
+    ) -> "FeatureBaseline":
+        """Fingerprint ``X`` (n_samples, n_features)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] < 2:
+            raise ValueError("baseline needs a 2-D matrix with >= 2 rows")
+        d = X.shape[1]
+        if feature_names is None or len(feature_names) != d:
+            feature_names = tuple(f"f{i}" for i in range(d))
+        else:
+            feature_names = tuple(str(n) for n in feature_names)
+        finite = np.nan_to_num(X, nan=0.0, posinf=0.0, neginf=0.0)
+        sketch_probs = np.linspace(0.0, 1.0, int(n_sketch))
+        sketch_values = np.percentile(
+            finite, 100 * sketch_probs, axis=0
+        ).T  # (d, s)
+        interior = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+        edges = np.percentile(finite, 100 * interior, axis=0).T  # (d, n_bins-1)
+        expected = np.empty((d, n_bins), dtype=float)
+        for j in range(d):
+            expected[j] = _bucket_proportions(finite[:, j], edges[j])
+        return cls(
+            feature_names=feature_names,
+            n_samples=int(X.shape[0]),
+            mean=finite.mean(axis=0),
+            std=finite.std(axis=0),
+            sketch_probs=sketch_probs,
+            sketch_values=sketch_values,
+            edges=edges,
+            expected=expected,
+        )
+
+    # -- persistence -----------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "feature_names": list(self.feature_names),
+            "n_samples": self.n_samples,
+            "mean": self.mean.tolist(),
+            "std": self.std.tolist(),
+            "sketch_probs": self.sketch_probs.tolist(),
+            "sketch_values": self.sketch_values.tolist(),
+            "edges": self.edges.tolist(),
+            "expected": self.expected.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FeatureBaseline":
+        return cls(
+            feature_names=tuple(document["feature_names"]),
+            n_samples=int(document["n_samples"]),
+            mean=np.asarray(document["mean"], dtype=float),
+            std=np.asarray(document["std"], dtype=float),
+            sketch_probs=np.asarray(document["sketch_probs"], dtype=float),
+            sketch_values=np.asarray(document["sketch_values"], dtype=float),
+            edges=np.asarray(document["edges"], dtype=float),
+            expected=np.asarray(document["expected"], dtype=float),
+        )
+
+
+def _bucket_proportions(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Occupancy fraction of the ``len(edges) + 1`` buckets cut by ``edges``."""
+    idx = np.searchsorted(edges, values, side="right")
+    counts = np.bincount(idx, minlength=len(edges) + 1).astype(float)
+    total = counts.sum()
+    return counts / total if total else counts
+
+
+def psi_statistic(
+    expected: np.ndarray, actual: np.ndarray, *, floor: float = _EPS
+) -> float:
+    """Population stability index between two bucket-proportion vectors.
+
+    Conventional reading: < 0.1 stable, 0.1-0.25 moderate shift, > 0.25
+    significant shift.  Proportions are clamped at ``floor`` (default
+    ``1e-4``) so empty buckets do not produce infinities; callers
+    comparing small samples should raise the floor toward ``0.5/n`` —
+    with a tiny floor, a single sampling-noise empty bucket contributes
+    ``~0.1 * ln(1e3)`` PSI on its own.
+    """
+    e = np.clip(np.asarray(expected, dtype=float), max(_EPS, floor), None)
+    a = np.clip(np.asarray(actual, dtype=float), max(_EPS, floor), None)
+    e = e / e.sum()
+    a = a / a.sum()
+    return float(np.sum((a - e) * np.log(a / e)))
+
+
+def ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (sup ECDF distance)."""
+    a = np.sort(np.asarray(sample_a, dtype=float).ravel())
+    b = np.sort(np.asarray(sample_b, dtype=float).ravel())
+    if a.size == 0 or b.size == 0:
+        return 0.0
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / a.size
+    cdf_b = np.searchsorted(b, pooled, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+@dataclass
+class DriftReport:
+    """Per-feature and aggregate drift scores for one detector window."""
+
+    n_samples: int
+    psi: dict[str, float]
+    ks: dict[str, float]
+    psi_threshold: float
+    ks_threshold: float
+
+    @property
+    def max_psi(self) -> float:
+        return max(self.psi.values()) if self.psi else 0.0
+
+    @property
+    def max_ks(self) -> float:
+        return max(self.ks.values()) if self.ks else 0.0
+
+    @property
+    def worst_feature(self) -> str | None:
+        """Feature with the highest PSI (ties broken by name order)."""
+        if not self.psi:
+            return None
+        return max(sorted(self.psi), key=lambda name: self.psi[name])
+
+    @property
+    def triggered(self) -> bool:
+        """Whether either aggregate statistic crossed its threshold."""
+        return (
+            self.max_psi > self.psi_threshold or self.max_ks > self.ks_threshold
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "n_samples": self.n_samples,
+            "max_psi": self.max_psi,
+            "max_ks": self.max_ks,
+            "psi_threshold": self.psi_threshold,
+            "ks_threshold": self.ks_threshold,
+            "triggered": self.triggered,
+            "worst_feature": self.worst_feature,
+            "psi": dict(self.psi),
+            "ks": dict(self.ks),
+        }
+
+
+class DriftDetector:
+    """Scores serving feature vectors against a :class:`FeatureBaseline`.
+
+    Incoming vectors accumulate in per-feature rolling windows; once
+    ``min_samples`` have been seen, every :meth:`update` also produces a
+    :class:`DriftReport`.  A report whose PSI or KS maximum crosses its
+    threshold is announced once per excursion (re-arming when the scores
+    fall back under the thresholds) through the registered
+    :class:`~repro.observability.observer.ServingObserver` s and the
+    ``repro_drift_alerts_total`` counter.
+
+    Parameters
+    ----------
+    baseline:
+        The training-time fingerprint to compare against.
+    window_size:
+        How many recent vectors the drift window holds.
+    min_samples:
+        Observations required before scoring starts (short windows make
+        PSI noisy).
+    psi_threshold / ks_threshold:
+        Alert thresholds for the per-feature maxima.  The PSI default
+        (0.25) is the conventional "significant shift" cut; the KS
+        default is generous because the baseline side is a quantile
+        sketch, not the raw sample.
+    """
+
+    def __init__(
+        self,
+        baseline: FeatureBaseline,
+        *,
+        window_size: int = 256,
+        min_samples: int = 64,
+        psi_threshold: float = 0.25,
+        ks_threshold: float = 0.5,
+    ):
+        self.baseline = baseline
+        self.window_size = int(window_size)
+        self.min_samples = max(2, int(min_samples))
+        self.psi_threshold = float(psi_threshold)
+        self.ks_threshold = float(ks_threshold)
+        self._window = np.zeros((self.window_size, baseline.n_features))
+        self._head = 0
+        self._n = 0
+        self._total = 0
+        self._lock = threading.Lock()
+        self._observers: list[ServingObserver] = []
+        self._alert_active = False
+        self.n_alerts = 0
+        self.last_report: DriftReport | None = None
+
+    def add_observer(self, observer: ServingObserver) -> None:
+        """Register an observer for ``on_drift_alert`` callbacks."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    def update(self, X: np.ndarray) -> DriftReport | None:
+        """Ingest feature rows; returns a report once warmed up."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.baseline.n_features:
+            raise ValueError(
+                f"expected {self.baseline.n_features} features, got {X.shape[1]}"
+            )
+        with self._lock:
+            for row in np.nan_to_num(X, nan=0.0, posinf=0.0, neginf=0.0):
+                self._window[self._head] = row
+                self._head = (self._head + 1) % self.window_size
+                self._n = min(self._n + 1, self.window_size)
+                self._total += 1
+        if self._n < self.min_samples:
+            return None
+        return self.check()
+
+    def window_matrix(self) -> np.ndarray:
+        """Copy of the current drift window (n_recent, n_features)."""
+        with self._lock:
+            if self._n < self.window_size:
+                return self._window[: self._n].copy()
+            return np.concatenate(
+                [self._window[self._head:], self._window[: self._head]]
+            )
+
+    def check(self) -> DriftReport:
+        """Score the current window and fire alerts on threshold crossing."""
+        window = self.window_matrix()
+        baseline = self.baseline
+        psi: dict[str, float] = {}
+        ks: dict[str, float] = {}
+        # Sample-aware smoothing: an empty bucket in a small window is
+        # sampling noise, not evidence of drift.
+        floor = max(_EPS, 0.5 / max(1, window.shape[0]))
+        for j, name in enumerate(baseline.feature_names):
+            column = window[:, j]
+            actual = _bucket_proportions(column, baseline.edges[j])
+            psi[name] = psi_statistic(
+                baseline.expected[j], actual, floor=floor
+            )
+            ks[name] = ks_statistic(column, baseline.sketch_values[j])
+        report = DriftReport(
+            n_samples=int(window.shape[0]),
+            psi=psi,
+            ks=ks,
+            psi_threshold=self.psi_threshold,
+            ks_threshold=self.ks_threshold,
+        )
+        self.last_report = report
+        metrics = get_metrics()
+        metrics.gauge(
+            "repro_drift_psi_max", "Max per-feature PSI over the drift window"
+        ).set(report.max_psi)
+        metrics.gauge(
+            "repro_drift_ks_max", "Max per-feature KS over the drift window"
+        ).set(report.max_ks)
+        if report.triggered:
+            if not self._alert_active:
+                self._alert_active = True
+                self.n_alerts += 1
+                metrics.counter(
+                    "repro_drift_alerts_total",
+                    "Drift threshold crossings announced",
+                ).inc()
+                _log.warning(
+                    "feature drift detected: max PSI %.3f (>%g) / max KS %.3f "
+                    "(worst feature %s, window %d)",
+                    report.max_psi,
+                    self.psi_threshold,
+                    report.max_ks,
+                    report.worst_feature,
+                    report.n_samples,
+                )
+                for observer in self._observers:
+                    observer.on_drift_alert(report)
+        else:
+            self._alert_active = False
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Inference monitor
+# ---------------------------------------------------------------------------
+def vote_entropy(proba: np.ndarray) -> np.ndarray:
+    """Shannon entropy (nats) of each probability row."""
+    p = np.clip(np.atleast_2d(np.asarray(proba, dtype=float)), _EPS, None)
+    p = p / p.sum(axis=1, keepdims=True)
+    return -np.sum(p * np.log(p), axis=1)
+
+
+def vote_disagreement(member_probas: np.ndarray) -> np.ndarray:
+    """Jensen-Shannon-style disagreement across ensemble members.
+
+    ``H(mean of member probas) - mean(H(member probas))`` per sample —
+    zero when every member outputs the same distribution, larger the
+    more the members' recommendations diverge.  Input shape is
+    ``(n_members, n_samples, n_classes)``.
+    """
+    member_probas = np.asarray(member_probas, dtype=float)
+    if member_probas.ndim != 3:
+        raise ValueError("member_probas must be (n_members, n_samples, n_classes)")
+    mean_entropy = np.mean(
+        [vote_entropy(m) for m in member_probas], axis=0
+    )
+    entropy_of_mean = vote_entropy(member_probas.mean(axis=0))
+    return np.maximum(entropy_of_mean - mean_entropy, 0.0)
+
+
+class InferenceMonitor:
+    """Per-request quality telemetry around a fitted A-DARTS engine.
+
+    Wraps ``engine.recommend`` / ``recommend_many``: the monitor extracts
+    features once, obtains per-member aligned probabilities from the
+    ensemble, produces the exact same :class:`Recommendation` objects the
+    bare engine would, and records into rolling windows:
+
+    * request latency and per-series latency (seconds);
+    * ensemble top-1 confidence (max soft-vote probability);
+    * soft-vote disagreement (:func:`vote_disagreement`);
+    * the per-algorithm recommendation mix;
+    * drift scores, when a :class:`DriftDetector` is attached (one is
+      built automatically from ``engine.feature_baseline_`` when
+      available).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        window: int = 512,
+        drift_detector: DriftDetector | None = None,
+        drift_window: int = 256,
+        drift_min_samples: int = 64,
+        observer: ServingObserver | None = None,
+    ):
+        if not getattr(engine, "is_fitted", False):
+            from repro.exceptions import NotFittedError
+
+            raise NotFittedError("InferenceMonitor requires a fitted engine")
+        self.engine = engine
+        self.latency = RollingWindow(window)
+        self.series_latency = RollingWindow(window)
+        self.confidence = RollingWindow(window)
+        self.disagreement = RollingWindow(window)
+        self.recommendation_mix: dict[str, int] = {}
+        self._mix_lock = threading.Lock()
+        self.started_at = time.time()
+        self.n_requests = 0
+        self.n_series = 0
+        if drift_detector is None:
+            baseline = getattr(engine, "feature_baseline_", None)
+            if baseline is not None:
+                drift_detector = DriftDetector(
+                    baseline,
+                    window_size=drift_window,
+                    min_samples=drift_min_samples,
+                )
+        self.drift_detector = drift_detector
+        self.observers: list[ServingObserver] = []
+        if observer is not None:
+            self.add_observer(observer)
+
+    def add_observer(self, observer: ServingObserver) -> None:
+        """Register a :class:`ServingObserver` for request/drift events."""
+        self.observers.append(observer)
+        if self.drift_detector is not None:
+            self.drift_detector.add_observer(observer)
+
+    # ------------------------------------------------------------------
+    def recommend(self, series):
+        """Monitored single-series recommendation."""
+        return self.recommend_many([series])[0]
+
+    def recommend_many(self, series_list) -> list:
+        """Monitored batch recommendation (same contract as the engine)."""
+        engine = self.engine
+        ensemble = engine._ensemble
+        n_series = len(series_list)
+        start = time.perf_counter()
+        with get_tracer().span(
+            "serving.recommend_many", subsystem="inference", n_series=n_series
+        ):
+            X = engine.extract_features(series_list)
+            member_probas = ensemble.member_probas(X)
+            proba = ensemble.predict_proba(X)
+            recommendations = engine._recommendations_from_proba(proba)
+        elapsed = time.perf_counter() - start
+
+        # -- windows ------------------------------------------------------
+        self.latency.push(elapsed)
+        if n_series:
+            per_series = elapsed / n_series
+            for _ in range(n_series):
+                self.series_latency.push(per_series)
+        self.confidence.extend(proba.max(axis=1))
+        self.disagreement.extend(vote_disagreement(member_probas))
+        with self._mix_lock:
+            self.n_requests += 1
+            self.n_series += n_series
+            for rec in recommendations:
+                self.recommendation_mix[rec.algorithm] = (
+                    self.recommendation_mix.get(rec.algorithm, 0) + 1
+                )
+
+        # -- metrics registry (no-op unless installed) --------------------
+        metrics = get_metrics()
+        metrics.counter(
+            "repro_serving_requests_total", "Requests served through the monitor"
+        ).inc()
+        metrics.counter(
+            "repro_serving_series_total", "Series served through the monitor"
+        ).inc(n_series)
+        metrics.histogram(
+            "repro_serving_latency_seconds", "Monitored request latency"
+        ).observe(elapsed)
+        for rec in recommendations:
+            metrics.counter(
+                "repro_serving_recommendations_total",
+                "Recommendations by algorithm",
+                labels={"algorithm": rec.algorithm},
+            ).inc()
+
+        # -- drift + observers --------------------------------------------
+        if self.drift_detector is not None:
+            self.drift_detector.update(X)
+        for observer in self.observers:
+            observer.on_request(n_series, elapsed, recommendations)
+        return recommendations
+
+    # ------------------------------------------------------------------
+    @property
+    def uptime(self) -> float:
+        return time.time() - self.started_at
+
+    def mix_fractions(self) -> dict[str, float]:
+        """Recommendation mix as fractions of all served series."""
+        with self._mix_lock:
+            total = sum(self.recommendation_mix.values())
+            if not total:
+                return {}
+            return {
+                name: count / total
+                for name, count in sorted(self.recommendation_mix.items())
+            }
+
+    def snapshot(self) -> "HealthSnapshot":
+        """Aggregate the monitor state into a :class:`HealthSnapshot`."""
+        return HealthSnapshot.collect(self)
+
+
+# ---------------------------------------------------------------------------
+# Health snapshot
+# ---------------------------------------------------------------------------
+@dataclass
+class HealthSnapshot:
+    """One serving-health document: windows + drift + caches + backends.
+
+    Build via :meth:`collect`; render via :meth:`to_json` (nested JSON)
+    or :meth:`to_prometheus` (gauge-based text exposition, suitable for
+    a node-exporter-style scrape file).
+    """
+
+    generated_at: str
+    uptime_s: float
+    n_requests: int
+    n_series: int
+    latency: dict
+    series_latency: dict
+    confidence: dict
+    disagreement: dict
+    recommendation_mix: dict
+    drift: dict | None
+    caches: dict
+    backends: dict
+    alerts: dict = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        monitor: InferenceMonitor,
+        *,
+        feature_cache=None,
+        score_memo=None,
+        backends: dict | None = None,
+    ) -> "HealthSnapshot":
+        """Assemble a snapshot from a monitor plus optional cache handles.
+
+        ``feature_cache`` defaults to the engine extractor's cache;
+        ``backends`` defaults to
+        :func:`repro.parallel.executor.engine_stats`.
+        """
+        engine = monitor.engine
+        if feature_cache is None:
+            feature_cache = getattr(
+                getattr(engine, "extractor", None), "cache", None
+            )
+        # ``is not None`` matters: both caches define ``__len__``, so an
+        # *empty* cache is falsy but still worth reporting.
+        caches = {
+            "feature_cache": (
+                feature_cache.stats() if feature_cache is not None else None
+            ),
+            "score_memo": (
+                score_memo.stats() if score_memo is not None else None
+            ),
+        }
+        if backends is None:
+            from repro.parallel.executor import engine_stats
+
+            backends = engine_stats()
+        detector = monitor.drift_detector
+        drift = None
+        if detector is not None:
+            report = detector.last_report
+            drift = {
+                "enabled": True,
+                "n_alerts": detector.n_alerts,
+                "report": report.as_dict() if report is not None else None,
+            }
+        return cls(
+            generated_at=_dt.datetime.now(_dt.timezone.utc).isoformat(),
+            uptime_s=monitor.uptime,
+            n_requests=monitor.n_requests,
+            n_series=monitor.n_series,
+            latency=monitor.latency.summary(),
+            series_latency=monitor.series_latency.summary(),
+            confidence=monitor.confidence.summary(),
+            disagreement=monitor.disagreement.summary(),
+            recommendation_mix={
+                "counts": dict(sorted(monitor.recommendation_mix.items())),
+                "fractions": monitor.mix_fractions(),
+            },
+            drift=drift,
+            caches=caches,
+            backends=backends,
+            alerts={
+                "drift_alerts": detector.n_alerts if detector else 0,
+            },
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "generated_at": self.generated_at,
+            "uptime_s": self.uptime_s,
+            "n_requests": self.n_requests,
+            "n_series": self.n_series,
+            "latency": self.latency,
+            "series_latency": self.series_latency,
+            "confidence": self.confidence,
+            "disagreement": self.disagreement,
+            "recommendation_mix": self.recommendation_mix,
+            "drift": self.drift,
+            "caches": self.caches,
+            "backends": self.backends,
+            "alerts": self.alerts,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def to_prometheus(self) -> str:
+        """Render the snapshot as Prometheus gauges/counters."""
+        registry = MetricsRegistry()
+        registry.gauge(
+            "repro_serving_uptime_seconds", "Monitor uptime"
+        ).set(self.uptime_s)
+        registry.counter(
+            "repro_serving_requests_total", "Requests served"
+        ).inc(self.n_requests)
+        registry.counter(
+            "repro_serving_series_total", "Series served"
+        ).inc(self.n_series)
+        for prefix, summary in (
+            ("repro_serving_latency_seconds", self.latency),
+            ("repro_serving_series_latency_seconds", self.series_latency),
+            ("repro_serving_confidence", self.confidence),
+            ("repro_serving_disagreement", self.disagreement),
+        ):
+            for stat in ("p50", "p95", "p99", "mean"):
+                registry.gauge(
+                    prefix, f"Rolling-window {prefix}",
+                    labels={"stat": stat},
+                ).set(summary.get(stat, 0.0))
+        for name, count in self.recommendation_mix.get("counts", {}).items():
+            registry.counter(
+                "repro_serving_recommendations_total",
+                "Recommendations by algorithm",
+                labels={"algorithm": name},
+            ).inc(count)
+        if self.drift and self.drift.get("report"):
+            report = self.drift["report"]
+            registry.gauge(
+                "repro_drift_psi_max", "Max per-feature PSI"
+            ).set(report["max_psi"])
+            registry.gauge(
+                "repro_drift_ks_max", "Max per-feature KS"
+            ).set(report["max_ks"])
+            registry.gauge(
+                "repro_drift_triggered", "1 when drift thresholds are crossed"
+            ).set(1.0 if report["triggered"] else 0.0)
+            registry.counter(
+                "repro_drift_alerts_total", "Drift alerts announced"
+            ).inc(self.drift.get("n_alerts", 0))
+        for cache_name, stats in self.caches.items():
+            if not stats:
+                continue
+            registry.gauge(
+                "repro_cache_hit_rate", "Cache hit rate",
+                labels={"cache": cache_name},
+            ).set(stats.get("hit_rate", 0.0))
+            registry.gauge(
+                "repro_cache_entries", "Cache entry count",
+                labels={"cache": cache_name},
+            ).set(stats.get("entries", 0))
+        for backend, stats in self.backends.items():
+            registry.counter(
+                "repro_parallel_tasks_total", "Engine tasks by backend",
+                labels={"backend": backend},
+            ).inc(stats.get("tasks", 0))
+            registry.counter(
+                "repro_parallel_batches_total", "Engine batches by backend",
+                labels={"backend": backend},
+            ).inc(stats.get("batches", 0))
+        return registry.to_prometheus()
+
+    def export(self, path):
+        """Write the snapshot; ``.prom``/``.txt`` selects Prometheus text."""
+        import pathlib
+
+        path = pathlib.Path(path)
+        if path.suffix in (".prom", ".txt"):
+            path.write_text(self.to_prometheus())
+        else:
+            path.write_text(self.to_json())
+        return path

@@ -33,7 +33,11 @@ from repro.parallel.config import (
     SERIAL,
     available_cpus,
 )
-from repro.parallel.executor import ExecutionEngine
+from repro.parallel.executor import (
+    ExecutionEngine,
+    engine_stats,
+    reset_engine_stats,
+)
 
 __all__ = [
     "AUTO_PROCESS_MIN_TASKS",
@@ -46,6 +50,8 @@ __all__ = [
     "ScoreMemo",
     "available_cpus",
     "default_cache_dir",
+    "engine_stats",
     "hash_array",
     "hash_arrays",
+    "reset_engine_stats",
 ]

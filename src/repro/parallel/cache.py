@@ -156,6 +156,16 @@ class FeatureCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict:
+        """Health-document payload: entries / hits / misses / hit_rate."""
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "persistent": self.directory is not None,
+        }
+
     def clear(self, *, disk: bool = False) -> None:
         """Drop in-memory entries; ``disk=True`` also removes persisted files."""
         with self._lock:
@@ -223,6 +233,15 @@ class ScoreMemo:
         """Fraction of lookups served from the memo (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Health-document payload: entries / hits / misses / hit_rate."""
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
 
     def clear(self) -> None:
         with self._lock:

@@ -23,11 +23,48 @@ support), the engine logs a warning and degrades to threads.
 from __future__ import annotations
 
 import concurrent.futures as _futures
+import threading
+import time
 
 from repro.observability import get_logger, get_metrics, get_tracer
 from repro.parallel.config import ParallelConfig
 
 _log = get_logger(__name__)
+
+# ---------------------------------------------------------------------------
+# Process-wide backend stats.  The engines themselves are ephemeral (the
+# extractor builds one per batch), so serving-health documents read the
+# per-backend aggregate here instead of holding engine references.
+# ---------------------------------------------------------------------------
+_STATS_LOCK = threading.Lock()
+_BACKEND_STATS: dict[str, dict[str, float]] = {}
+
+
+def _record_batch(backend: str, n_tasks: int, seconds: float) -> None:
+    with _STATS_LOCK:
+        stats = _BACKEND_STATS.setdefault(
+            backend, {"batches": 0, "tasks": 0, "seconds": 0.0}
+        )
+        stats["batches"] += 1
+        stats["tasks"] += n_tasks
+        stats["seconds"] += seconds
+
+
+def engine_stats() -> dict[str, dict[str, float]]:
+    """Per-backend ``{batches, tasks, seconds}`` since process start.
+
+    A copy; mutating the result does not affect the live counters.
+    """
+    with _STATS_LOCK:
+        return {
+            backend: dict(stats) for backend, stats in _BACKEND_STATS.items()
+        }
+
+
+def reset_engine_stats() -> None:
+    """Zero the process-wide backend stats (tests / fresh monitoring)."""
+    with _STATS_LOCK:
+        _BACKEND_STATS.clear()
 
 
 def _apply_chunk(fn, chunk):
@@ -83,6 +120,7 @@ class ExecutionEngine:
             "Wall seconds per ExecutionEngine.map batch",
             labels={"backend": backend},
         )
+        batch_start = time.perf_counter()
         with tracer.span(
             label,
             subsystem="parallel",
@@ -109,6 +147,7 @@ class ExecutionEngine:
             "Batches executed through ExecutionEngine.map",
             labels={"backend": backend},
         ).inc()
+        _record_batch(backend, len(items), time.perf_counter() - batch_start)
         return results
 
     # ------------------------------------------------------------------

@@ -1,0 +1,173 @@
+"""Unit tests for the benchmark regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_GATE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+BASELINE = {
+    "extract_many": {"serial_s": 1.0, "parallel_s": 0.25, "n_jobs": 4},
+    "race": {"serial_s": 0.2, "parallel_s": 0.3, "n_jobs": 4},
+}
+
+
+def _write(path, document):
+    path.write_text(json.dumps(document))
+    return path
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        assert gate.compare(BASELINE, BASELINE) == []
+
+    def test_faster_passes(self):
+        fresh = {
+            "extract_many": {"serial_s": 0.5, "parallel_s": 0.1},
+            "race": {"serial_s": 0.1, "parallel_s": 0.1},
+        }
+        assert gate.compare(BASELINE, fresh) == []
+
+    def test_slowdown_beyond_threshold_fails(self):
+        fresh = {
+            "extract_many": {"serial_s": 1.0, "parallel_s": 0.5},  # 2.0x
+            "race": {"serial_s": 0.2, "parallel_s": 0.3},
+        }
+        problems = gate.compare(BASELINE, fresh, threshold=1.5)
+        assert len(problems) == 1
+        assert "extract_many.parallel_s" in problems[0]
+        assert "2.00x" in problems[0]
+
+    def test_slowdown_within_threshold_passes(self):
+        fresh = {
+            "extract_many": {"serial_s": 1.4, "parallel_s": 0.3},
+            "race": {"serial_s": 0.25, "parallel_s": 0.35},
+        }
+        assert gate.compare(BASELINE, fresh, threshold=1.5) == []
+
+    def test_missing_workload_is_a_regression(self):
+        fresh = {"extract_many": BASELINE["extract_many"]}
+        problems = gate.compare(BASELINE, fresh)
+        assert problems == ["race: missing from the fresh benchmark run"]
+
+    def test_new_workload_passes(self):
+        fresh = dict(BASELINE)
+        fresh["labeling"] = {"serial_s": 5.0, "parallel_s": 5.0}
+        assert gate.compare(BASELINE, fresh) == []
+
+    def test_noise_floor_ignores_tiny_arms(self):
+        baseline = {"w": {"serial_s": 0.001, "parallel_s": 0.002}}
+        fresh = {"w": {"serial_s": 0.009, "parallel_s": 0.008}}  # 9x but tiny
+        assert gate.compare(baseline, fresh, min_seconds=0.01) == []
+        # Above the floor the same ratio fails.
+        assert gate.compare(baseline, fresh, min_seconds=0.0005) != []
+
+    def test_missing_arm_keys_skipped(self):
+        baseline = {"w": {"serial_s": 1.0}}
+        fresh = {"w": {"parallel_s": 99.0}}
+        assert gate.compare(baseline, fresh) == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            gate.compare(BASELINE, BASELINE, threshold=1.0)
+
+
+class TestDocumentIO:
+    def test_load_document(self, tmp_path):
+        path = _write(tmp_path / "bench.json", BASELINE)
+        assert gate.load_document(path) == BASELINE
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            gate.load_document(tmp_path / "absent.json")
+
+    def test_load_non_document_raises(self, tmp_path):
+        path = _write(tmp_path / "bad.json", [1, 2, 3])
+        with pytest.raises(ValueError):
+            gate.load_document(path)
+
+    def test_refresh_baseline_merges_and_writes(self, tmp_path):
+        path = _write(tmp_path / "baseline.json", BASELINE)
+        fresh = {
+            "extract_many": {"serial_s": 0.9, "parallel_s": 0.2},
+            "labeling": {"serial_s": 0.1, "parallel_s": 0.1},
+        }
+        merged = gate.refresh_baseline(path, BASELINE, fresh)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == merged
+        assert on_disk["extract_many"]["serial_s"] == 0.9  # overwritten
+        assert "race" in on_disk  # untouched workloads kept
+        assert "labeling" in on_disk  # new workloads adopted
+
+
+class TestMain:
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "baseline.json", BASELINE)
+        fresh = _write(tmp_path / "fresh.json", BASELINE)
+        code = gate.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh)]
+        )
+        assert code == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "baseline.json", BASELINE)
+        fresh = _write(
+            tmp_path / "fresh.json",
+            {
+                "extract_many": {"serial_s": 5.0, "parallel_s": 0.25},
+                "race": BASELINE["race"],
+            },
+        )
+        code = gate.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh)]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_update_refreshes_baseline_on_success(self, tmp_path):
+        baseline = _write(tmp_path / "baseline.json", BASELINE)
+        fresh_doc = {
+            "extract_many": {"serial_s": 0.8, "parallel_s": 0.2},
+            "race": {"serial_s": 0.15, "parallel_s": 0.25},
+        }
+        fresh = _write(tmp_path / "fresh.json", fresh_doc)
+        code = gate.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh), "--update"]
+        )
+        assert code == 0
+        assert json.loads(baseline.read_text()) == fresh_doc
+
+    def test_update_skipped_on_failure(self, tmp_path):
+        baseline = _write(tmp_path / "baseline.json", BASELINE)
+        fresh = _write(
+            tmp_path / "fresh.json",
+            {
+                "extract_many": {"serial_s": 9.0, "parallel_s": 9.0},
+                "race": BASELINE["race"],
+            },
+        )
+        code = gate.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh), "--update"]
+        )
+        assert code == 1
+        assert json.loads(baseline.read_text()) == BASELINE
+
+    def test_committed_baseline_matches_schema(self):
+        document = gate.load_document(
+            _GATE_PATH.parent / "bench_baseline.json"
+        )
+        assert document, "committed baseline must not be empty"
+        for workload, arms in document.items():
+            assert isinstance(arms, dict), workload
+            assert any(key in arms for key in gate.TIMING_KEYS), workload

@@ -126,3 +126,156 @@ class TestCommands:
             ["train", "--categories", "Bogus", "--out", str(tmp_path / "e.json")]
         )
         assert code == 2
+
+
+class TestServingParser:
+    def test_monitor_and_profile_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["monitor", "--engine", "e.json", "--data", "d.csv"]
+        )
+        assert callable(args.func)
+        assert args.format == "json"
+        assert args.drift_window == 256
+        assert args.psi_threshold == 0.25
+        args = parser.parse_args(
+            [
+                "profile", "--engine", "e.json", "--data", "d.csv",
+                "--out", "p.txt",
+            ]
+        )
+        assert callable(args.func)
+        assert args.mode == "thread"
+        assert args.interval == 5.0
+
+    def test_profile_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["profile", "--engine", "e.json", "--data", "d.csv"]
+            )
+
+    def test_monitor_format_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "monitor", "--engine", "e.json", "--data", "d.csv",
+                    "--format", "xml",
+                ]
+            )
+
+
+@pytest.fixture(scope="module")
+def serving_artifacts(tmp_path_factory):
+    """A small trained engine JSON plus a faulty-series CSV."""
+    from repro import ADarts, ModelRaceConfig
+    from repro.core import save_engine
+    from repro.pipeline.scoring import ScoreWeights
+
+    rng = np.random.default_rng(11)
+    t = np.linspace(0, 4 * np.pi, 96)
+    series, labels = [], []
+    for i in range(8):
+        series.append(
+            TimeSeries(
+                np.sin(t * (1 + 0.1 * i)) + 0.05 * rng.normal(size=96),
+                name=f"sine{i}",
+            )
+        )
+        labels.append("linear")
+    for i in range(8):
+        series.append(
+            TimeSeries(0.5 * np.cumsum(rng.normal(size=96)), name=f"walk{i}")
+        )
+        labels.append("mean")
+    engine = ADarts(
+        config=ModelRaceConfig(
+            n_partial_sets=2, n_folds=2, max_elite=2, random_state=0,
+            weights=ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0),
+        ),
+        classifier_names=["knn", "decision_tree"],
+    )
+    X = engine.extractor.extract_many(series)
+    engine.fit_features(X, np.array(labels))
+
+    root = tmp_path_factory.mktemp("serving")
+    engine_path = root / "engine.json"
+    save_engine(engine, engine_path)
+    data_path = root / "data.csv"
+    write_series_csv(data_path, series)
+    return engine_path, data_path
+
+
+class TestServingCommands:
+    def test_monitor_json_document(self, serving_artifacts, tmp_path, capsys):
+        import json
+
+        engine_path, data_path = serving_artifacts
+        out_path = tmp_path / "health.json"
+        prom_path = tmp_path / "health.prom"
+        code = main(
+            [
+                "monitor",
+                "--engine", str(engine_path),
+                "--data", str(data_path),
+                "--repeat", "2",
+                "--drift-min-samples", "16",
+                "--out", str(out_path),
+                "--prom-out", str(prom_path),
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["n_series"] == 32
+        assert document["latency"]["count"] > 0
+        assert document["drift"]["enabled"] is True
+        assert json.loads(out_path.read_text())["n_series"] == 32
+        assert "repro_serving_requests_total" in prom_path.read_text()
+
+    def test_monitor_prometheus_stdout(self, serving_artifacts, capsys):
+        engine_path, data_path = serving_artifacts
+        code = main(
+            [
+                "monitor",
+                "--engine", str(engine_path),
+                "--data", str(data_path),
+                "--format", "prometheus",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_serving_requests_total counter" in out
+        assert "repro_serving_latency_seconds" in out
+
+    def test_monitor_bad_engine_errors(self, tmp_path, capsys):
+        code = main(
+            [
+                "monitor",
+                "--engine", str(tmp_path / "missing.json"),
+                "--data", str(tmp_path / "missing.csv"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_writes_collapsed_stacks(
+        self, serving_artifacts, tmp_path, capsys
+    ):
+        from repro.observability import parse_collapsed
+
+        engine_path, data_path = serving_artifacts
+        out_path = tmp_path / "profile.collapsed"
+        code = main(
+            [
+                "profile",
+                "--engine", str(engine_path),
+                "--data", str(data_path),
+                "--out", str(out_path),
+                "--repeat", "3",
+                "--interval", "2.0",
+            ]
+        )
+        assert code == 0
+        counts = parse_collapsed(out_path.read_text())
+        assert counts, "profiler collected no samples"
+        assert any("repro" in stack for stack in counts)
+        assert "samples" in capsys.readouterr().out

@@ -68,6 +68,96 @@ class TestSoftVoting:
         assert np.allclose(proba.sum(axis=1), 1.0)
 
 
+class TestDegenerateInputs:
+    """Edge cases: single members, ties, and class-axis mismatches."""
+
+    def test_single_member_soft_equals_pipeline(self, labeled_features):
+        X, y = labeled_features
+        member = Pipeline("decision_tree").fit(X, y)
+        ens = SoftVotingEnsemble([member])
+        assert np.allclose(ens.predict_proba(X), member.predict_proba(X))
+        assert (ens.predict(X) == member.predict(X)).all()
+
+    def test_single_member_majority_onehot(self, labeled_features):
+        X, y = labeled_features
+        member = Pipeline("knn").fit(X, y)
+        ens = MajorityVotingEnsemble([member])
+        proba = ens.predict_proba(X)
+        # One voter: every row is a one-hot vote vector.
+        assert set(np.unique(proba).tolist()) <= {0.0, 1.0}
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_uniform_proba_tie_breaks_deterministically(self, labeled_features):
+        X, y = labeled_features
+
+        class _UniformPipeline(Pipeline):
+            def predict_proba(self, Z):
+                Z = np.asarray(Z, dtype=float)
+                n_classes = len(self.classes_)
+                return np.full((Z.shape[0], n_classes), 1.0 / n_classes)
+
+        members = [
+            _UniformPipeline("gaussian_nb").fit(X, y),
+            _UniformPipeline("decision_tree").fit(X, y),
+        ]
+        ens = SoftVotingEnsemble(members)
+        proba = ens.predict_proba(X[:4])
+        assert np.allclose(proba, 1.0 / len(ens.classes_))
+        # argmax on a uniform row picks the first (sorted) class — stable.
+        assert (ens.predict(X[:4]) == ens.classes_[0]).all()
+        rankings = ens.predict_rankings(X[:2])
+        assert all(len(r) == len(ens.classes_) for r in rankings)
+
+    def test_aligned_proba_zero_fills_unknown_classes(self, labeled_features):
+        X, y = labeled_features
+        classes = np.unique(y)
+        assert len(classes) >= 3
+        # Member that never saw the last class in sorted order.
+        missing = classes[-1]
+        subset = y != missing
+        partial = Pipeline("knn").fit(X[subset], y[subset])
+        full = Pipeline("decision_tree").fit(X, y)
+        ens = SoftVotingEnsemble([full, partial])
+        aligned = ens._aligned_proba(partial, X[:6])
+        col = ens.classes_.tolist().index(missing)
+        assert np.allclose(aligned[:, col], 0.0)
+        assert np.allclose(aligned.sum(axis=1), 1.0)
+
+    def test_member_probas_tensor_shape_and_axis(self, fitted_members):
+        members, X, _ = fitted_members
+        ens = SoftVotingEnsemble(members)
+        tensor = ens.member_probas(X[:7])
+        assert tensor.shape == (len(members), 7, len(ens.classes_))
+        # Soft vote == mean over the member axis of the tensor.
+        assert np.allclose(tensor.mean(axis=0), ens.predict_proba(X[:7]))
+
+    def test_member_probas_with_class_mismatch(self, labeled_features):
+        X, y = labeled_features
+        subset = y != np.unique(y)[0]
+        members = [
+            Pipeline("decision_tree").fit(X, y),
+            Pipeline("gaussian_nb").fit(X[subset], y[subset]),
+        ]
+        ens = SoftVotingEnsemble(members)
+        tensor = ens.member_probas(X[:5])
+        assert tensor.shape == (2, 5, len(ens.classes_))
+        # Every member slice is a valid distribution on the union axis.
+        assert np.allclose(tensor.sum(axis=2), 1.0)
+
+    def test_majority_voting_class_union(self, labeled_features):
+        X, y = labeled_features
+        missing = np.unique(y)[-1]
+        subset = y != missing
+        members = [
+            Pipeline("knn").fit(X[subset], y[subset]),
+            Pipeline("decision_tree").fit(X, y),
+        ]
+        ens = MajorityVotingEnsemble(members)
+        assert missing in ens.classes_.tolist()
+        proba = ens.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
 class TestMajorityVoting:
     def test_votes_normalized(self, fitted_members):
         members, X, _ = fitted_members

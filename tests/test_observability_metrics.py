@@ -194,3 +194,120 @@ class TestNullRegistry:
             get_metrics().counter("repro_in_scope_total").inc()
         assert get_metrics() is NULL_METRICS
         assert registry.counter("repro_in_scope_total").value == 1
+
+
+class TestLabelCardinalityCap:
+    def test_cap_folds_into_overflow_instrument(self, caplog):
+        registry = MetricsRegistry(max_label_sets=3)
+        for i in range(3):
+            registry.counter("repro_req_total", labels={"id": str(i)}).inc()
+        with caplog.at_level("WARNING", logger="repro"):
+            over_a = registry.counter(
+                "repro_req_total", labels={"id": "overflow-a"}
+            )
+            over_b = registry.counter(
+                "repro_req_total", labels={"id": "overflow-b"}
+            )
+        # Both excess combinations share one instrument.
+        assert over_a is over_b
+        over_a.inc(2)
+        assert registry.overflowed_metrics() == {"repro_req_total"}
+        text = registry.to_prometheus()
+        assert 'repro_req_total{overflow="true"} 2' in text
+        # Warned exactly once despite two overflowing label sets.
+        warnings = [
+            record for record in caplog.records
+            if "exceeded 3 label sets" in record.getMessage()
+        ]
+        assert len(warnings) == 1
+
+    def test_existing_label_sets_unaffected_by_cap(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        a = registry.counter("repro_x_total", labels={"k": "a"})
+        b = registry.counter("repro_x_total", labels={"k": "b"})
+        registry.counter("repro_x_total", labels={"k": "c"}).inc()  # folded
+        # Pre-cap instruments keep their identity on re-request.
+        assert registry.counter("repro_x_total", labels={"k": "a"}) is a
+        assert registry.counter("repro_x_total", labels={"k": "b"}) is b
+
+    def test_unlabeled_metrics_never_fold(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.counter("repro_a_total", labels={"k": "a"})
+        registry.counter("repro_plain_total").inc()
+        assert registry.overflowed_metrics() == set()
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_label_sets=0)
+
+    def test_clear_resets_overflow_state(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.counter("repro_y_total", labels={"k": "a"})
+        registry.counter("repro_y_total", labels={"k": "b"})
+        assert registry.overflowed_metrics()
+        registry.clear()
+        assert registry.overflowed_metrics() == set()
+        # Cap counting starts over after clear.
+        registry.counter("repro_y_total", labels={"k": "c"})
+        assert registry.overflowed_metrics() == set()
+
+
+class TestNativeHistograms:
+    def _registry_with_observations(self, **kwargs):
+        registry = MetricsRegistry(**kwargs)
+        hist = registry.histogram(
+            "repro_latency_seconds", "latency", labels={"op": "map"}
+        )
+        for value in (0.002, 0.004, 0.02, 0.2, 2.0):
+            hist.observe(value)
+        return registry
+
+    def test_bucket_counts_cumulative_and_end_with_inf(self):
+        registry = self._registry_with_observations()
+        hist = registry.histogram(
+            "repro_latency_seconds", labels={"op": "map"}
+        )
+        pairs = hist.bucket_counts(buckets=(0.001, 0.01, 0.1, 1.0))
+        assert pairs == [
+            (0.001, 0),
+            (0.01, 2),
+            (0.1, 3),
+            (1.0, 4),
+            (float("inf"), 5),
+        ]
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+
+    def test_summary_exposition_is_default(self):
+        text = self._registry_with_observations().to_prometheus()
+        assert "# TYPE repro_latency_seconds summary" in text
+        assert 'quantile="0.5"' in text
+        assert "_bucket" not in text
+
+    def test_native_exposition_via_flag(self):
+        text = self._registry_with_observations(
+            native_histograms=True
+        ).to_prometheus()
+        assert "# TYPE repro_latency_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_latency_seconds_bucket{" in text
+        assert "repro_latency_seconds_sum" in text
+        assert "repro_latency_seconds_count" in text
+        assert "quantile=" not in text
+
+    def test_per_render_override_beats_registry_flag(self):
+        registry = self._registry_with_observations(native_histograms=True)
+        summary_text = registry.to_prometheus(native_histograms=False)
+        assert "# TYPE repro_latency_seconds summary" in summary_text
+        native_text = registry.to_prometheus(native_histograms=True)
+        assert "# TYPE repro_latency_seconds histogram" in native_text
+
+    def test_native_buckets_preserve_original_labels(self):
+        text = self._registry_with_observations(
+            native_histograms=True
+        ).to_prometheus()
+        inf_lines = [
+            line for line in text.splitlines() if 'le="+Inf"' in line
+        ]
+        assert inf_lines and all('op="map"' in line for line in inf_lines)
+        assert inf_lines[-1].endswith(" 5")

@@ -1,0 +1,136 @@
+"""Tests for the sampling profiler and the collapsed-stack format."""
+
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.observability import SamplingProfiler, parse_collapsed
+from repro.observability.profiler import collapse_frame
+
+
+def _busy(seconds: float) -> float:
+    """CPU-bound loop that keeps a recognisable frame on the stack."""
+    deadline = time.perf_counter() + seconds
+    acc = 0.0
+    while time.perf_counter() < deadline:
+        acc += float(np.sum(np.random.default_rng(0).normal(size=256)))
+    return acc
+
+
+class TestCollapsedFormat:
+    def test_round_trip_exact(self):
+        counts = {
+            "mod:main;mod:work": 42,
+            "mod:main;other:leaf": 7,
+        }
+        text = "\n".join(f"{k} {v}" for k, v in counts.items())
+        assert parse_collapsed(text) == counts
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "# flamegraph input\n\na:b;c:d 3\n\n# trailer\n"
+        assert parse_collapsed(text) == {"a:b;c:d": 3}
+
+    def test_duplicate_stacks_accumulate(self):
+        assert parse_collapsed("a:b 2\na:b 3\n") == {"a:b": 5}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_collapsed("no-count-here\n")
+        with pytest.raises(ValueError):
+            parse_collapsed("stack notanumber\n")
+
+    def test_collapse_frame_root_first(self):
+        frame = sys._getframe()
+        collapsed = collapse_frame(frame)
+        parts = collapsed.split(";")
+        assert parts[-1].endswith(":test_collapse_frame_root_first")
+        assert all(":" in part for part in parts)
+
+    def test_collapse_frame_depth_cap(self):
+        def recurse(n):
+            if n == 0:
+                return collapse_frame(sys._getframe(), max_depth=5)
+            return recurse(n - 1)
+
+        assert len(recurse(20).split(";")) == 5
+
+
+class TestSamplingProfiler:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(mode="perf")
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+    def test_thread_mode_collects_samples(self):
+        with SamplingProfiler(interval=0.002) as prof:
+            _busy(0.15)
+        assert prof.n_samples > 5
+        assert prof.elapsed >= 0.15
+        counts = prof.counts()
+        assert sum(counts.values()) == prof.n_samples
+        assert any("_busy" in stack for stack in counts)
+
+    def test_export_round_trips(self, tmp_path):
+        with SamplingProfiler(interval=0.002) as prof:
+            _busy(0.1)
+        path = prof.export(tmp_path / "profile.collapsed")
+        assert parse_collapsed(path.read_text()) == prof.counts()
+
+    def test_start_stop_idempotent(self):
+        prof = SamplingProfiler(interval=0.002)
+        prof.start()
+        prof.start()  # no second sampler thread
+        _busy(0.05)
+        prof.stop()
+        samples = prof.n_samples
+        prof.stop()
+        assert prof.n_samples == samples
+        # Sampling really stopped.
+        _busy(0.05)
+        assert prof.n_samples == samples
+
+    def test_hotspots_and_render_top(self):
+        with SamplingProfiler(interval=0.002) as prof:
+            _busy(0.12)
+        hotspots = prof.hotspots(top=5)
+        assert 0 < len(hotspots) <= 5
+        # Descending by self-sample count.
+        counts = [count for _, count in hotspots]
+        assert counts == sorted(counts, reverse=True)
+        table = prof.render_top(5)
+        assert "samples" in table
+        assert f"{prof.n_samples} samples" in table
+
+    def test_sampler_excludes_itself(self):
+        with SamplingProfiler(interval=0.002) as prof:
+            _busy(0.1)
+        assert not any("_sample_loop" in stack for stack in prof.counts())
+
+    def test_signal_mode_on_main_thread(self):
+        prof = SamplingProfiler(interval=0.002, mode="signal")
+        if not prof._signal_mode_available():
+            pytest.skip("setitimer/SIGPROF unavailable on this platform")
+        with prof:
+            _busy(0.15)
+        assert prof._active_mode == "signal"
+        assert prof.n_samples > 0
+
+    def test_signal_mode_falls_back_off_main_thread(self):
+        result = {}
+
+        def run():
+            prof = SamplingProfiler(interval=0.002, mode="signal")
+            with prof:
+                _busy(0.05)
+            result["mode"] = prof._active_mode
+            result["samples"] = prof.n_samples
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        worker.join()
+        assert result["mode"] == "thread"
+        assert result["samples"] >= 0

@@ -88,3 +88,48 @@ class TestFileRoundTrip:
     def test_load_missing_file_raises(self, tmp_path):
         with pytest.raises(ValidationError):
             load_engine(tmp_path / "nope.json")
+
+
+class TestFeatureBaselinePersistence:
+    def test_baseline_exported_and_restored(self, trained):
+        import numpy as np
+
+        engine, X, _ = trained
+        assert engine.feature_baseline_ is not None
+        document = export_engine(engine)
+        assert "feature_baseline" in document
+        restored = import_engine(document)
+        original = engine.feature_baseline_
+        rebuilt = restored.feature_baseline_
+        assert rebuilt is not None
+        assert rebuilt.feature_names == original.feature_names
+        assert rebuilt.n_samples == original.n_samples
+        assert np.allclose(rebuilt.mean, original.mean)
+        assert np.allclose(rebuilt.edges, original.edges)
+        assert np.allclose(rebuilt.expected, original.expected)
+
+    def test_baseline_document_is_json_safe(self, trained):
+        engine, _, _ = trained
+        payload = json.dumps(export_engine(engine)["feature_baseline"])
+        assert "NaN" not in payload
+
+    def test_legacy_document_rebuilds_baseline(self, trained):
+        engine, X, _ = trained
+        document = export_engine(engine)
+        document.pop("feature_baseline")  # pre-baseline era document
+        restored = import_engine(document)
+        baseline = restored.feature_baseline_
+        assert baseline is not None
+        assert baseline.n_samples == X.shape[0]
+        assert baseline.n_features == X.shape[1]
+
+    def test_save_load_keeps_baseline(self, trained, tmp_path):
+        import numpy as np
+
+        engine, _, _ = trained
+        path = save_engine(engine, tmp_path / "engine.json")
+        restored = load_engine(path)
+        assert restored.feature_baseline_ is not None
+        assert np.allclose(
+            restored.feature_baseline_.std, engine.feature_baseline_.std
+        )

@@ -1,0 +1,200 @@
+"""End-to-end serving observability: train, serve, drift, health document.
+
+The acceptance scenario for the serving layer: train A-DARTS on a
+synthetic corpus, push >= 200 recommendations through an
+:class:`InferenceMonitor`, verify that in-distribution traffic does NOT
+trigger the drift detector, then inject feature-shifted series and
+verify that it DOES — and that the resulting health document renders in
+both JSON and Prometheus forms.
+
+When ``REPRO_HEALTH_SNAPSHOT_OUT`` is set (CI does this), the final
+health snapshot is also written there so the workflow can upload it as
+an artifact.
+"""
+
+import json
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import ADarts, ModelRaceConfig, TimeSeries
+from repro.observability import (
+    InferenceMonitor,
+    RecordingServingObserver,
+)
+from repro.pipeline.scoring import ScoreWeights
+
+FAST_CONFIG = ModelRaceConfig(
+    n_partial_sets=2, n_folds=2, max_elite=2, random_state=0,
+    weights=ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0),
+)
+LENGTH = 120
+
+
+def _training_corpus(rng, n_per_family=20):
+    series, labels = [], []
+    t = np.linspace(0, 4 * np.pi, LENGTH)
+    for i in range(n_per_family):
+        values = np.sin(t * (1 + 0.04 * i)) + 0.05 * rng.normal(size=LENGTH)
+        series.append(TimeSeries(values, name=f"sine{i}"))
+        labels.append("linear")
+    for i in range(n_per_family):
+        values = 0.5 * np.cumsum(rng.normal(size=LENGTH))
+        series.append(TimeSeries(values, name=f"walk{i}"))
+        labels.append("mean")
+    return series, np.array(labels)
+
+
+def _in_distribution_series(rng, n, corpus):
+    """Lightly perturbed resamples of the training corpus.
+
+    A 40-series corpus cannot characterise a whole random-walk family,
+    so "healthy" traffic is the corpus itself under small measurement
+    noise — exactly the regime the drift detector must stay quiet in.
+    """
+    out = []
+    for i in range(n):
+        source = corpus[i % len(corpus)]
+        scale = 0.01 * (np.std(source.values) or 1.0)
+        values = source.values + scale * rng.normal(size=len(source.values))
+        out.append(TimeSeries(values, name=f"live{i}"))
+    return out
+
+
+def _shifted_series(rng, n):
+    """Traffic far outside the training envelope (offset + variance)."""
+    return [
+        TimeSeries(
+            300.0 + 80.0 * rng.normal(size=LENGTH), name=f"shift{i}"
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def trained_engine():
+    rng = np.random.default_rng(42)
+    series, labels = _training_corpus(rng)
+    engine = ADarts(
+        config=FAST_CONFIG, classifier_names=["knn", "decision_tree"]
+    )
+    X = engine.extractor.extract_many(series)
+    engine.fit_features(X, labels)
+    assert engine.feature_baseline_ is not None
+    return engine, series
+
+
+class TestServingEndToEnd:
+    def test_monitor_drift_and_health_document(self, trained_engine, tmp_path):
+        engine, corpus = trained_engine
+        rng = np.random.default_rng(99)
+        observer = RecordingServingObserver()
+        monitor = InferenceMonitor(
+            engine,
+            window=512,
+            drift_window=128,
+            drift_min_samples=64,
+            observer=observer,
+        )
+
+        # -- phase 1: >= 200 in-distribution recommendations --------------
+        live = _in_distribution_series(rng, 200, corpus)
+        for start in range(0, len(live), 8):
+            monitor.recommend_many(live[start : start + 8])
+        assert monitor.n_series >= 200
+        assert monitor.n_requests == 25
+        detector = monitor.drift_detector
+        assert detector is not None
+        assert detector.last_report is not None, "drift window warmed up"
+        assert not detector.last_report.triggered, (
+            f"in-distribution traffic must not trigger drift "
+            f"(max PSI {detector.last_report.max_psi:.3f})"
+        )
+        assert detector.n_alerts == 0
+        assert observer.of_type("drift_alert") == []
+        assert len(observer.of_type("request")) == 25
+
+        # Confidence/disagreement windows carry plausible values.
+        confidence = monitor.confidence.values()
+        assert np.all((confidence > 0.0) & (confidence <= 1.0))
+        assert np.all(monitor.disagreement.values() >= 0.0)
+        assert sum(monitor.recommendation_mix.values()) == monitor.n_series
+        assert set(monitor.recommendation_mix) <= {"linear", "mean"}
+
+        # -- phase 2: feature-shifted traffic triggers the detector --------
+        shifted = _shifted_series(rng, 160)
+        for start in range(0, len(shifted), 8):
+            monitor.recommend_many(shifted[start : start + 8])
+        assert detector.last_report.triggered, (
+            f"shifted traffic must trigger drift "
+            f"(max PSI {detector.last_report.max_psi:.3f})"
+        )
+        assert detector.n_alerts >= 1
+        alerts = observer.of_type("drift_alert")
+        assert len(alerts) == detector.n_alerts
+        assert alerts[0]["report"].max_psi > detector.psi_threshold
+
+        # -- phase 3: the health document, both renderings -----------------
+        snapshot = monitor.snapshot()
+        document = json.loads(snapshot.to_json())
+        assert document["n_series"] == 360
+        assert document["latency"]["count"] > 0
+        assert document["latency"]["p95"] >= document["latency"]["p50"] >= 0
+        assert document["confidence"]["count"] > 0
+        assert document["drift"]["enabled"] is True
+        assert document["drift"]["n_alerts"] >= 1
+        assert document["drift"]["report"]["triggered"] is True
+        assert document["caches"]["feature_cache"] is None or (
+            "hit_rate" in document["caches"]["feature_cache"]
+        )
+
+        prometheus = snapshot.to_prometheus()
+        assert "repro_serving_requests_total" in prometheus
+        assert 'repro_serving_latency_seconds{stat="p99"}' in prometheus
+        assert "repro_drift_psi_max" in prometheus
+        assert "repro_drift_triggered 1" in prometheus
+        assert "repro_drift_alerts_total" in prometheus
+
+        # -- round trip through export -------------------------------------
+        json_path = snapshot.export(tmp_path / "health.json")
+        prom_path = snapshot.export(tmp_path / "health.prom")
+        assert json.loads(json_path.read_text())["n_series"] == 360
+        assert "repro_drift_psi_max" in prom_path.read_text()
+
+        # -- CI artifact hook ----------------------------------------------
+        out = os.environ.get("REPRO_HEALTH_SNAPSHOT_OUT")
+        if out:
+            snapshot.export(pathlib.Path(out))
+
+    def test_monitored_results_identical_to_bare_engine(self, trained_engine):
+        engine, corpus = trained_engine
+        rng = np.random.default_rng(5)
+        series = _in_distribution_series(rng, 10, corpus)
+        monitor = InferenceMonitor(engine)
+        monitored = monitor.recommend_many(series)
+        bare = engine.recommend_many(series)
+        for a, b in zip(monitored, bare):
+            assert a.algorithm == b.algorithm
+            assert a.ranking == b.ranking
+            assert np.allclose(
+                sorted(a.probabilities.values()),
+                sorted(b.probabilities.values()),
+            )
+
+    def test_baseline_survives_save_load(self, trained_engine, tmp_path):
+        from repro.core.serialization import load_engine, save_engine
+
+        engine, corpus = trained_engine
+        path = save_engine(engine, tmp_path / "engine.json")
+        restored = load_engine(path)
+        assert restored.feature_baseline_ is not None
+        monitor = InferenceMonitor(restored, drift_min_samples=8)
+        assert monitor.drift_detector is not None
+        rng = np.random.default_rng(3)
+        recs = monitor.recommend_many(
+            _in_distribution_series(rng, 8, corpus)
+        )
+        assert len(recs) == 8
+        assert monitor.drift_detector.last_report is not None
