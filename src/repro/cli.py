@@ -72,6 +72,7 @@ from repro.observability import (
 )
 from repro.observability.report import load_metrics, load_trace, render_report
 from repro.parallel import BACKENDS, FeatureCache, ParallelConfig
+from repro.resilience import FaultPolicy, use_fault_policy
 from repro.timeseries.series import TimeSeries
 
 
@@ -82,6 +83,27 @@ def _parallel_from_args(args) -> ParallelConfig | None:
     if jobs == 1 and backend == "auto":
         return None
     return ParallelConfig(n_jobs=jobs, backend=backend)
+
+
+def _fault_policy_from_args(args) -> FaultPolicy | None:
+    """Build a FaultPolicy from the resilience flags (None = historical).
+
+    ``None`` keeps the historical behaviour: no retries, no deadlines,
+    failures scored as losses with quarantine after repeated failures.
+    """
+    max_retries = getattr(args, "max_retries", 0)
+    eval_timeout = getattr(args, "eval_timeout", None)
+    impute_timeout = getattr(args, "impute_timeout", None)
+    fail_fast = getattr(args, "fail_fast", False)
+    if not max_retries and eval_timeout is None and impute_timeout is None \
+            and not fail_fast:
+        return None
+    return FaultPolicy(
+        max_retries=max_retries,
+        eval_deadline=eval_timeout,
+        impute_deadline=impute_timeout,
+        fail_fast=fail_fast,
+    )
 
 
 def read_series_csv(path) -> list[TimeSeries]:
@@ -132,7 +154,9 @@ def _cmd_train(args) -> int:
         )
     engine = ADarts(
         config=ModelRaceConfig(
-            n_partial_sets=args.partial_sets, random_state=args.seed
+            n_partial_sets=args.partial_sets,
+            random_state=args.seed,
+            fault_policy=_fault_policy_from_args(args),
         ),
         random_state=args.seed,
         observer=LoggingObserver() if args.verbose else None,
@@ -287,6 +311,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKENDS, default="auto",
         help="parallel backend (auto selects by workload size)",
     )
+    common.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="retry transient evaluation failures up to N times "
+        "(0 = historical no-retry behaviour)",
+    )
+    common.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per pipeline evaluation "
+        "(default: no deadline)",
+    )
+    common.add_argument(
+        "--impute-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per imputation call "
+        "(default: no deadline)",
+    )
+    common.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first evaluation failure instead of scoring "
+        "it as a loss",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     train = sub.add_parser(
@@ -421,17 +465,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_with_observability(args) -> int:
-    """Execute the subcommand, installing tracer/metrics when requested."""
+    """Execute the subcommand, installing tracer/metrics when requested.
+
+    The resilience flags install a process-level
+    :class:`~repro.resilience.FaultPolicy` for the duration of the
+    subcommand, so deadlines/retries apply to every instrumented site
+    (race evaluations, imputation calls) without plumbing arguments
+    through each code path.
+    """
     if getattr(args, "verbose", False):
         enable_console_logging(logging.INFO)
+    policy = _fault_policy_from_args(args)
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     if not trace_out and not metrics_out:
-        return args.func(args)
+        if policy is None:
+            return args.func(args)
+        with use_fault_policy(policy):
+            return args.func(args)
     tracer = Tracer() if trace_out else None
     registry = MetricsRegistry() if metrics_out else None
     try:
-        with use_tracer(tracer), use_metrics(registry):
+        with use_tracer(tracer), use_metrics(registry), \
+                use_fault_policy(policy):
             return args.func(args)
     finally:
         if tracer is not None:

@@ -27,7 +27,7 @@ from repro.core.config import ModelRaceConfig
 from repro.core.modelrace import ModelRace, RaceResult
 from repro.core.voting import MajorityVotingEnsemble, SoftVotingEnsemble
 from repro.datasets.splits import holdout_split
-from repro.exceptions import NotFittedError, ValidationError
+from repro.exceptions import EnsembleError, NotFittedError, ValidationError
 from repro.features.extractor import FeatureExtractor
 from repro.imputation.base import get_imputer
 from repro.observability import (
@@ -38,10 +38,16 @@ from repro.observability import (
     get_tracer,
 )
 from repro.pipeline.pipeline import Pipeline, make_seed_pipelines
+from repro.resilience.stats import tick
 from repro.timeseries.series import TimeSeries, TimeSeriesDataset
 from repro.utils.timing import Timer
 
 _log = get_logger(__name__)
+
+
+#: Preference order of the static fallback when the whole ensemble is
+#: unavailable: robust, dependency-free imputers first.
+FALLBACK_ALGORITHMS: tuple[str, ...] = ("linear", "mean")
 
 
 @dataclass(frozen=True)
@@ -57,11 +63,16 @@ class Recommendation:
     probabilities:
         Soft-vote probability per algorithm (aligned with ``ranking``'s
         class set, mapped by name).
+    degraded:
+        True when this recommendation was produced in degraded mode —
+        ensemble members were dropped from the vote, or the static
+        fallback answered because no member could vote.
     """
 
     algorithm: str
     ranking: tuple[str, ...]
     probabilities: dict[str, float]
+    degraded: bool = False
 
     def impute(self, series: TimeSeries) -> TimeSeries:
         """Apply the recommended algorithm to the faulty series."""
@@ -137,6 +148,9 @@ class ADarts:
         self.random_state = random_state
         self.observer = observer
         self._ensemble = None
+        #: Diagnostics of the most recent vote (``None`` before the first
+        #: request, or when the last request took the static fallback).
+        self.last_vote_detail_ = None
         self._race_result: RaceResult | None = None
         self._labeled_corpus: LabeledCorpus | None = None
         self._train_X: np.ndarray | None = None
@@ -264,7 +278,7 @@ class ADarts:
             return self.extractor.extract_many(series_list)
 
     def _recommendations_from_proba(
-        self, proba: np.ndarray
+        self, proba: np.ndarray, degraded: bool = False
     ) -> list[Recommendation]:
         """Turn an ensemble probability matrix into Recommendations."""
         if self._ensemble is None:
@@ -279,9 +293,33 @@ class ADarts:
                     algorithm=ranking[0],
                     ranking=ranking,
                     probabilities={classes[j]: float(row[j]) for j in order},
+                    degraded=degraded,
                 )
             )
         return out
+
+    def _fallback_recommendations(self, n_series: int) -> list[Recommendation]:
+        """Static degraded-mode answer when no ensemble member can vote.
+
+        Recommends the first :data:`FALLBACK_ALGORITHMS` entry present in
+        the ensemble's class set (``linear``, then ``mean``), falling back
+        to the alphabetically first known class.  Every recommendation is
+        flagged ``degraded=True`` so callers can tell it apart from a
+        real vote.
+        """
+        classes = [str(c) for c in self._ensemble.classes_]
+        chosen = next(
+            (a for a in FALLBACK_ALGORITHMS if a in classes), classes[0]
+        )
+        ranking = (chosen,) + tuple(c for c in classes if c != chosen)
+        probabilities = {c: (1.0 if c == chosen else 0.0) for c in ranking}
+        rec = Recommendation(
+            algorithm=chosen,
+            ranking=ranking,
+            probabilities=probabilities,
+            degraded=True,
+        )
+        return [rec] * n_series
 
     def recommend_many(self, series_list) -> list[Recommendation]:
         """Vectorized recommendation over several series.
@@ -292,6 +330,10 @@ class ADarts:
         metrics registry, and the whole call runs under an
         ``adarts.recommend_many`` span — all no-ops unless observability
         is installed.
+        Degradation: when ensemble members fail to vote they are dropped
+        and the vote re-normalizes over the survivors (recommendations are
+        flagged ``degraded=True``); when *no* member can vote, the static
+        fallback (:data:`FALLBACK_ALGORITHMS`) answers instead of raising.
         """
         if self._ensemble is None:
             raise NotFittedError("ADarts is not fitted")
@@ -304,8 +346,42 @@ class ADarts:
         ):
             X = self.extract_features(series_list)
             with tracer.span("inference.vote", subsystem="inference"):
-                proba = self._ensemble.predict_proba(X)
-            out = self._recommendations_from_proba(proba)
+                try:
+                    detail = self._ensemble.predict_proba_detailed(X)
+                except EnsembleError as exc:
+                    _log.error(
+                        "ensemble vote failed entirely (%s); serving the "
+                        "static fallback recommendation",
+                        exc,
+                    )
+                    detail = None
+                    tick("fallback_requests")
+                    metrics.counter(
+                        "repro_inference_fallback_total",
+                        "Requests answered by the static fallback",
+                    ).inc()
+            self.last_vote_detail_ = detail
+            if detail is None:
+                out = self._fallback_recommendations(n_series)
+            else:
+                out = self._recommendations_from_proba(
+                    detail.proba, degraded=detail.degraded
+                )
+            if detail is None or detail.degraded:
+                tick("degraded_requests")
+                metrics.counter(
+                    "repro_inference_degraded_total",
+                    "Requests served in degraded mode",
+                ).inc()
+                if detail is not None:
+                    _log.warning(
+                        "degraded vote: %d/%d members used (failed: %s; "
+                        "quarantined: %s)",
+                        detail.n_used,
+                        detail.n_members,
+                        list(detail.failed_members),
+                        list(detail.skipped_members),
+                    )
         metrics.counter(
             "repro_inference_requests_total",
             "recommend/recommend_many calls served",

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.exceptions import ValidationError
 from repro.parallel import ParallelConfig
 from repro.pipeline.scoring import ScoreWeights
+from repro.resilience import FaultInjector, FaultPolicy
 
 
 @dataclass
@@ -56,6 +57,18 @@ class ModelRaceConfig:
         single-core path; results are deterministic across backends for
         a fixed seed (wall-clock-free scoring, i.e. ``gamma=0``, makes
         them bit-identical).
+    fault_policy:
+        Optional :class:`~repro.resilience.FaultPolicy` governing retry /
+        deadline / fail-fast / quarantine behaviour of race evaluations.
+        ``None`` falls back to the process-level policy
+        (:func:`repro.resilience.get_fault_policy`), then to the
+        historical behaviour (no retries, no deadlines, failures scored
+        ``-inf`` with quarantine after 3 consecutive failures).
+    fault_injector:
+        Optional :class:`~repro.resilience.FaultInjector` evaluated at
+        the ``race.evaluate`` site (and forwarded to the execution
+        engine's ``executor.task`` site) — chaos testing only.  ``None``
+        falls back to the process-level injector.
     """
 
     n_partial_sets: int = 3
@@ -70,6 +83,8 @@ class ModelRaceConfig:
     initial_fraction: float = 0.4
     random_state: int | None = 0
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    fault_policy: FaultPolicy | None = None
+    fault_injector: FaultInjector | None = None
 
     def __post_init__(self) -> None:
         if self.n_partial_sets < 1:

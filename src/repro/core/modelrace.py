@@ -41,7 +41,7 @@ from scipy import stats as sps
 
 from repro.core.config import ModelRaceConfig
 from repro.datasets.splits import stratified_kfold
-from repro.exceptions import ValidationError
+from repro.exceptions import EvaluationError, ValidationError
 from repro.observability import (
     IterationRecord,
     NULL_OBSERVER,
@@ -54,6 +54,11 @@ from repro.parallel import ExecutionEngine, ScoreMemo, hash_arrays
 from repro.pipeline.pipeline import Pipeline
 from repro.pipeline.scoring import PipelineScore, score_pipeline
 from repro.pipeline.synthesizer import Synthesizer
+from repro.resilience import (
+    CircuitBreaker,
+    get_fault_injector,
+    get_fault_policy,
+)
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
 
@@ -71,6 +76,8 @@ def _evaluate_candidate(
     time_scale: float,
     iteration: int,
     fold: int,
+    policy=None,
+    injector=None,
 ) -> PipelineScore:
     """Score one candidate on one fold (picklable parallel worker).
 
@@ -78,6 +85,16 @@ def _evaluate_candidate(
     shared no-op unless a tracer is installed in *this* process —
     process-backend workers therefore trace nothing, while serial and
     thread execution feed the parent tracer as before.
+
+    With a :class:`~repro.resilience.FaultPolicy`, each attempt runs
+    under the policy's evaluation deadline, and *retryable* failures
+    (injected chaos, transient infrastructure trouble) are re-attempted
+    up to ``policy.max_retries`` times; a failure that survives the
+    policy is returned as a scored-as-failed :class:`PipelineScore`
+    (``score=-inf``, ``error`` set) so the race records it instead of
+    dying.  With an injector, the ``race.evaluate`` fault site fires
+    first, keyed by the deterministic ``(iteration, fold)`` token so
+    fault plans replay identically across execution backends.
     """
     tracer = get_tracer()
     with tracer.span(
@@ -87,15 +104,43 @@ def _evaluate_candidate(
         fold=fold,
         classifier=pipeline.classifier_name,
     ):
-        return score_pipeline(
-            pipeline.clone(),
-            X_train,
-            y_train,
-            X_test,
-            y_test,
-            weights=weights,
-            time_scale=time_scale,
-        )
+        def _attempt() -> PipelineScore:
+            if injector is not None:
+                injector.check(
+                    "race.evaluate",
+                    pipeline.classifier_name,
+                    token=(iteration, fold),
+                )
+            return score_pipeline(
+                pipeline.clone(),
+                X_train,
+                y_train,
+                X_test,
+                y_test,
+                weights=weights,
+                time_scale=time_scale,
+                injector=injector,
+            )
+
+        if policy is None and injector is None:
+            return _attempt()  # historical zero-overhead path
+        try:
+            if policy is None:
+                return _attempt()
+            return policy.run(
+                _attempt,
+                label=f"race.evaluate:{pipeline.classifier_name}",
+            )
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            _log.warning(
+                "evaluation of %s failed beyond the fault policy: %s",
+                pipeline,
+                error,
+            )
+            return PipelineScore(
+                0.0, 0.0, float("inf"), float("-inf"), error=error
+            )
 
 
 @dataclass
@@ -144,6 +189,16 @@ class RaceResult:
     def n_ttest_pruned(self) -> int:
         """Total phase-2 (t-test) prunes."""
         return sum(r.n_ttest_pruned for r in self.iterations)
+
+    @property
+    def n_failures(self) -> int:
+        """Total evaluations that raised inside fit/predict."""
+        return sum(r.n_failures for r in self.iterations)
+
+    @property
+    def n_quarantined(self) -> int:
+        """Total candidates quarantined by the race circuit breaker."""
+        return sum(r.n_quarantined for r in self.iterations)
 
     @property
     def prune_ratio(self) -> float:
@@ -310,6 +365,10 @@ class ModelRace:
             "repro_race_eval_failures_total",
             "Evaluations that raised inside pipeline fit/predict",
         )
+        quarantine_counter = metrics.counter(
+            "repro_race_quarantined_total",
+            "Candidates quarantined by the race circuit breaker",
+        )
         score_hist = metrics.histogram(
             "repro_race_eval_score",
             "Distribution of per-evaluation race scores",
@@ -323,12 +382,31 @@ class ModelRace:
             "Per-iteration wall seconds of the race",
         )
 
+        # Resilience context: explicit config wins, then the process-level
+        # policy/injector, then the historical behaviour (no retries, no
+        # deadlines, quarantine after 3 consecutive failures).
+        policy = (
+            cfg.fault_policy
+            if cfg.fault_policy is not None
+            else get_fault_policy()
+        )
+        injector = (
+            cfg.fault_injector
+            if cfg.fault_injector is not None
+            else get_fault_injector()
+        )
+        breaker = CircuitBreaker(
+            policy.quarantine_threshold if policy is not None else 3,
+            name="race",
+        )
+        quarantined: set[tuple] = set()
+
         rng = ensure_rng(cfg.random_state)
         synthesizer = Synthesizer(
             n_children_per_parent=cfg.n_children_per_parent,
             random_state=rng,
         )
-        engine = ExecutionEngine(cfg.parallel)
+        engine = ExecutionEngine(cfg.parallel, injector=injector)
         memo = self.score_memo if self.score_memo is not None else ScoreMemo()
         # Run-level context folded into every memo key: identical fold
         # data under a different test set / scoring config never collides.
@@ -364,6 +442,15 @@ class ModelRace:
                         elite, known=set(scores)
                     ) if iteration > 0 else synthesizer.synthesize(elite)
                     candidates = _dedupe(elite + new)
+                    if quarantined:
+                        # Quarantined configurations never re-enter the
+                        # race — unless dropping them would empty it.
+                        healthy = [
+                            p for p in candidates
+                            if p.config_key() not in quarantined
+                        ]
+                        if healthy:
+                            candidates = healthy
                     obs.on_iteration_start(
                         iteration, int(len(subset)), len(candidates)
                     )
@@ -371,6 +458,7 @@ class ModelRace:
                     n_evals = 0
                     n_early = 0
                     n_failures = 0
+                    n_quarantined = 0
                     X_sub, y_sub = X[subset], y[subset]
                     n_folds = min(cfg.n_folds, max(2, len(subset) // 2))
                     folds = list(
@@ -407,6 +495,8 @@ class ModelRace:
                             time_scale=time_scale,
                             iteration=iteration,
                             fold=fold_idx,
+                            policy=policy,
+                            injector=injector,
                         )
                         computed = iter(
                             engine.map(task, pending, label="race.evaluate_fold")
@@ -419,13 +509,37 @@ class ModelRace:
                         ]
                         for pipeline, result in zip(fold_pipelines, results):
                             key = pipeline.config_key()
-                            memo.put((key, fold_key), result)
+                            if result.error is None:
+                                # Failed scores are never memoized: a
+                                # transient failure must not poison a
+                                # shared cross-race memo.
+                                memo.put((key, fold_key), result)
                             n_evals += 1
                             eval_counter.inc()
                             score_hist.observe(result.score)
                             eval_time_hist.observe(result.runtime)
                             if result.error is not None:
                                 n_failures += 1
+                                failure_counter.inc()
+                                if policy is not None and policy.fail_fast:
+                                    raise EvaluationError(
+                                        f"evaluation of {pipeline} failed "
+                                        f"({result.error}) and the fault "
+                                        "policy is fail-fast"
+                                    )
+                                if breaker.record_failure(key, result.error):
+                                    # Repeated consecutive failures: the
+                                    # candidate leaves the race for
+                                    # reliability, not score, reasons.
+                                    quarantined.add(key)
+                                    active.discard(key)
+                                    n_quarantined += 1
+                                    quarantine_counter.inc()
+                                    obs.on_quarantine(
+                                        iteration, fold_idx, key
+                                    )
+                            else:
+                                breaker.record_success(key)
                             obs.on_candidate_scored(
                                 iteration, fold_idx, key, result
                             )
@@ -436,11 +550,13 @@ class ModelRace:
                         # longer depends on candidate evaluation order.
                         fold_best = max(r.score for r in results)
                         for pipeline, result in zip(fold_pipelines, results):
+                            key = pipeline.config_key()
+                            if key not in active:
+                                continue  # already quarantined this fold
                             if (
                                 result.score
                                 < fold_best - cfg.early_termination_margin
                             ):
-                                key = pipeline.config_key()
                                 active.discard(key)
                                 n_early += 1
                                 early_counter.inc()
@@ -449,7 +565,10 @@ class ModelRace:
                                 )
                     survivors = [p for p in candidates if p.config_key() in active]
                     if not survivors:  # safety: never lose everything
-                        survivors = candidates
+                        survivors = [
+                            p for p in candidates
+                            if p.config_key() not in quarantined
+                        ] or candidates
                     elite, n_pruned = self._prune_ttest(survivors, scores)
                     ttest_counter.inc(n_pruned)
                     obs.on_ttest_prune(iteration, n_pruned)
@@ -462,6 +581,7 @@ class ModelRace:
                     n_early_terminated=n_early,
                     n_ttest_pruned=n_pruned,
                     n_failures=n_failures,
+                    n_quarantined=n_quarantined,
                     n_elite=len(elite),
                     wall_time=iteration_timer.elapsed,
                 )
@@ -473,6 +593,7 @@ class ModelRace:
                     "n_early_terminated",
                     "n_ttest_pruned",
                     "n_failures",
+                    "n_quarantined",
                     "n_elite",
                 ):
                     iteration_span.set_tag(tag, record[tag])

@@ -33,3 +33,43 @@ class ImputationError(ReproError, RuntimeError):
 
 class ClusteringError(ReproError, RuntimeError):
     """Raised when a clustering routine receives unusable input."""
+
+
+# ---------------------------------------------------------------------------
+# Resilience taxonomy (see repro.resilience).
+#
+# ``TransientError`` marks failures that a bounded retry may fix (flaky
+# worker, injected chaos fault, lost process); everything else is treated
+# as *fatal* by :class:`repro.resilience.FaultPolicy` unless a caller
+# widens the retryable set explicitly.
+# ---------------------------------------------------------------------------
+class TransientError(ReproError, RuntimeError):
+    """A failure that is plausibly recoverable by retrying the call."""
+
+
+class WorkerCrashError(TransientError):
+    """A parallel worker died mid-task (e.g. the process was killed)."""
+
+
+class InjectedFault(TransientError):
+    """Raised by :class:`repro.resilience.FaultInjector` fault plans."""
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A call overran its wall-clock deadline.
+
+    Deliberately *not* transient: a computation that blew its budget once
+    will almost certainly blow it again, so retrying multiplies the damage.
+    """
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """A call was rejected because its circuit breaker is open (quarantined)."""
+
+
+class EnsembleError(ReproError, RuntimeError):
+    """Every ensemble member failed; no vote could be produced."""
+
+
+class EvaluationError(ReproError, RuntimeError):
+    """A race evaluation failed under ``fail_fast`` semantics."""

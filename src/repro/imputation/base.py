@@ -18,6 +18,11 @@ import numpy as np
 
 from repro.exceptions import ImputationError, RegistryError, ValidationError
 from repro.observability import get_metrics, get_tracer
+from repro.resilience import (
+    call_with_deadline,
+    get_fault_injector,
+    get_fault_policy,
+)
 from repro.timeseries.series import TimeSeries, TimeSeriesDataset
 from repro.utils.timing import Timer
 
@@ -79,6 +84,13 @@ class BaseImputer(ABC):
             raise ImputationError("matrix is entirely missing; nothing to learn from")
         tracer = get_tracer()
         metrics = get_metrics()
+        # Resilience context: the ``imputer.impute`` fault site fires
+        # first (chaos testing), and a process-level FaultPolicy may put
+        # the algorithm under a wall-clock deadline.  With neither
+        # installed this is two ``is None`` branches.
+        injector = get_fault_injector()
+        policy = get_fault_policy()
+        deadline = policy.impute_deadline if policy is not None else None
         timer = Timer()
         with timer, tracer.span(
             f"impute.{self.name}",
@@ -88,7 +100,26 @@ class BaseImputer(ABC):
             length=int(X.shape[1]),
             n_missing=int(mask.sum()),
         ):
-            completed = self._impute(X.copy(), mask)
+            action = (
+                injector.check("imputer.impute", self.name)
+                if injector is not None
+                else None
+            )
+            work = X.copy()
+            if deadline is not None:
+                completed = call_with_deadline(
+                    lambda: self._impute(work, mask),
+                    deadline,
+                    label=f"imputer.impute:{self.name}",
+                )
+            else:
+                completed = self._impute(work, mask)
+            if action == "nan":
+                # Poison the completion: the finite check below turns
+                # this into a typed ImputationError, exercising the same
+                # path a numerically broken algorithm would.
+                completed = np.asarray(completed, dtype=float).copy()
+                completed[mask] = np.nan
         metrics.counter(
             "repro_imputation_runs_total",
             "Imputation invocations per algorithm",

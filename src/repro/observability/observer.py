@@ -43,6 +43,9 @@ class IterationRecord:
         Candidates dropped by phase-2 pruning (t-test redundancy).
     n_failures:
         Evaluations that raised inside fit/predict (scored ``-inf``).
+    n_quarantined:
+        Candidates quarantined by the race circuit breaker this round
+        (repeated consecutive failures).
     n_elite:
         Survivors after both pruning phases.
     wall_time:
@@ -57,6 +60,7 @@ class IterationRecord:
     n_early_terminated: int = 0
     n_ttest_pruned: int = 0
     n_failures: int = 0
+    n_quarantined: int = 0
     n_elite: int = 0
     wall_time: float = 0.0
 
@@ -112,6 +116,13 @@ class RaceObserver:
     ) -> None:
         """A candidate was dropped by phase-1 (fold-margin) pruning."""
 
+    def on_quarantine(
+        self, iteration: int, fold: int, config_key: tuple
+    ) -> None:
+        """The race circuit breaker quarantined a repeatedly failing
+        candidate (it leaves the race like an early termination, but for
+        reliability rather than score reasons)."""
+
     def on_ttest_prune(self, iteration: int, n_pruned: int) -> None:
         """Phase-2 (t-test) pruning removed ``n_pruned`` candidates."""
 
@@ -150,6 +161,10 @@ class CompositeObserver(RaceObserver):
     def on_early_termination(self, iteration, fold, config_key):
         for obs in self.observers:
             obs.on_early_termination(iteration, fold, config_key)
+
+    def on_quarantine(self, iteration, fold, config_key):
+        for obs in self.observers:
+            obs.on_quarantine(iteration, fold, config_key)
 
     def on_ttest_prune(self, iteration, n_pruned):
         for obs in self.observers:
@@ -209,6 +224,14 @@ class RecordingObserver(RaceObserver):
             config_key=config_key,
         )
 
+    def on_quarantine(self, iteration, fold, config_key):
+        self._push(
+            "quarantine",
+            iteration=iteration,
+            fold=fold,
+            config_key=config_key,
+        )
+
     def on_ttest_prune(self, iteration, n_pruned):
         self._push("ttest_prune", iteration=iteration, n_pruned=n_pruned)
 
@@ -238,6 +261,16 @@ class ServingObserver:
         """The drift detector crossed a threshold (``report`` is a
         :class:`~repro.observability.serving.DriftReport`)."""
 
+    def on_degraded(self, n_series: int, detail) -> None:
+        """A request was served in degraded mode (ensemble members were
+        dropped, or the static fallback answered).  ``detail`` is the
+        :class:`~repro.core.voting.VoteDetail` of the vote, or ``None``
+        when the fallback path produced the recommendations."""
+
+    def on_member_quarantined(self, member: str) -> None:
+        """The serving ensemble's circuit breaker quarantined a member
+        pipeline (identified by its display name)."""
+
 
 @dataclass
 class RecordingServingObserver(ServingObserver):
@@ -264,6 +297,14 @@ class RecordingServingObserver(ServingObserver):
     def on_drift_alert(self, report):
         self.events.append(("drift_alert", {"report": report}))
 
+    def on_degraded(self, n_series, detail):
+        self.events.append(
+            ("degraded", {"n_series": n_series, "detail": detail})
+        )
+
+    def on_member_quarantined(self, member):
+        self.events.append(("member_quarantined", {"member": member}))
+
 
 class LoggingObserver(RaceObserver):
     """Narrates race progress through the ``repro`` logger hierarchy."""
@@ -289,6 +330,14 @@ class LoggingObserver(RaceObserver):
     def on_early_termination(self, iteration, fold, config_key):
         self.logger.debug(
             "iteration %d fold %d: early-terminated %s",
+            iteration,
+            fold,
+            config_key,
+        )
+
+    def on_quarantine(self, iteration, fold, config_key):
+        self.logger.warning(
+            "iteration %d fold %d: quarantined %s (repeated failures)",
             iteration,
             fold,
             config_key,

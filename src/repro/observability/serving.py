@@ -531,6 +531,12 @@ class InferenceMonitor:
                 )
         self.drift_detector = drift_detector
         self.observers: list[ServingObserver] = []
+        #: Requests served in degraded mode (members dropped or fallback).
+        self.n_degraded = 0
+        #: Requests answered by the static fallback (no member voted).
+        self.n_fallback = 0
+        #: Members already announced through ``on_member_quarantined``.
+        self._announced_quarantined: set[str] = set()
         if observer is not None:
             self.add_observer(observer)
 
@@ -546,7 +552,18 @@ class InferenceMonitor:
         return self.recommend_many([series])[0]
 
     def recommend_many(self, series_list) -> list:
-        """Monitored batch recommendation (same contract as the engine)."""
+        """Monitored batch recommendation (same contract as the engine).
+
+        Degradation-aware: the vote runs through
+        ``predict_proba_detailed``, so failing ensemble members are
+        dropped (and eventually quarantined) rather than failing the
+        request; a fully failed ensemble falls back to the engine's
+        static recommendation.  Both conditions are counted, surfaced
+        through ``on_degraded`` / ``on_member_quarantined`` observer
+        callbacks, and reported by :class:`HealthSnapshot`.
+        """
+        from repro.exceptions import EnsembleError
+
         engine = self.engine
         ensemble = engine._ensemble
         n_series = len(series_list)
@@ -555,10 +572,57 @@ class InferenceMonitor:
             "serving.recommend_many", subsystem="inference", n_series=n_series
         ):
             X = engine.extract_features(series_list)
-            member_probas = ensemble.member_probas(X)
-            proba = ensemble.predict_proba(X)
-            recommendations = engine._recommendations_from_proba(proba)
+            try:
+                detail = ensemble.predict_proba_detailed(X)
+            except EnsembleError as exc:
+                _log.error(
+                    "monitored vote failed entirely (%s); serving the "
+                    "static fallback",
+                    exc,
+                )
+                detail = None
+            engine.last_vote_detail_ = detail
+            if detail is None:
+                proba = None
+                member_probas = None
+                recommendations = engine._fallback_recommendations(n_series)
+            else:
+                proba = detail.proba
+                member_probas = detail.member_probas
+                recommendations = engine._recommendations_from_proba(
+                    proba, degraded=detail.degraded
+                )
         elapsed = time.perf_counter() - start
+
+        # -- degradation accounting --------------------------------------
+        metrics = get_metrics()
+        degraded = detail is None or detail.degraded
+        if degraded:
+            with self._mix_lock:
+                self.n_degraded += 1
+                if detail is None:
+                    self.n_fallback += 1
+            metrics.counter(
+                "repro_serving_degraded_total",
+                "Monitored requests served in degraded mode",
+            ).inc()
+            if detail is None:
+                metrics.counter(
+                    "repro_serving_fallback_total",
+                    "Monitored requests answered by the static fallback",
+                ).inc()
+            for observer in self.observers:
+                observer.on_degraded(n_series, detail)
+        # Newly quarantined members are announced exactly once each.
+        for member in getattr(ensemble, "quarantined_members", ()):
+            if member not in self._announced_quarantined:
+                self._announced_quarantined.add(member)
+                metrics.counter(
+                    "repro_serving_member_quarantines_total",
+                    "Ensemble members quarantined while serving",
+                ).inc()
+                for observer in self.observers:
+                    observer.on_member_quarantined(member)
 
         # -- windows ------------------------------------------------------
         self.latency.push(elapsed)
@@ -566,8 +630,10 @@ class InferenceMonitor:
             per_series = elapsed / n_series
             for _ in range(n_series):
                 self.series_latency.push(per_series)
-        self.confidence.extend(proba.max(axis=1))
-        self.disagreement.extend(vote_disagreement(member_probas))
+        if proba is not None:
+            self.confidence.extend(proba.max(axis=1))
+        if member_probas is not None:
+            self.disagreement.extend(vote_disagreement(member_probas))
         with self._mix_lock:
             self.n_requests += 1
             self.n_series += n_series
@@ -647,6 +713,7 @@ class HealthSnapshot:
     caches: dict
     backends: dict
     alerts: dict = field(default_factory=dict)
+    resilience: dict = field(default_factory=dict)
 
     @classmethod
     def collect(
@@ -691,6 +758,21 @@ class HealthSnapshot:
                 "n_alerts": detector.n_alerts,
                 "report": report.as_dict() if report is not None else None,
             }
+        from repro.resilience.stats import resilience_stats
+
+        quarantined = list(
+            getattr(
+                getattr(engine, "_ensemble", None),
+                "quarantined_members",
+                (),
+            )
+        )
+        resilience = {
+            "degraded_requests": monitor.n_degraded,
+            "fallback_requests": monitor.n_fallback,
+            "quarantined_members": quarantined,
+            "process": resilience_stats(),
+        }
         return cls(
             generated_at=_dt.datetime.now(_dt.timezone.utc).isoformat(),
             uptime_s=monitor.uptime,
@@ -709,7 +791,11 @@ class HealthSnapshot:
             backends=backends,
             alerts={
                 "drift_alerts": detector.n_alerts if detector else 0,
+                "degraded_requests": monitor.n_degraded,
+                "fallback_requests": monitor.n_fallback,
+                "quarantined_members": len(quarantined),
             },
+            resilience=resilience,
         )
 
     def as_dict(self) -> dict:
@@ -727,6 +813,7 @@ class HealthSnapshot:
             "caches": self.caches,
             "backends": self.backends,
             "alerts": self.alerts,
+            "resilience": self.resilience,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -795,6 +882,24 @@ class HealthSnapshot:
                 "repro_parallel_batches_total", "Engine batches by backend",
                 labels={"backend": backend},
             ).inc(stats.get("batches", 0))
+        if self.resilience:
+            registry.counter(
+                "repro_serving_degraded_total", "Requests served degraded"
+            ).inc(self.resilience.get("degraded_requests", 0))
+            registry.counter(
+                "repro_serving_fallback_total",
+                "Requests answered by the static fallback",
+            ).inc(self.resilience.get("fallback_requests", 0))
+            registry.gauge(
+                "repro_serving_quarantined_members",
+                "Ensemble members currently quarantined",
+            ).set(len(self.resilience.get("quarantined_members", [])))
+            for key, value in self.resilience.get("process", {}).items():
+                registry.counter(
+                    "repro_resilience_events_total",
+                    "Process-wide resilience events",
+                    labels={"event": key},
+                ).inc(value)
         return registry.to_prometheus()
 
     def export(self, path):

@@ -12,6 +12,24 @@ with backend / task count / worker count, and increments per-backend
 counters and batch-latency histograms on the process metrics registry, so
 ``repro report`` shows how work was spread across backends.
 
+Resilience
+----------
+The engine never lets infrastructure failures escape to the caller:
+
+* **Worker crashes** — a dead process-pool worker surfaces as
+  ``BrokenProcessPool``; the engine tears the broken pool down, *demotes*
+  the batch to the thread backend, and resubmits every task (map tasks
+  must therefore be idempotent, which all repro call sites are).
+* **Crash-class task errors** — :class:`~repro.exceptions.WorkerCrashError`
+  (raised by fault injection or crash simulation on non-process backends)
+  is retried in place a couple of times, then triggers thread→serial
+  demotion as the last resort.
+* **Fault injection** — pass a
+  :class:`~repro.resilience.FaultInjector` and every task execution
+  checks the ``executor.task`` site first, letting chaos tests kill
+  workers or fail tasks deterministically.  With no injector the per-task
+  overhead is a single ``is None`` branch.
+
 Process-backend caveats: the mapped function and every item must be
 picklable, and child processes see the *default* (no-op) tracer/metrics —
 workers therefore return any timing they measured (e.g.
@@ -25,11 +43,17 @@ from __future__ import annotations
 import concurrent.futures as _futures
 import threading
 import time
+from concurrent.futures.process import BrokenProcessPool
 
+from repro.exceptions import WorkerCrashError
 from repro.observability import get_logger, get_metrics, get_tracer
 from repro.parallel.config import ParallelConfig
+from repro.resilience.stats import tick
 
 _log = get_logger(__name__)
+
+#: In-place re-attempts for crash-class (transient) task errors.
+TASK_CRASH_RETRIES = 2
 
 # ---------------------------------------------------------------------------
 # Process-wide backend stats.  The engines themselves are ephemeral (the
@@ -50,8 +74,16 @@ def _record_batch(backend: str, n_tasks: int, seconds: float) -> None:
         stats["seconds"] += seconds
 
 
+def _record_crash(backend: str) -> None:
+    with _STATS_LOCK:
+        stats = _BACKEND_STATS.setdefault(
+            backend, {"batches": 0, "tasks": 0, "seconds": 0.0}
+        )
+        stats["crashes"] = stats.get("crashes", 0) + 1
+
+
 def engine_stats() -> dict[str, dict[str, float]]:
-    """Per-backend ``{batches, tasks, seconds}`` since process start.
+    """Per-backend ``{batches, tasks, seconds[, crashes]}`` since process start.
 
     A copy; mutating the result does not affect the live counters.
     """
@@ -67,9 +99,30 @@ def reset_engine_stats() -> None:
         _BACKEND_STATS.clear()
 
 
-def _apply_chunk(fn, chunk):
-    """Module-level chunk runner (picklable for the process backend)."""
-    return [fn(item) for item in chunk]
+def _apply_chunk(fn, chunk, injector=None, label: str = "task"):
+    """Module-level chunk runner (picklable for the process backend).
+
+    With an injector, every task first checks the ``executor.task`` fault
+    site; crash-class (transient) failures are retried in place up to
+    :data:`TASK_CRASH_RETRIES` times before propagating.
+    """
+    if injector is None:
+        return [fn(item) for item in chunk]
+    from repro.exceptions import TransientError
+
+    out = []
+    for item in chunk:
+        attempt = 0
+        while True:
+            try:
+                injector.check("executor.task", label)
+                out.append(fn(item))
+                break
+            except TransientError:
+                attempt += 1
+                if attempt > TASK_CRASH_RETRIES:
+                    raise
+    return out
 
 
 def _chunked(items: list, size: int) -> list[list]:
@@ -83,13 +136,19 @@ class ExecutionEngine:
     ----------
     config:
         The parallelism knobs; ``None`` means serial execution.
+    injector:
+        Optional :class:`~repro.resilience.FaultInjector` checked at the
+        ``executor.task`` site before every task (chaos testing).
     """
 
-    def __init__(self, config: ParallelConfig | None = None):
+    def __init__(self, config: ParallelConfig | None = None, injector=None):
         self.config = config or ParallelConfig()
+        self.injector = injector
         #: Lazily created, reused across batches; see :meth:`shutdown`.
         self._pools: dict[str, _futures.Executor] = {}
         self._process_pool_broken = False
+        #: Backend demotions performed by this engine instance.
+        self.n_demotions = 0
 
     # ------------------------------------------------------------------
     def map(self, fn, items, *, label: str = "parallel.map") -> list:
@@ -100,11 +159,14 @@ class ExecutionEngine:
         fn:
             Callable of one argument.  Must be picklable (a module-level
             function or ``functools.partial`` of one) when the process
-            backend may be chosen.
+            backend may be chosen.  Tasks should be idempotent: after a
+            worker crash the engine resubmits the whole batch on a
+            demoted backend.
         items:
             Iterable of task inputs (materialized internally).
         label:
-            Span name recorded on the process tracer for this batch.
+            Span name recorded on the process tracer for this batch (and
+            the fault-injection target for the ``executor.task`` site).
         """
         items = list(items)
         if not items:
@@ -130,11 +192,11 @@ class ExecutionEngine:
             chunk_size=chunk,
         ), batch_timer.time():
             if backend == "serial":
-                results = self._map_serial(fn, items)
+                results = self._map_serial(fn, items, label)
             elif backend == "thread":
-                results = self._map_pool(fn, items, jobs, chunk)
+                results = self._map_thread(fn, items, chunk, label)
             elif backend == "process":
-                results = self._map_process(fn, items, jobs, chunk)
+                results = self._map_process(fn, items, chunk, label)
             else:  # pragma: no cover - ParallelConfig validates backends
                 raise ValueError(f"unknown backend {backend!r}")
         metrics.counter(
@@ -166,9 +228,10 @@ class ExecutionEngine:
             self._pools["thread"] = pool
         return pool
 
-    def _process_pool(self) -> _futures.Executor:
+    def _process_pool(self) -> _futures.Executor | None:
+        """The process pool, or ``None`` when unavailable (use threads)."""
         if self._process_pool_broken:
-            return self._thread_pool()
+            return None
         pool = self._pools.get("process")
         if pool is None:
             try:
@@ -182,7 +245,7 @@ class ExecutionEngine:
                     exc,
                 )
                 self._process_pool_broken = True
-                return self._thread_pool()
+                return None
             self._pools["process"] = pool
         return pool
 
@@ -206,21 +269,74 @@ class ExecutionEngine:
             pass
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _map_serial(fn, items: list) -> list:
-        return [fn(item) for item in items]
+    def _map_serial(self, fn, items: list, label: str) -> list:
+        return _apply_chunk(fn, items, self.injector, label)
 
-    @staticmethod
-    def _drain(pool: _futures.Executor, fn, items: list, chunk: int) -> list:
+    def _drain(
+        self, pool: _futures.Executor, fn, items: list, chunk: int, label: str
+    ) -> list:
         chunks = _chunked(items, chunk)
-        futures = [pool.submit(_apply_chunk, fn, c) for c in chunks]
-        out: list = []
-        for future in futures:  # submission order == input order
-            out.extend(future.result())
-        return out
+        futures = [
+            pool.submit(_apply_chunk, fn, c, self.injector, label)
+            for c in chunks
+        ]
+        try:
+            out: list = []
+            for future in futures:  # submission order == input order
+                out.extend(future.result())
+            return out
+        except BaseException:
+            # A failed chunk abandons the batch; don't leave siblings
+            # running (or queued) against a pool we may be tearing down.
+            for future in futures:
+                future.cancel()
+            raise
 
-    def _map_pool(self, fn, items: list, jobs: int, chunk: int) -> list:
-        return self._drain(self._thread_pool(), fn, items, chunk)
+    def _demote(self, from_backend: str, to_backend: str, exc) -> None:
+        """Record one backend demotion (logging + counters)."""
+        self.n_demotions += 1
+        tick("backend_demotions")
+        _record_crash(from_backend)
+        get_metrics().counter(
+            "repro_parallel_backend_demotions_total",
+            "Batches demoted to a weaker backend after worker failure",
+            labels={"from": from_backend, "to": to_backend},
+        ).inc()
+        _log.warning(
+            "%s backend failed (%s: %s); demoting batch to %s and resubmitting",
+            from_backend,
+            type(exc).__name__,
+            exc,
+            to_backend,
+        )
 
-    def _map_process(self, fn, items: list, jobs: int, chunk: int) -> list:
-        return self._drain(self._process_pool(), fn, items, chunk)
+    def _map_thread(self, fn, items: list, chunk: int, label: str) -> list:
+        try:
+            return self._drain(self._thread_pool(), fn, items, chunk, label)
+        except WorkerCrashError as exc:
+            # Crash-class error survived the in-place retries: last-resort
+            # serial resubmission, where one more failure is terminal.
+            self._demote("thread", "serial", exc)
+            return self._map_serial(fn, items, label)
+
+    def _map_process(self, fn, items: list, chunk: int, label: str) -> list:
+        pool = self._process_pool()
+        if pool is None:
+            return self._map_thread(fn, items, chunk, label)
+        try:
+            return self._drain(pool, fn, items, chunk, label)
+        except BrokenProcessPool as exc:
+            # A worker died (OOM-kill, segfault, os._exit, ...).  The pool
+            # is unusable from here on: tear it down, mark it broken, and
+            # resubmit the *entire* batch on the thread backend.
+            tick("worker_crashes")
+            get_metrics().counter(
+                "repro_parallel_worker_crashes_total",
+                "Process-pool workers detected dead mid-batch",
+            ).inc()
+            self._process_pool_broken = True
+            broken = self._pools.pop("process", None)
+            if broken is not None:
+                broken.shutdown(wait=False, cancel_futures=True)
+            self._demote("process", "thread", exc)
+            return self._map_thread(fn, items, chunk, label)

@@ -78,6 +78,7 @@ def score_pipeline(
     y_test: np.ndarray,
     weights: ScoreWeights | None = None,
     time_scale: float = 1.0,
+    injector=None,
 ) -> PipelineScore:
     """Train ``pipeline`` on one fold and score it on the test set.
 
@@ -85,11 +86,23 @@ def score_pipeline(
     runtime observed among racing pipelines so ``norm_time`` stays in [0, 1].
     Pipelines that raise during fit/predict score ``-inf`` (they lose the
     race instead of crashing it).
+
+    ``injector`` is an optional :class:`~repro.resilience.FaultInjector`
+    evaluated at the ``classifier.fit`` site just before the fit (``None``
+    falls back to the process-level injector); injected failures are
+    *recorded* like real classifier failures — they produce a scored-as-
+    failed result rather than retries.
     """
     weights = weights or ScoreWeights()
+    if injector is None:
+        from repro.resilience import get_fault_injector
+
+        injector = get_fault_injector()
     timer = Timer()
     try:
         with timer:
+            if injector is not None:
+                injector.check("classifier.fit", pipeline.classifier_name)
             pipeline.fit(X_train, y_train)
             y_pred = pipeline.predict(X_test)
             rankings = pipeline.predict_rankings(X_test)

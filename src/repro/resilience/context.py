@@ -1,0 +1,65 @@
+"""Process-level fault policy / injector installation.
+
+Mirrors the observability substrate's ``get/set/use`` pattern: library
+code consults the process-level handles at instrumented call sites, and
+both default to ``None`` so the fault-free hot path pays exactly one
+attribute load and an ``is None`` branch.
+
+Explicitly passed objects always win over the process-level ones —
+ModelRace, for example, prefers ``ModelRaceConfig.fault_policy`` and
+falls back to :func:`get_fault_policy`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.resilience.injector import FaultInjector
+from repro.resilience.policy import FaultPolicy
+
+_FAULT_POLICY: FaultPolicy | None = None
+_FAULT_INJECTOR: FaultInjector | None = None
+
+
+def get_fault_policy() -> FaultPolicy | None:
+    """The process-level :class:`FaultPolicy` (``None`` when uninstalled)."""
+    return _FAULT_POLICY
+
+
+def set_fault_policy(policy: FaultPolicy | None) -> None:
+    """Install (or clear, with ``None``) the process-level fault policy."""
+    global _FAULT_POLICY
+    _FAULT_POLICY = policy
+
+
+def get_fault_injector() -> FaultInjector | None:
+    """The process-level :class:`FaultInjector` (``None`` when uninstalled)."""
+    return _FAULT_INJECTOR
+
+
+def set_fault_injector(injector: FaultInjector | None) -> None:
+    """Install (or clear, with ``None``) the process-level fault injector."""
+    global _FAULT_INJECTOR
+    _FAULT_INJECTOR = injector
+
+
+@contextlib.contextmanager
+def use_fault_policy(policy: FaultPolicy | None):
+    """Scoped :func:`set_fault_policy`; restores the previous policy."""
+    previous = _FAULT_POLICY
+    set_fault_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_fault_policy(previous)
+
+
+@contextlib.contextmanager
+def use_fault_injector(injector: FaultInjector | None):
+    """Scoped :func:`set_fault_injector`; restores the previous injector."""
+    previous = _FAULT_INJECTOR
+    set_fault_injector(injector)
+    try:
+        yield injector
+    finally:
+        set_fault_injector(previous)

@@ -1,0 +1,166 @@
+"""Numerical edge-case sweep: degenerate inputs through every algorithm.
+
+Every registered imputer and the :class:`FeatureExtractor` are driven over a
+catalogue of hostile inputs — all-missing matrices, constants, single
+observed points, huge contiguous gaps, infinities, extreme magnitudes, and
+near-empty series.  The contract under test is uniform:
+
+* either the algorithm returns a **fully finite** result of the right shape
+  with observed entries untouched, or
+* it raises a **typed** :class:`~repro.exceptions.ReproError` subclass.
+
+Raw ``LinAlgError`` / ``ZeroDivisionError`` / silent NaN output are bugs.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImputationError, ReproError, ValidationError
+from repro.features.extractor import FeatureExtractor
+from repro.imputation.base import available_imputers, get_imputer
+
+ALL_IMPUTERS = available_imputers()
+
+
+def _base_matrix() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    wave = np.sin(np.linspace(0, 6 * np.pi, 40))[None, :]
+    return wave + rng.normal(0.0, 0.1, (4, 40))
+
+
+def _edge_matrices() -> dict[str, np.ndarray]:
+    """Hostile-but-imputable matrices; each must come back finite."""
+    cases: dict[str, np.ndarray] = {}
+
+    constant = np.ones((4, 40))
+    constant[0, 3:9] = np.nan
+    constant[2, 30:] = np.nan
+    cases["constant"] = constant
+
+    single_point = np.full((3, 40), np.nan)
+    single_point[:, 0] = [1.0, 2.0, 3.0]
+    cases["single_point_rows"] = single_point
+
+    huge_block = _base_matrix()
+    huge_block[:, 8:38] = np.nan  # 75% contiguous hole in every row
+    cases["huge_block"] = huge_block
+
+    extreme_scale = _base_matrix() * 1e9
+    extreme_scale[1, 10:20] = np.nan
+    cases["extreme_scale"] = extreme_scale
+
+    one_row = _base_matrix()[:1].copy()
+    one_row[0, 12:18] = np.nan
+    cases["single_row"] = one_row
+
+    return cases
+
+
+EDGE_CASES = _edge_matrices()
+
+
+@pytest.mark.parametrize("name", ALL_IMPUTERS)
+@pytest.mark.parametrize("case", sorted(EDGE_CASES))
+def test_imputer_edge_matrix_finite_or_typed(name, case):
+    X = EDGE_CASES[case]
+    imputer = get_imputer(name)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        try:
+            out = imputer.impute(X)
+        except ReproError:
+            return  # typed failure is an acceptable outcome
+    assert out.shape == X.shape
+    assert np.isfinite(out).all(), f"{name} left non-finite values on {case!r}"
+    observed = ~np.isnan(X)
+    np.testing.assert_array_equal(out[observed], X[observed])
+
+
+@pytest.mark.parametrize("name", ALL_IMPUTERS)
+def test_imputer_rejects_all_missing(name):
+    imputer = get_imputer(name)
+    with pytest.raises(ImputationError):
+        imputer.impute(np.full((3, 20), np.nan))
+
+
+@pytest.mark.parametrize("name", ALL_IMPUTERS)
+def test_imputer_rejects_infinite_values(name):
+    X = _base_matrix()
+    X[0, 0] = np.inf
+    X[1, 5] = np.nan
+    imputer = get_imputer(name)
+    with pytest.raises(ValidationError):
+        imputer.impute(X)
+
+
+@pytest.mark.parametrize("name", ALL_IMPUTERS)
+def test_imputer_no_missing_is_identity(name):
+    X = _base_matrix()
+    out = get_imputer(name).impute(X)
+    np.testing.assert_array_equal(out, X)
+    assert out is not X  # contract: always a copy
+
+
+@pytest.mark.parametrize("name", ALL_IMPUTERS)
+def test_imputer_accepts_1d_input(name):
+    values = np.sin(np.linspace(0, 4 * np.pi, 40))
+    values[10:16] = np.nan
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        try:
+            out = get_imputer(name).impute(values)
+        except ReproError:
+            return
+    assert out.shape == (1, 40)
+    assert np.isfinite(out).all()
+
+
+class TestFeatureExtractorEdges:
+    @pytest.fixture(scope="class")
+    def extractor(self):
+        return FeatureExtractor()
+
+    @pytest.mark.parametrize(
+        "label, values",
+        [
+            ("constant", np.ones(40)),
+            ("short", np.arange(5, dtype=float)),
+            ("single_sample", np.array([3.0])),
+            ("two_samples", np.array([1.0, 2.0])),
+            ("huge_magnitude", np.full(40, 1e12)),
+            ("tiny_variance", np.ones(40) + np.linspace(0, 1e-12, 40)),
+        ],
+    )
+    def test_degenerate_series_yield_finite_vectors(self, extractor, label, values):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            vec = extractor.extract(values)
+        assert vec.shape == (extractor.n_features,)
+        assert np.isfinite(vec).all(), f"non-finite feature for {label!r}"
+
+    def test_gappy_series_yield_finite_vectors(self, extractor):
+        values = np.r_[np.ones(10), np.full(10, np.nan), np.linspace(0.0, 1.0, 20)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            vec = extractor.extract(values)
+        assert np.isfinite(vec).all()
+
+    def test_all_missing_series_raises_typed_error(self, extractor):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(ReproError):
+                extractor.extract(np.full(30, np.nan))
+
+    def test_extraction_is_deterministic(self, extractor):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=60)
+        values[20:30] = np.nan
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            a = extractor.extract(values)
+            b = extractor.extract(values.copy())
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,200 @@
+"""Serving-path degradation: member drops, quarantine, and static fallback.
+
+These tests poison ensemble members through the ``ensemble.member`` fault
+site and assert the monitored serving path *degrades* — drops the failing
+member, eventually quarantines it, or answers from the static fallback —
+while the request itself always succeeds and every degradation leaves an
+observable trace (counters, observer events, health-snapshot sections).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import ADarts, ModelRaceConfig, TimeSeries
+from repro.core.voting import MEMBER_QUARANTINE_THRESHOLD
+from repro.observability import (
+    InferenceMonitor,
+    MetricsRegistry,
+    RecordingServingObserver,
+    use_metrics,
+)
+from repro.pipeline.scoring import ScoreWeights
+from repro.resilience import (
+    FaultPlan,
+    FaultRule,
+    reset_resilience_stats,
+    use_fault_injector,
+)
+
+pytestmark = pytest.mark.chaos
+
+FAST_CONFIG = ModelRaceConfig(
+    n_partial_sets=2, n_folds=2, max_elite=2, random_state=0,
+    weights=ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0),
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_resilience_stats()
+    yield
+    reset_resilience_stats()
+
+
+def _make_corpus(rng, n_per_family=12, length=100):
+    series, labels = [], []
+    t = np.linspace(0, 4 * np.pi, length)
+    for i in range(n_per_family):
+        values = np.sin(t * (1 + 0.05 * i)) + 0.05 * rng.normal(size=length)
+        series.append(TimeSeries(values, name=f"sine{i}"))
+        labels.append("linear")
+    for i in range(n_per_family):
+        values = 0.5 * np.cumsum(rng.normal(size=length))
+        series.append(TimeSeries(values, name=f"walk{i}"))
+        labels.append("mean")
+    return series, np.array(labels)
+
+
+@pytest.fixture(scope="module")
+def fitted_engine():
+    rng = np.random.default_rng(11)
+    series, labels = _make_corpus(rng)
+    engine = ADarts(
+        config=FAST_CONFIG, classifier_names=["knn", "decision_tree"]
+    )
+    X = engine.extractor.extract_many(series)
+    engine.fit_features(X, labels)
+    return engine, series
+
+
+@pytest.fixture
+def engine_and_series(fitted_engine):
+    """Per-test deep copy so breaker state never leaks between tests."""
+    engine, series = fitted_engine
+    return copy.deepcopy(engine), series
+
+
+def _poison(match=None, **kwargs):
+    return FaultPlan(
+        [FaultRule(site="ensemble.member", match=match, **kwargs)], seed=0
+    )
+
+
+class TestMemberDegradation:
+    def test_failing_member_is_dropped_not_fatal(self, engine_and_series):
+        engine, series = engine_and_series
+        observer = RecordingServingObserver()
+        monitor = InferenceMonitor(engine, observer=observer)
+        with use_fault_injector(_poison(match="#0").injector()):
+            recs = monitor.recommend_many(series[:3])
+        assert len(recs) == 3
+        assert all(rec.degraded for rec in recs)
+        assert monitor.n_degraded == 1
+        assert monitor.n_fallback == 0
+        detail = engine.last_vote_detail_
+        assert detail is not None and detail.degraded
+        assert any(name.endswith("#0") for name in detail.failed_members)
+        assert detail.used_members  # the healthy member still voted
+        degraded = observer.of_type("degraded")
+        assert len(degraded) == 1
+        assert degraded[0]["detail"] is detail
+
+    def test_degradation_counters_recorded(self, engine_and_series):
+        engine, series = engine_and_series
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            monitor = InferenceMonitor(engine)
+            with use_fault_injector(_poison(match="#0").injector()):
+                monitor.recommend_many(series[:2])
+        text = registry.to_prometheus()
+        assert "repro_serving_degraded_total 1" in text
+        assert "repro_ensemble_member_failures_total" in text
+
+    def test_repeated_failures_quarantine_member_once(self, engine_and_series):
+        engine, series = engine_and_series
+        observer = RecordingServingObserver()
+        monitor = InferenceMonitor(engine, observer=observer)
+        with use_fault_injector(_poison(match="#0").injector()):
+            for _ in range(MEMBER_QUARANTINE_THRESHOLD + 2):
+                monitor.recommend_many(series[:2])
+        quarantined = engine._ensemble.quarantined_members
+        assert any(name.endswith("#0") for name in quarantined)
+        announcements = observer.of_type("member_quarantined")
+        assert len(announcements) == 1  # announced exactly once
+        assert announcements[0]["member"].endswith("#0")
+        # Post-quarantine requests skip the member but still answer.
+        recs = monitor.recommend_many(series[:2])
+        assert len(recs) == 2
+        assert all(rec.degraded for rec in recs)
+
+    def test_full_ensemble_failure_serves_static_fallback(
+        self, engine_and_series
+    ):
+        engine, series = engine_and_series
+        observer = RecordingServingObserver()
+        monitor = InferenceMonitor(engine, observer=observer)
+        with use_fault_injector(_poison().injector()):  # every member
+            recs = monitor.recommend_many(series[:4])
+        assert len(recs) == 4
+        assert all(rec.degraded for rec in recs)
+        # The documented fallback preference: "linear" when trained on it.
+        assert {rec.algorithm for rec in recs} == {"linear"}
+        assert monitor.n_fallback == 1
+        assert engine.last_vote_detail_ is None
+        degraded = observer.of_type("degraded")
+        assert len(degraded) == 1 and degraded[0]["detail"] is None
+
+    def test_healthy_requests_are_not_flagged(self, engine_and_series):
+        engine, series = engine_and_series
+        monitor = InferenceMonitor(engine)
+        recs = monitor.recommend_many(series[:3])
+        assert len(recs) == 3
+        assert not any(rec.degraded for rec in recs)
+        assert monitor.n_degraded == 0
+        assert monitor.n_fallback == 0
+
+
+class TestHealthSnapshotResilience:
+    def _degraded_monitor(self, engine, series):
+        monitor = InferenceMonitor(engine)
+        with use_fault_injector(_poison(match="#0").injector()):
+            for _ in range(MEMBER_QUARANTINE_THRESHOLD):
+                monitor.recommend_many(series[:2])
+        return monitor
+
+    def test_snapshot_reports_degradation(self, engine_and_series):
+        engine, series = engine_and_series
+        monitor = self._degraded_monitor(engine, series)
+        snapshot = monitor.snapshot()
+        resilience = snapshot.resilience
+        assert resilience["degraded_requests"] == MEMBER_QUARANTINE_THRESHOLD
+        assert resilience["fallback_requests"] == 0
+        assert any(m.endswith("#0") for m in resilience["quarantined_members"])
+        assert "member_failures" in resilience["process"]
+        alerts = snapshot.alerts
+        assert alerts["degraded_requests"] == MEMBER_QUARANTINE_THRESHOLD
+        assert alerts["quarantined_members"] >= 1
+        document = snapshot.as_dict()
+        assert document["resilience"] == resilience
+
+    def test_snapshot_prometheus_exposition(self, engine_and_series):
+        engine, series = engine_and_series
+        monitor = self._degraded_monitor(engine, series)
+        text = monitor.snapshot().to_prometheus()
+        assert "repro_serving_degraded_total" in text
+        assert "repro_serving_fallback_total" in text
+        assert "repro_serving_quarantined_members 1" in text
+        assert 'repro_resilience_events_total{event="member_failures"}' in text
+
+    def test_clean_monitor_reports_zeroes(self, engine_and_series):
+        engine, series = engine_and_series
+        monitor = InferenceMonitor(engine)
+        monitor.recommend_many(series[:2])
+        snapshot = monitor.snapshot()
+        assert snapshot.resilience["degraded_requests"] == 0
+        assert snapshot.resilience["fallback_requests"] == 0
+        assert snapshot.resilience["quarantined_members"] == []
