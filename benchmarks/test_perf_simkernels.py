@@ -1,0 +1,176 @@
+"""Perf — per-pair scalar loops vs. the batched similarity kernels.
+
+Times the O(n²) reference implementations in
+``repro.timeseries.correlation`` against the :class:`SeriesBank` kernels
+of ``repro.timeseries.batch`` on fixed synthetic corpora, plus the
+legacy vs. incremental phase-2 refinement of
+:class:`~repro.clustering.incremental.IncrementalClustering`, then
+merges the timings into ``BENCH_simkernels.json`` at the repo root::
+
+    {workload: {per_pair_s | legacy_s, batched_s | incremental_s,
+                n_series, length, speedup}}
+
+Workloads:
+
+* ``sbd_matrix`` — full shape-based-distance matrix (one FFT per *pair*
+  in the reference vs. one rFFT per *series* + blockwise spectral
+  products in the bank).  The acceptance gate: >= 10x on the full
+  256-series corpus (>= 2x in ``REPRO_BENCH_TINY=1`` smoke mode, where
+  the corpus is too small to amortize well).
+* ``corr_matrix`` — zero-lag correlation matrix (per-pair z-norm + dot
+  vs. one z-norm pass + blockwise GEMM).
+* ``incremental_refine`` — ``IncrementalClustering.fit`` with the
+  legacy ``np.ix_``-rescanning refinement vs. the incrementally
+  maintained correlation sums (identical labels asserted).
+
+Every batched result is parity-checked against its reference (<= 1e-9)
+before the timings are recorded, so the benchmark cannot "win" by
+drifting semantically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.clustering.incremental import IncrementalClustering
+from repro.timeseries import TimeSeries
+from repro.timeseries.batch import SeriesBank
+from repro.timeseries.correlation import (
+    pairwise_correlation_matrix_reference,
+    sbd_distance_matrix_reference,
+)
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simkernels.json"
+
+#: Corpus shape for the matrix workloads (the issue's acceptance corpus).
+N_SERIES, LENGTH = (48, 96) if TINY else (256, 256)
+#: Corpus shape for the clustering-refinement workload.
+REFINE_N, REFINE_LENGTH = (40, 64) if TINY else (160, 96)
+#: Speedup floor for the sbd_matrix workload.
+SBD_FLOOR = 2.0 if TINY else 10.0
+#: Best-of-N repeats for the cheap batched arms (the expensive per-pair
+#: arms run once; their runtimes dwarf scheduler noise).
+REPEATS = 3
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _timed_best(fn, repeats: int = REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        result, seconds = _timed(fn)
+        best = min(best, seconds)
+    return result, best
+
+
+def _record(results, workload, slow_key, slow_s, fast_key, fast_s, **extra):
+    results[workload] = {
+        slow_key: round(slow_s, 4),
+        fast_key: round(fast_s, 4),
+        "speedup": round(slow_s / fast_s, 3) if fast_s else float("inf"),
+        **extra,
+    }
+
+
+def _merge_json(results: dict) -> dict:
+    doc = {}
+    if BENCH_JSON.exists():
+        try:
+            doc = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            doc = {}
+    doc.update(results)
+    BENCH_JSON.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+def _corpus(n=N_SERIES, length=LENGTH, seed=29):
+    rng = np.random.default_rng(seed)
+    return [
+        TimeSeries(rng.normal(size=length).cumsum(), name=f"s{i}")
+        for i in range(n)
+    ]
+
+
+def test_simkernel_speedups_and_report():
+    results: dict[str, dict] = {}
+    series = _corpus()
+    shape = {"n_series": N_SERIES, "length": LENGTH}
+
+    # -- sbd_matrix -------------------------------------------------------
+    ref_sbd, per_pair_s = _timed(lambda: sbd_distance_matrix_reference(series))
+    bank_sbd, batched_s = _timed_best(
+        lambda: SeriesBank.from_series(series).sbd_matrix()
+    )
+    assert np.abs(bank_sbd - ref_sbd).max() <= 1e-9
+    _record(
+        results, "sbd_matrix", "per_pair_s", per_pair_s,
+        "batched_s", batched_s, **shape,
+    )
+
+    # -- corr_matrix ------------------------------------------------------
+    ref_corr, per_pair_s = _timed(
+        lambda: pairwise_correlation_matrix_reference(series)
+    )
+    bank_corr, batched_s = _timed_best(
+        lambda: SeriesBank.from_series(series).corr_matrix()
+    )
+    assert np.abs(bank_corr - ref_corr).max() <= 1e-9
+    _record(
+        results, "corr_matrix", "per_pair_s", per_pair_s,
+        "batched_s", batched_s, **shape,
+    )
+
+    # -- incremental_refine ----------------------------------------------
+    walks = _corpus(n=REFINE_N, length=REFINE_LENGTH, seed=31)
+
+    def _fit(incremental):
+        return IncrementalClustering(
+            delta=0.5, min_cluster_size=4, random_state=0,
+            incremental=incremental,
+        ).fit(walks)
+
+    legacy_model, legacy_s = _timed(lambda: _fit(False))
+    fast_model, incremental_s = _timed_best(lambda: _fit(True))
+    assert fast_model.labels_.tolist() == legacy_model.labels_.tolist()
+    _record(
+        results, "incremental_refine", "legacy_s", legacy_s,
+        "incremental_s", incremental_s,
+        n_series=REFINE_N, length=REFINE_LENGTH,
+    )
+
+    # -- report -----------------------------------------------------------
+    doc = _merge_json(results)
+    emit(
+        f"Batched similarity kernels{' (tiny)' if TINY else ''}",
+        [
+            f"{name:<18} "
+            + "   ".join(
+                f"{key} {row[key]:8.3f}s"
+                for key in row
+                if key.endswith("_s")
+            )
+            + f"   speedup {row['speedup']:6.2f}x"
+            for name, row in results.items()
+        ]
+        + [f"wrote {BENCH_JSON.name} ({len(doc)} workloads)"],
+    )
+
+    assert results["sbd_matrix"]["speedup"] >= SBD_FLOOR, (
+        f"expected >= {SBD_FLOOR}x on sbd_matrix "
+        f"({N_SERIES} series x {LENGTH}), got "
+        f"{results['sbd_matrix']['speedup']:.2f}x"
+    )
+    assert results["corr_matrix"]["speedup"] >= SBD_FLOOR
+    assert results["incremental_refine"]["speedup"] >= 1.0

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ClusteringError, ValidationError
+from repro.timeseries.batch import ncc_cross, ncc_rowwise
 from repro.timeseries.correlation import (
     average_pairwise_correlation,
 )
@@ -33,7 +34,13 @@ def _znorm(x: np.ndarray) -> np.ndarray:
 
 
 def _ncc_shift(x: np.ndarray, y: np.ndarray) -> tuple[float, int]:
-    """Max normalized cross-correlation between x and y, and its shift."""
+    """Max normalized cross-correlation between x and y, and its shift.
+
+    Scalar reference implementation — the hot loops below go through the
+    batched :func:`~repro.timeseries.batch.ncc_cross` /
+    :func:`~repro.timeseries.batch.ncc_rowwise` kernels, which are
+    parity-tested (values ≤ 1e-9, shifts exact) against this function.
+    """
     n = x.shape[0]
     denom = np.linalg.norm(x) * np.linalg.norm(y)
     if denom == 0:
@@ -87,12 +94,13 @@ class KShape:
         if members.shape[0] == 0:
             return centroid
         aligned = np.empty_like(members)
-        for i, row in enumerate(members):
-            if centroid.any():
-                _, shift = _ncc_shift(row, centroid)
-                aligned[i] = _shift_series(row, -shift)
-            else:
-                aligned[i] = row
+        if centroid.any():
+            # One batched NCC pass aligns every member to the centroid.
+            _, shifts = ncc_cross(members, centroid[None, :])
+            for i, row in enumerate(members):
+                aligned[i] = _shift_series(row, -int(shifts[i, 0]))
+        else:
+            aligned[:] = members
         n = aligned.shape[1]
         S = aligned.T @ aligned
         Q = np.eye(n) - np.ones((n, n)) / n
@@ -139,23 +147,19 @@ class KShape:
         for _ in range(self.max_iter):
             for c in range(k):
                 centroids[c] = self._extract_shape(data[labels == c], centroids[c])
+            # Assignment: one batched (n, k) NCC matrix instead of n*k
+            # scalar FFTs; argmin semantics identical to the scalar loop.
+            ncc_vals, _ = ncc_cross(data, centroids)
             new_labels = labels.copy()
-            for i in range(n):
-                dists = [
-                    1.0 - _ncc_shift(data[i], centroids[c])[0] for c in range(k)
-                ]
-                new_labels[i] = int(np.argmin(dists))
+            new_labels[:] = np.argmin(1.0 - ncc_vals, axis=1)
             # Reseed empty clusters with the worst-fitting series so k is
-            # actually used (standard k-shape practice).
+            # actually used (standard k-shape practice).  The fit vector
+            # is recomputed per empty cluster because earlier reseeds
+            # mutate both centroids and assignments.
             for c in range(k):
                 if (new_labels == c).any():
                     continue
-                fit = np.array(
-                    [
-                        1.0 - _ncc_shift(data[i], centroids[new_labels[i]])[0]
-                        for i in range(n)
-                    ]
-                )
+                fit = 1.0 - ncc_rowwise(data, centroids[new_labels])
                 donor_ok = np.array(
                     [np.sum(new_labels == new_labels[i]) > 1 for i in range(n)]
                 )

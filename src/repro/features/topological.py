@@ -67,18 +67,28 @@ def delay_embedding(series, dimension: int = 3, delay: int = 2) -> np.ndarray:
 
 
 class _UnionFind:
-    """Union-find with elder rule: merging keeps the earlier-born root."""
+    """Union-find with elder rule: merging keeps the earlier-born root.
+
+    ``parent``/``birth`` are plain Python lists: the filtration loop in
+    :func:`persistence_diagram` touches single elements millions of times
+    per corpus, and numpy scalar indexing (boxing each element into a
+    0-d array) made that the sublevel-persistence hot spot.  List
+    indexing returns native ints/floats with no boxing.
+    """
+
+    __slots__ = ("parent", "birth")
 
     def __init__(self, n: int):
-        self.parent = np.arange(n)
-        self.birth = np.full(n, np.inf)
+        self.parent = list(range(n))
+        self.birth = [float("inf")] * n
 
     def find(self, i: int) -> int:
+        parent = self.parent
         root = i
-        while self.parent[root] != root:
-            root = self.parent[root]
-        while self.parent[i] != root:  # path compression
-            self.parent[i], i = root, self.parent[i]
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:  # path compression
+            parent[i], i = root, parent[i]
         return root
 
     def union(self, i: int, j: int, death: float) -> tuple[float, float] | None:
@@ -91,7 +101,7 @@ class _UnionFind:
             ri, rj = rj, ri
         dying_birth = self.birth[rj]
         self.parent[rj] = ri
-        return (float(dying_birth), float(death))
+        return (dying_birth, death)
 
 
 def _mst_edge_lengths(points: np.ndarray) -> np.ndarray:
@@ -153,13 +163,17 @@ def persistence_diagram(
     if kind != "sublevel":
         raise ValidationError(f"kind must be 'sublevel' or 'rips', got {kind!r}")
     n = x.shape[0]
-    order = np.argsort(x, kind="stable")
+    # Pre-convert to native Python ints/floats once: the filtration loop
+    # below indexes per element, where numpy scalar boxing dominates.
+    order = np.argsort(x, kind="stable").tolist()
+    values = x.tolist()
     uf = _UnionFind(n)
-    active = np.zeros(n, dtype=bool)
+    active = [False] * n
+    birth = uf.birth
     pairs: list[tuple[float, float]] = []
     for idx in order:
-        value = x[idx]
-        uf.birth[idx] = value
+        value = values[idx]
+        birth[idx] = value
         active[idx] = True
         for nb in (idx - 1, idx + 1):
             if 0 <= nb < n and active[nb]:

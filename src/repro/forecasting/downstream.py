@@ -56,11 +56,13 @@ class BinaryVectorRecommender:
     @staticmethod
     def dataset_properties(dataset: TimeSeriesDataset) -> np.ndarray:
         """Binary property vector (high_correlation, periodic, irregular, trending)."""
-        from repro.timeseries.correlation import average_pairwise_correlation
+        from repro.timeseries.batch import SeriesBank
         from repro.features.statistical import trend_features
 
         sample = list(dataset.series)[: min(8, len(dataset))]
-        corr = average_pairwise_correlation(sample)
+        # One SeriesBank pass (clean + truncate + z-norm once, blockwise
+        # GEMM) instead of the O(n²) per-pair correlation loop.
+        corr = SeriesBank.from_series(sample).average_correlation()
         per_series = [trend_features(s) for s in sample]
         seasonality = float(
             np.mean([f["trend_seasonality_strength"] for f in per_series])

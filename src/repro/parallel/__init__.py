@@ -26,9 +26,12 @@ from repro.parallel.cache import (
     hash_arrays,
 )
 from repro.parallel.config import (
+    AUTO_MIN_BATCH_SECONDS,
+    AUTO_PROCESS_MIN_SECONDS,
     AUTO_PROCESS_MIN_TASKS,
     AUTO_SERIAL_MAX_TASKS,
     BACKENDS,
+    TARGET_CHUNK_SECONDS,
     ParallelConfig,
     SERIAL,
     available_cpus,
@@ -40,9 +43,12 @@ from repro.parallel.executor import (
 )
 
 __all__ = [
+    "AUTO_MIN_BATCH_SECONDS",
+    "AUTO_PROCESS_MIN_SECONDS",
     "AUTO_PROCESS_MIN_TASKS",
     "AUTO_SERIAL_MAX_TASKS",
     "BACKENDS",
+    "TARGET_CHUNK_SECONDS",
     "ExecutionEngine",
     "FeatureCache",
     "ParallelConfig",

@@ -41,6 +41,21 @@ AUTO_SERIAL_MAX_TASKS = 2
 #: above it (fork + pickle overhead amortizes only over large batches).
 AUTO_PROCESS_MIN_TASKS = 16
 
+#: ``auto`` with a known per-task cost stays serial when the whole batch
+#: is estimated under this many seconds — thread-pool dispatch overhead
+#: alone would eat the win (the <1x "speedups" PR 2's benchmark recorded
+#: on tiny labeling/race workloads).
+AUTO_MIN_BATCH_SECONDS = 0.05
+
+#: ``auto`` with a known per-task cost requires at least this much total
+#: work before paying process fork/pickle overhead.
+AUTO_PROCESS_MIN_SECONDS = 0.5
+
+#: Target wall seconds per dispatched chunk when the per-task cost is
+#: known — tiny tasks get folded into larger chunks so per-dispatch
+#: overhead stays a small fraction of chunk runtime.
+TARGET_CHUNK_SECONDS = 0.02
+
 
 def available_cpus() -> int:
     """Best-effort CPU count (always >= 1)."""
@@ -87,27 +102,59 @@ class ParallelConfig:
             return available_cpus()
         return self.n_jobs
 
-    def resolve_backend(self, n_tasks: int) -> str:
+    def resolve_backend(
+        self, n_tasks: int, est_task_seconds: float | None = None
+    ) -> str:
         """Concrete backend for a batch of ``n_tasks`` tasks.
 
         Serial whenever only one worker or a trivial batch; otherwise the
         configured backend, with ``auto`` choosing ``thread`` for small
         batches and ``process`` for large ones.
+
+        ``est_task_seconds`` — an estimated per-task cost (the engine
+        probes the first task of an unseen label and keeps a per-label
+        EWMA) — refines the ``auto`` decision with a min-batch-cost
+        threshold: batches estimated under
+        :data:`AUTO_MIN_BATCH_SECONDS` of total work stay serial, and the
+        process backend is reserved for at least
+        :data:`AUTO_PROCESS_MIN_SECONDS` of work.
         """
         if self.effective_jobs <= 1 or n_tasks < AUTO_SERIAL_MAX_TASKS:
             return "serial"
         if self.backend != "auto":
             return self.backend
+        if est_task_seconds is not None:
+            total = n_tasks * max(0.0, est_task_seconds)
+            if total < AUTO_MIN_BATCH_SECONDS:
+                return "serial"
+            if total < AUTO_PROCESS_MIN_SECONDS:
+                return "thread"
+            if n_tasks < AUTO_PROCESS_MIN_TASKS:
+                return "thread"
+            return "process"
         if n_tasks < AUTO_PROCESS_MIN_TASKS:
             return "thread"
         return "process"
 
-    def resolve_chunk_size(self, n_tasks: int) -> int:
-        """Tasks per dispatched chunk for a batch of ``n_tasks``."""
+    def resolve_chunk_size(
+        self, n_tasks: int, est_task_seconds: float | None = None
+    ) -> int:
+        """Tasks per dispatched chunk for a batch of ``n_tasks``.
+
+        With a known per-task cost, tiny tasks are folded together until
+        each chunk is worth about :data:`TARGET_CHUNK_SECONDS` of work
+        (per-dispatch overhead then stays a small fraction of chunk
+        runtime); the load-balancing floor of ~4 chunks per worker still
+        applies to expensive tasks.
+        """
         if self.chunk_size is not None:
             return self.chunk_size
         jobs = self.effective_jobs
-        return max(1, -(-n_tasks // (4 * jobs)))
+        base = max(1, -(-n_tasks // (4 * jobs)))
+        if est_task_seconds is not None and est_task_seconds > 0.0:
+            by_cost = int(TARGET_CHUNK_SECONDS / est_task_seconds) or 1
+            return max(base, min(by_cost, n_tasks))
+        return base
 
     # ------------------------------------------------------------------
     def with_jobs(self, n_jobs: int) -> "ParallelConfig":

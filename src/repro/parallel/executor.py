@@ -47,13 +47,17 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.exceptions import WorkerCrashError
 from repro.observability import get_logger, get_metrics, get_tracer
-from repro.parallel.config import ParallelConfig
+from repro.parallel.config import AUTO_SERIAL_MAX_TASKS, ParallelConfig
 from repro.resilience.stats import tick
 
 _log = get_logger(__name__)
 
 #: In-place re-attempts for crash-class (transient) task errors.
 TASK_CRASH_RETRIES = 2
+
+#: Smoothing factor of the per-label task-cost EWMA (new observations
+#: weigh this much).
+COST_EWMA_ALPHA = 0.5
 
 # ---------------------------------------------------------------------------
 # Process-wide backend stats.  The engines themselves are ephemeral (the
@@ -149,6 +153,29 @@ class ExecutionEngine:
         self._process_pool_broken = False
         #: Backend demotions performed by this engine instance.
         self.n_demotions = 0
+        #: Per-label EWMA of observed per-task wall seconds.  Fed by the
+        #: first-task probe on unseen ``auto`` labels and by serial
+        #: batches (parallel batches are overhead-polluted and skipped);
+        #: consumed by ``ParallelConfig.resolve_backend`` /
+        #: ``resolve_chunk_size`` so cheap workloads stay serial and tiny
+        #: tasks get folded into larger chunks.
+        self._cost_ewma: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _observe_cost(self, label: str, per_task_seconds: float) -> None:
+        """Fold one per-task cost observation into the label's EWMA."""
+        prev = self._cost_ewma.get(label)
+        if prev is None:
+            self._cost_ewma[label] = per_task_seconds
+        else:
+            self._cost_ewma[label] = (
+                COST_EWMA_ALPHA * per_task_seconds
+                + (1.0 - COST_EWMA_ALPHA) * prev
+            )
+
+    def task_cost_estimate(self, label: str) -> float | None:
+        """Current per-task cost EWMA for ``label`` (None when unseen)."""
+        return self._cost_ewma.get(label)
 
     # ------------------------------------------------------------------
     def map(self, fn, items, *, label: str = "parallel.map") -> list:
@@ -172,9 +199,26 @@ class ExecutionEngine:
         if not items:
             return []
         cfg = self.config
-        backend = cfg.resolve_backend(len(items))
+        est = self._cost_ewma.get(label)
+        # First-task probe: an ``auto`` batch with an unseen label runs
+        # its first task serially and times it, so the backend decision
+        # below is cost-informed instead of size-guessed.  The probe's
+        # result is kept (tasks execute exactly once).
+        head: list = []
+        if (
+            est is None
+            and cfg.backend == "auto"
+            and cfg.effective_jobs > 1
+            and len(items) >= AUTO_SERIAL_MAX_TASKS
+        ):
+            probe_start = time.perf_counter()
+            head = _apply_chunk(fn, items[:1], self.injector, label)
+            self._observe_cost(label, time.perf_counter() - probe_start)
+            est = self._cost_ewma[label]
+        tail = items[len(head):]
+        backend = cfg.resolve_backend(len(items), est)
         jobs = min(cfg.effective_jobs, len(items))
-        chunk = cfg.resolve_chunk_size(len(items))
+        chunk = cfg.resolve_chunk_size(len(items), est)
         metrics = get_metrics()
         tracer = get_tracer()
         batch_timer = metrics.histogram(
@@ -190,15 +234,23 @@ class ExecutionEngine:
             n_tasks=len(items),
             n_jobs=jobs,
             chunk_size=chunk,
+            probed=bool(head),
         ), batch_timer.time():
             if backend == "serial":
-                results = self._map_serial(fn, items, label)
+                results = self._map_serial(fn, tail, label)
             elif backend == "thread":
-                results = self._map_thread(fn, items, chunk, label)
+                results = self._map_thread(fn, tail, chunk, label)
             elif backend == "process":
-                results = self._map_process(fn, items, chunk, label)
+                results = self._map_process(fn, tail, chunk, label)
             else:  # pragma: no cover - ParallelConfig validates backends
                 raise ValueError(f"unknown backend {backend!r}")
+        results = head + results
+        if backend == "serial" and tail:
+            # Serial batches measure true per-task cost; keep the EWMA
+            # fresh so workloads that grow expensive get promoted.
+            self._observe_cost(
+                label, (time.perf_counter() - batch_start) / len(tail)
+            )
         metrics.counter(
             "repro_parallel_tasks_total",
             "Tasks executed through ExecutionEngine.map",

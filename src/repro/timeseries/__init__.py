@@ -14,12 +14,20 @@ from repro.timeseries.correlation import (
     cross_correlation,
     max_cross_correlation,
     pairwise_correlation_matrix,
+    pairwise_correlation_matrix_reference,
     average_pairwise_correlation,
     shape_based_distance,
     sbd_distance_matrix,
+    sbd_distance_matrix_reference,
 )
+from repro.timeseries.batch import SeriesBank, ncc_cross, znorm_rows
 
 __all__ = [
+    "SeriesBank",
+    "ncc_cross",
+    "znorm_rows",
+    "pairwise_correlation_matrix_reference",
+    "sbd_distance_matrix_reference",
     "TimeSeries",
     "TimeSeriesDataset",
     "MissingBlockSpec",

@@ -1,0 +1,369 @@
+"""Batched similarity kernels over a prepared series bank.
+
+The per-pair functions in :mod:`repro.timeseries.correlation` are the
+*reference implementation* of the similarity layer: readable, scalar, and
+exactly the semantics of the paper (zero-lag Pearson correlation for the
+clustering stage, max normalized cross-correlation / SBD for K-Shape).
+They are also O(n²) Python loops — every pair re-cleans, re-z-norms, and
+runs its own FFT, which is what made corpus-scale clustering (§VI) the
+dominant training cost.
+
+This module is the batched counterpart with a **bit-for-bit parity
+contract** (≤ 1e-9 against the scalar path; identical argmax shifts):
+
+* :class:`SeriesBank` cleans (NaN interpolation), truncates to the common
+  minimum length, and z-normalizes a corpus *once* into a contiguous
+  ``(n, L)`` float64 matrix, caching the rFFT bank per FFT size.
+* :meth:`SeriesBank.corr_matrix` computes the full zero-lag correlation
+  matrix as a single blockwise GEMM ``Z @ Z.T / L``.
+* :func:`ncc_cross` / :meth:`SeriesBank.ncc_matrix` compute full NCC
+  value *and argmax-shift* matrices with one rFFT per series, blockwise
+  spectral products, and batched inverse FFTs — the kernel under both
+  ``pairwise_correlation_matrix(shifted=True)`` / ``sbd_distance_matrix``
+  and the K-Shape assignment / shape-extraction loops.
+
+Every blockwise product is capped at :data:`DEFAULT_BLOCK_BYTES` of
+scratch memory, so a 67K-series corpus streams through in fixed-size
+slabs instead of materializing an ``(n, n, fft)`` cube.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+#: Scratch-memory cap (bytes) for one blockwise spectral product.  The
+#: inverse-FFT slab for a block of ``b`` rows against ``m`` columns at FFT
+#: size ``s`` costs ``b * m * s * (16 + 8)`` bytes (complex spectrum +
+#: real cross-correlation); blocks are sized to stay under this cap.
+DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024
+
+
+def _clean_array(series) -> np.ndarray:
+    """Clean one series exactly like the scalar reference path."""
+    # Import here to avoid a circular import at module load time
+    # (correlation.py dispatches into this module).
+    from repro.timeseries.correlation import _as_clean_array
+
+    return _as_clean_array(series)
+
+
+def znorm_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise z-normalization matching the scalar ``_znorm``.
+
+    Constant rows become all-zero rows (the scalar convention: constant
+    series correlate 0 with everything).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    means = matrix.mean(axis=1, keepdims=True)
+    stds = matrix.std(axis=1, keepdims=True)
+    out = np.zeros_like(matrix)
+    np.divide(matrix - means, stds, out=out, where=stds != 0.0)
+    return out
+
+
+def _fft_size(length: int) -> int:
+    """FFT size used by the scalar kernels: next pow2 ≥ 2L - 1."""
+    return 1 << (2 * length - 1).bit_length()
+
+
+def _block_rows(n_cols: int, fft_size: int, block_bytes: int) -> int:
+    """Rows per blockwise spectral product under the memory cap."""
+    per_row = max(1, n_cols) * fft_size * 24  # complex spec + real irfft
+    return max(1, int(block_bytes // per_row))
+
+
+def ncc_cross(
+    X: np.ndarray,
+    Y: np.ndarray,
+    *,
+    max_shift: int | None = None,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    fx: np.ndarray | None = None,
+    fy_conj: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched max normalized cross-correlation values and argmax shifts.
+
+    For every row pair ``(i, j)`` this computes exactly what the scalar
+    ``_ncc_shift(X[i], Y[j])`` computes: the maximum of the zero-padded
+    cross-correlation over shifts ``-(L-1) .. L-1`` divided by
+    ``||X[i]|| * ||Y[j]||``, plus the (first) argmax shift.  Pairs where
+    either norm is zero yield ``(0.0, 0)``.
+
+    Parameters
+    ----------
+    X, Y:
+        Float matrices of shape ``(nx, L)`` and ``(ny, L)`` (same L).
+    max_shift:
+        Optional symmetric restriction of the shift window.
+    block_bytes:
+        Scratch cap for each blockwise spectral product.
+    fx, fy_conj:
+        Optional precomputed ``rfft(X, size, axis=1)`` and
+        ``conj(rfft(Y, size, axis=1))`` banks (see :class:`SeriesBank`).
+
+    Returns
+    -------
+    (values, shifts):
+        ``values`` is ``(nx, ny)`` float64, ``shifts`` ``(nx, ny)`` int64.
+    """
+    X = np.ascontiguousarray(X, dtype=float)
+    Y = np.ascontiguousarray(Y, dtype=float)
+    if X.ndim != 2 or Y.ndim != 2:
+        raise ValidationError(
+            f"ncc_cross expects 2-D matrices, got {X.shape} and {Y.shape}"
+        )
+    if X.shape[1] != Y.shape[1]:
+        raise ValidationError(
+            f"row lengths differ: {X.shape[1]} vs {Y.shape[1]}"
+        )
+    nx, L = X.shape
+    ny = Y.shape[0]
+    if L == 0:
+        raise ValidationError("cannot correlate zero-length series")
+    size = _fft_size(L)
+    if fx is None:
+        fx = np.fft.rfft(X, size, axis=1)
+    if fy_conj is None:
+        fy_conj = np.conj(np.fft.rfft(Y, size, axis=1))
+    norm_x = np.linalg.norm(X, axis=1)
+    norm_y = np.linalg.norm(Y, axis=1)
+    denom = norm_x[:, None] * norm_y[None, :]
+
+    # Shift window (matching the scalar reordering and slicing).
+    if L > 1:
+        n_shifts = 2 * L - 1
+        center = L - 1
+    else:
+        n_shifts, center = 1, 0
+    lo, hi = 0, n_shifts
+    if max_shift is not None:
+        lo = max(0, center - int(max_shift))
+        hi = min(n_shifts, center + int(max_shift) + 1)
+
+    values = np.zeros((nx, ny))
+    shifts = np.zeros((nx, ny), dtype=np.int64)
+    rows_per_block = _block_rows(ny, size, block_bytes)
+    for start in range(0, nx, rows_per_block):
+        stop = min(nx, start + rows_per_block)
+        spec = fx[start:stop][:, None, :] * fy_conj[None, :, :]
+        cc = np.fft.irfft(spec, size, axis=2)
+        if L > 1:
+            # Reorder to shifts -(L-1) .. (L-1), exactly like the scalar
+            # `np.concatenate((cc[-(L-1):], cc[:L]))`.
+            cc = np.concatenate((cc[:, :, -(L - 1):], cc[:, :, :L]), axis=2)
+        else:
+            cc = cc[:, :, :1]
+        cc = cc[:, :, lo:hi]
+        idx = cc.argmax(axis=2)
+        best = np.take_along_axis(cc, idx[:, :, None], axis=2)[:, :, 0]
+        values[start:stop] = best
+        shifts[start:stop] = idx + lo - center
+    nonzero = denom != 0.0
+    np.divide(values, denom, out=values, where=nonzero)
+    values[~nonzero] = 0.0
+    shifts[~nonzero] = 0
+    return values, shifts
+
+
+def ncc_rowwise(
+    X: np.ndarray, Y: np.ndarray, *, return_shifts: bool = False
+):
+    """Row-aligned batched NCC: ``values[i] = max-NCC(X[i], Y[i])``.
+
+    The batched form of calling the scalar ``_ncc_shift(X[i], Y[i])``
+    once per row — used by K-Shape's empty-cluster reseeding, where each
+    series is compared against *its own* assigned centroid.
+    """
+    X = np.ascontiguousarray(X, dtype=float)
+    Y = np.ascontiguousarray(Y, dtype=float)
+    if X.shape != Y.shape or X.ndim != 2:
+        raise ValidationError(
+            f"ncc_rowwise expects matching 2-D matrices, got {X.shape} / {Y.shape}"
+        )
+    n, L = X.shape
+    if L == 0:
+        raise ValidationError("cannot correlate zero-length series")
+    size = _fft_size(L)
+    cc = np.fft.irfft(
+        np.fft.rfft(X, size, axis=1) * np.conj(np.fft.rfft(Y, size, axis=1)),
+        size,
+        axis=1,
+    )
+    if L > 1:
+        cc = np.concatenate((cc[:, -(L - 1):], cc[:, :L]), axis=1)
+        center = L - 1
+    else:
+        cc = cc[:, :1]
+        center = 0
+    idx = cc.argmax(axis=1)
+    values = np.take_along_axis(cc, idx[:, None], axis=1)[:, 0]
+    denom = np.linalg.norm(X, axis=1) * np.linalg.norm(Y, axis=1)
+    nonzero = denom != 0.0
+    np.divide(values, denom, out=values, where=nonzero)
+    values[~nonzero] = 0.0
+    if return_shifts:
+        shifts = idx.astype(np.int64) - center
+        shifts[~nonzero] = 0
+        return values, shifts
+    return values
+
+
+class SeriesBank:
+    """A corpus prepared once for batched similarity kernels.
+
+    Cleaning (NaN interpolation), truncation to the common minimum
+    length, and z-normalization happen exactly once at construction; the
+    resulting contiguous ``(n, L)`` matrix plus its cached rFFT bank feed
+    every downstream kernel.
+
+    Parameters
+    ----------
+    matrix:
+        Pre-cleaned ``(n, L)`` float matrix (rows are the *raw* truncated
+        series; z-normalization is applied internally).
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.ascontiguousarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValidationError(
+                f"SeriesBank expects an (n, L) matrix, got shape {matrix.shape}"
+            )
+        if matrix.shape[1] == 0:
+            raise ValidationError("SeriesBank rows must have length >= 1")
+        if np.isnan(matrix).any():
+            raise ValidationError(
+                "SeriesBank matrix must be NaN-free (use from_series)"
+            )
+        self.raw = matrix
+        self.znorm = znorm_rows(matrix)
+        #: Row norms of the z-normed matrix (0.0 marks constant rows).
+        self.norms = np.linalg.norm(self.znorm, axis=1)
+        self._rfft_cache: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_series(cls, series_list) -> "SeriesBank":
+        """Clean + truncate a heterogeneous corpus into a bank.
+
+        Accepts :class:`~repro.timeseries.series.TimeSeries` or arrays;
+        NaNs are linearly interpolated and all series are truncated to
+        the common minimum length (the semantics of the per-pair path
+        when lengths are equal).
+        """
+        arrays = [_clean_array(s) for s in series_list]
+        if not arrays:
+            raise ValidationError("cannot build a SeriesBank from no series")
+        min_len = min(a.shape[0] for a in arrays)
+        if min_len == 0:
+            raise ValidationError("cannot bank zero-length series")
+        return cls(np.vstack([a[:min_len] for a in arrays]))
+
+    @property
+    def n(self) -> int:
+        return self.raw.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.raw.shape[1]
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    def rfft(self, size: int | None = None) -> np.ndarray:
+        """Cached ``rfft(znorm, size, axis=1)`` bank (one FFT per series)."""
+        if size is None:
+            size = _fft_size(self.length)
+        bank = self._rfft_cache.get(size)
+        if bank is None:
+            bank = np.fft.rfft(self.znorm, size, axis=1)
+            self._rfft_cache[size] = bank
+        return bank
+
+    # ------------------------------------------------------------------
+    def corr_matrix(
+        self, *, block_bytes: int = DEFAULT_BLOCK_BYTES
+    ) -> np.ndarray:
+        """Zero-lag correlation matrix as a blockwise GEMM ``Z @ Z.T / L``.
+
+        Matches ``pairwise_correlation_matrix(..., shifted=False)``:
+        symmetric, unit diagonal, constant series correlate 0.
+        """
+        Z = self.znorm
+        n, L = Z.shape
+        out = np.empty((n, n))
+        rows = max(1, int(block_bytes // max(1, n * 8)))
+        for start in range(0, n, rows):
+            stop = min(n, start + rows)
+            out[start:stop] = Z[start:stop] @ Z.T
+        out /= L
+        # Mirror the reference construction: values from the upper
+        # triangle, exact symmetry, exact unit diagonal.
+        upper = np.triu(out, k=1)
+        out = upper + upper.T
+        np.fill_diagonal(out, 1.0)
+        return out
+
+    def ncc_matrix(
+        self,
+        *,
+        max_shift: int | None = None,
+        return_shifts: bool = False,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+    ):
+        """Full NCC similarity matrix (and optionally argmax shifts).
+
+        Matches ``max_cross_correlation`` applied to every (i, j) pair of
+        the bank: symmetric values (mirrored from the upper triangle,
+        like the reference loop), unit diagonal.  Only the columns at or
+        right of each row block are computed — the lower triangle is the
+        mirror, so spectral products / inverse FFTs for it would be
+        discarded work (close to a 2x saving on square matrices).
+        """
+        fz = self.rfft()
+        fz_conj = np.conj(fz)
+        n = self.n
+        values = np.zeros((n, n))
+        shifts = np.zeros((n, n), dtype=np.int64)
+        rows = _block_rows(n, _fft_size(self.length), block_bytes)
+        for start in range(0, n, rows):
+            stop = min(n, start + rows)
+            block_v, block_s = ncc_cross(
+                self.znorm[start:stop],
+                self.znorm[start:],
+                max_shift=max_shift,
+                block_bytes=block_bytes,
+                fx=fz[start:stop],
+                fy_conj=fz_conj[start:],
+            )
+            values[start:stop, start:] = block_v
+            shifts[start:stop, start:] = block_s
+        upper = np.triu(values, k=1)
+        values = upper + upper.T
+        np.fill_diagonal(values, 1.0)
+        if return_shifts:
+            upper_s = np.triu(shifts, k=1)
+            shifts = upper_s - upper_s.T
+            return values, shifts
+        return values
+
+    def sbd_matrix(
+        self, *, block_bytes: int = DEFAULT_BLOCK_BYTES
+    ) -> np.ndarray:
+        """Shape-based distance matrix ``1 - NCC`` with an exact zero diagonal."""
+        ncc = self.ncc_matrix(block_bytes=block_bytes)
+        upper = np.triu(1.0 - ncc, k=1)
+        dist = upper + upper.T
+        np.fill_diagonal(dist, 0.0)
+        return dist
+
+    def average_correlation(self) -> float:
+        """Mean upper-triangle zero-lag correlation (``rho-bar`` of Alg. 2)."""
+        if self.n == 1:
+            return 1.0
+        corr = self.corr_matrix()
+        iu = np.triu_indices(self.n, k=1)
+        return float(corr[iu].mean())

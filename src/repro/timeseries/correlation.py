@@ -60,11 +60,16 @@ def max_cross_correlation(a, b, max_shift: int | None = None) -> float:
     ``NCC_c(x, y) = max_w CC_w(x, y) / (||x|| * ||y||)`` computed over all
     circularly padded shifts ``w``.  ``max_shift`` optionally restricts the
     shift range (both directions).
+
+    Series of different lengths are truncated to the shorter one *before*
+    z-normalization — the same order as :func:`cross_correlation`.
+    (Historically this function z-normed first, so the discarded tail
+    leaked into the mean/std of the compared window.)
     """
-    x = _znorm(_as_clean_array(a))
-    y = _znorm(_as_clean_array(b))
+    x = _as_clean_array(a)
+    y = _as_clean_array(b)
     n = min(x.shape[0], y.shape[0])
-    x, y = x[:n], y[:n]
+    x, y = _znorm(x[:n]), _znorm(y[:n])
     denom = np.linalg.norm(x) * np.linalg.norm(y)
     if denom == 0.0:
         return 0.0
@@ -85,16 +90,14 @@ def shape_based_distance(a, b) -> float:
     return 1.0 - max_cross_correlation(a, b)
 
 
-def pairwise_correlation_matrix(series_list, shifted: bool = False) -> np.ndarray:
-    """Symmetric matrix of pairwise correlations.
+def pairwise_correlation_matrix_reference(
+    series_list, shifted: bool = False
+) -> np.ndarray:
+    """Per-pair reference implementation of the correlation matrix.
 
-    Parameters
-    ----------
-    series_list:
-        Sequence of :class:`TimeSeries` or arrays.
-    shifted:
-        When True use :func:`max_cross_correlation` (alignment-invariant);
-        otherwise zero-lag :func:`cross_correlation`.
+    O(n²) scalar loop kept as the semantics-defining path: the batched
+    kernels in :mod:`repro.timeseries.batch` are parity-tested (≤ 1e-9)
+    against this function.
     """
     arrays = [_as_clean_array(s) for s in series_list]
     n = len(arrays)
@@ -104,6 +107,52 @@ def pairwise_correlation_matrix(series_list, shifted: bool = False) -> np.ndarra
         for j in range(i + 1, n):
             corr[i, j] = corr[j, i] = fn(arrays[i], arrays[j])
     return corr
+
+
+def _equal_length_arrays(series_list) -> list[np.ndarray] | None:
+    """Cleaned arrays when all series share one length, else ``None``.
+
+    The batched kernels truncate the whole corpus to the common minimum
+    length, whereas the per-pair reference truncates *per pair* — the two
+    agree exactly only on equal-length corpora, so mixed-length input
+    falls back to the reference loop.
+    """
+    arrays = [_as_clean_array(s) for s in series_list]
+    if not arrays:
+        return None
+    length = arrays[0].shape[0]
+    if length == 0 or any(a.shape[0] != length for a in arrays):
+        return None
+    return arrays
+
+
+def pairwise_correlation_matrix(series_list, shifted: bool = False) -> np.ndarray:
+    """Symmetric matrix of pairwise correlations.
+
+    Equal-length corpora (the common case — every clustering call site
+    truncates first) run through the batched kernels of
+    :mod:`repro.timeseries.batch`: one z-norm pass plus a blockwise GEMM
+    (zero-lag) or one rFFT per series (shifted), instead of an O(n²)
+    Python pair loop.  Mixed-length corpora fall back to the per-pair
+    reference path, whose pairwise truncation cannot be batched.
+
+    Parameters
+    ----------
+    series_list:
+        Sequence of :class:`TimeSeries` or arrays.
+    shifted:
+        When True use :func:`max_cross_correlation` (alignment-invariant);
+        otherwise zero-lag :func:`cross_correlation`.
+    """
+    arrays = _equal_length_arrays(series_list)
+    if arrays is None or len(arrays) <= 2:
+        return pairwise_correlation_matrix_reference(series_list, shifted=shifted)
+    from repro.timeseries.batch import SeriesBank
+
+    bank = SeriesBank(np.vstack(arrays))
+    if shifted:
+        return bank.ncc_matrix()
+    return bank.corr_matrix()
 
 
 def average_pairwise_correlation(series_list, shifted: bool = False) -> float:
@@ -122,8 +171,8 @@ def average_pairwise_correlation(series_list, shifted: bool = False) -> float:
     return float(corr[iu].mean())
 
 
-def sbd_distance_matrix(series_list) -> np.ndarray:
-    """Symmetric matrix of shape-based distances (used by K-Shape)."""
+def sbd_distance_matrix_reference(series_list) -> np.ndarray:
+    """Per-pair reference SBD matrix (parity target for the batched path)."""
     arrays = [_as_clean_array(s) for s in series_list]
     n = len(arrays)
     dist = np.zeros((n, n))
@@ -132,3 +181,18 @@ def sbd_distance_matrix(series_list) -> np.ndarray:
             d = shape_based_distance(arrays[i], arrays[j])
             dist[i, j] = dist[j, i] = d
     return dist
+
+
+def sbd_distance_matrix(series_list) -> np.ndarray:
+    """Symmetric matrix of shape-based distances (used by K-Shape).
+
+    Equal-length corpora use the batched NCC kernel (one rFFT per series,
+    blockwise spectral products); mixed lengths fall back to the per-pair
+    reference loop.
+    """
+    arrays = _equal_length_arrays(series_list)
+    if arrays is None or len(arrays) <= 2:
+        return sbd_distance_matrix_reference(series_list)
+    from repro.timeseries.batch import SeriesBank
+
+    return SeriesBank(np.vstack(arrays)).sbd_matrix()

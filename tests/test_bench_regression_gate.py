@@ -81,6 +81,23 @@ class TestCompare:
         with pytest.raises(ValueError):
             gate.compare(BASELINE, BASELINE, threshold=1.0)
 
+    def test_timing_keys_discovers_any_seconds_arm(self):
+        arms = {
+            "per_pair_s": 2.0,
+            "batched_s": 0.1,
+            "speedup": 20.0,     # not an arm
+            "backend": "serial",  # not numeric
+            "n_jobs": 4,
+        }
+        assert gate.timing_keys(arms) == ("batched_s", "per_pair_s")
+
+    def test_custom_seconds_arms_are_gated(self):
+        baseline = {"ncc": {"per_pair_s": 2.0, "batched_s": 0.1}}
+        fresh = {"ncc": {"per_pair_s": 2.0, "batched_s": 0.5}}  # 5x slower
+        problems = gate.compare(baseline, fresh, threshold=1.5)
+        assert len(problems) == 1
+        assert "ncc.batched_s" in problems[0]
+
 
 class TestDocumentIO:
     def test_load_document(self, tmp_path):
@@ -163,6 +180,29 @@ class TestMain:
         assert code == 1
         assert json.loads(baseline.read_text()) == BASELINE
 
+    def test_multiple_fresh_documents_merge(self, tmp_path, capsys):
+        baseline = _write(
+            tmp_path / "baseline.json",
+            {**BASELINE, "ncc": {"per_pair_s": 2.0, "batched_s": 0.1}},
+        )
+        fresh_a = _write(tmp_path / "a.json", BASELINE)
+        fresh_b = _write(
+            tmp_path / "b.json", {"ncc": {"per_pair_s": 1.9, "batched_s": 0.1}}
+        )
+        code = gate.main(
+            [
+                "--baseline", str(baseline),
+                "--fresh", str(fresh_a),
+                "--fresh", str(fresh_b),
+            ]
+        )
+        assert code == 0
+        assert "3 workloads" in capsys.readouterr().out
+        # Without the second document, ncc is missing -> regression.
+        assert gate.main(
+            ["--baseline", str(baseline), "--fresh", str(fresh_a)]
+        ) == 1
+
     def test_committed_baseline_matches_schema(self):
         document = gate.load_document(
             _GATE_PATH.parent / "bench_baseline.json"
@@ -170,4 +210,4 @@ class TestMain:
         assert document, "committed baseline must not be empty"
         for workload, arms in document.items():
             assert isinstance(arms, dict), workload
-            assert any(key in arms for key in gate.TIMING_KEYS), workload
+            assert gate.timing_keys(arms), workload
