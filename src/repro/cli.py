@@ -42,6 +42,16 @@ selects JSON).  Saved traces are rendered into a human-readable run
 summary by::
 
     python -m repro report --trace trace.json --metrics metrics.prom
+
+Every subcommand also accepts ``--ledger-out ledger.jsonl``, appending a
+repair-provenance row for every fit and repair of the run.  Audit the
+scorecards and replay any single repair's decision path::
+
+    python -m repro repair --engine engine.json --data faulty.csv \
+        --out repaired.csv --ledger-out ledger.jsonl
+    python -m repro audit --ledger ledger.jsonl --summary
+    python -m repro explain rep_3f9a1c0d2e4b --ledger ledger.jsonl \
+        --engine engine.json
 """
 
 from __future__ import annotations
@@ -69,6 +79,16 @@ from repro.observability import (
     enable_console_logging,
     use_metrics,
     use_tracer,
+)
+from repro.observability.ledger import (
+    RepairLedger,
+    explain_repair,
+    filter_records,
+    read_ledger,
+    render_explanation,
+    render_summary,
+    summarize_ledger,
+    use_ledger,
 )
 from repro.observability.report import load_metrics, load_trace, render_report
 from repro.parallel import BACKENDS, FeatureCache, ParallelConfig
@@ -117,10 +137,17 @@ def read_series_csv(path) -> list[TimeSeries]:
             line = line.strip()
             if not line:
                 continue
-            values = [
-                float("nan") if field.strip() in ("", "nan", "NaN") else float(field)
-                for field in line.split(",")
-            ]
+            try:
+                values = [
+                    float("nan")
+                    if field.strip() in ("", "nan", "NaN")
+                    else float(field)
+                    for field in line.split(",")
+                ]
+            except ValueError as exc:
+                raise ValidationError(
+                    f"{path}, line {line_no + 1}: {exc}"
+                ) from None
             series.append(TimeSeries(values, name=f"row_{line_no}"))
     if not series:
         raise ValidationError(f"{path} contains no series")
@@ -282,6 +309,97 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _format_ledger_line(rec: dict) -> str:
+    data = rec.get("data", {})
+    parts = [
+        str(rec.get("time") or "-"),
+        f"{rec.get('kind', '?'):<7}",
+        str(rec.get("id")),
+    ]
+    if rec.get("kind") == "repair":
+        assignment = data.get("cluster") or {}
+        flags = "".join(
+            flag
+            for flag, on in (
+                (" DEGRADED", data.get("degraded")),
+                (" FALLBACK", data.get("fallback")),
+            )
+            if on
+        )
+        parts.append(
+            f"{data.get('series')} -> {data.get('algorithm')} "
+            f"(conf {data.get('confidence') or 0.0:.3f}, "
+            f"cluster {assignment.get('cluster', '-')}){flags}"
+        )
+    elif rec.get("kind") == "impute":
+        quality = data.get("quality") or {}
+        parts.append(
+            f"{data.get('algorithm')} filled {data.get('n_missing')} "
+            f"(plausibility_z {quality.get('plausibility_z', 0.0):.3f})"
+        )
+    elif rec.get("kind") == "race":
+        parts.append(
+            f"{len(data.get('elites', []))} elites, "
+            f"{data.get('n_evaluations')} evals, "
+            f"prune {data.get('prune_ratio', 0.0):.1%}"
+        )
+    elif rec.get("kind") == "label":
+        parts.append(
+            f"cluster {data.get('cluster_id')} "
+            f"({data.get('pattern')}@{data.get('ratio')}) -> "
+            f"{data.get('winner')}"
+        )
+    elif rec.get("kind") == "fit":
+        parts.append(
+            f"{data.get('n_samples')} samples, "
+            f"{data.get('n_members')} members, "
+            f"classes {data.get('classes')}"
+        )
+    return "  ".join(parts)
+
+
+def _cmd_audit(args) -> int:
+    import json
+
+    records = filter_records(
+        read_ledger(args.ledger),
+        kind=args.kind,
+        algorithm=args.algorithm,
+        cluster=args.cluster,
+        degraded_only=args.degraded_only,
+    )
+    if args.tail:
+        records = records[-args.tail:]
+    if args.summary:
+        summary = summarize_ledger(records)
+        print(
+            json.dumps(summary, indent=2) if args.json
+            else render_summary(summary)
+        )
+        return 0
+    for rec in records:
+        print(json.dumps(rec) if args.json else _format_ledger_line(rec))
+    if not records:
+        print("(no matching ledger records)", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    head = None
+    if args.engine:
+        head = load_engine(args.engine).ledger_head_
+    explanation = explain_repair(
+        read_ledger(args.ledger), args.repair_id, head=head
+    )
+    print(
+        json.dumps(explanation, indent=2) if args.json
+        else render_explanation(explanation)
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -298,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write run metrics to PATH (.prom/.txt: Prometheus text, "
         "otherwise JSON)",
+    )
+    common.add_argument(
+        "--ledger-out", default=None, metavar="PATH",
+        help="append repair-provenance ledger rows (JSONL) to PATH; "
+        "inspect them later with 'repro audit' / 'repro explain'",
     )
     common.add_argument(
         "--verbose", "-v", action="store_true",
@@ -461,6 +584,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="rows in the slowest-span table"
     )
     report.set_defaults(func=_cmd_report)
+
+    audit = sub.add_parser(
+        "audit",
+        help="filter/tail/summarize a repair-provenance ledger file",
+        parents=[common],
+    )
+    audit.add_argument(
+        "--ledger", required=True,
+        help="ledger JSONL written via --ledger-out",
+    )
+    audit.add_argument(
+        "--kind", default=None,
+        choices=("fit", "race", "label", "repair", "impute"),
+        help="only records of this kind",
+    )
+    audit.add_argument(
+        "--algorithm", default=None,
+        help="only repair/impute records for this imputer",
+    )
+    audit.add_argument(
+        "--cluster", default=None,
+        help="only repair records assigned to this cluster id",
+    )
+    audit.add_argument(
+        "--degraded-only", action="store_true",
+        help="only degraded/fallback repairs",
+    )
+    audit.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="only the last N matching records",
+    )
+    audit.add_argument(
+        "--summary", action="store_true",
+        help="render aggregate scorecards instead of individual records",
+    )
+    audit.add_argument(
+        "--json", action="store_true",
+        help="emit JSON instead of the text rendering",
+    )
+    audit.set_defaults(func=_cmd_audit)
+
+    explain = sub.add_parser(
+        "explain",
+        help="render one repair's full decision path from a ledger",
+        parents=[common],
+    )
+    explain.add_argument(
+        "repair_id", help="repair id (rep_...) from a ledger/repair output"
+    )
+    explain.add_argument(
+        "--ledger", required=True,
+        help="ledger JSONL written via --ledger-out",
+    )
+    explain.add_argument(
+        "--engine", default=None,
+        help="optional engine JSON whose fit-time ledger head extends "
+        "the lineage search (for ledgers written only at serving time)",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the structured explanation as JSON",
+    )
+    explain.set_defaults(func=_cmd_explain)
     return parser
 
 
@@ -478,16 +664,18 @@ def _run_with_observability(args) -> int:
     policy = _fault_policy_from_args(args)
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not trace_out and not metrics_out:
+    ledger_out = getattr(args, "ledger_out", None)
+    if not trace_out and not metrics_out and not ledger_out:
         if policy is None:
             return args.func(args)
         with use_fault_policy(policy):
             return args.func(args)
     tracer = Tracer() if trace_out else None
     registry = MetricsRegistry() if metrics_out else None
+    ledger = RepairLedger(ledger_out) if ledger_out else None
     try:
         with use_tracer(tracer), use_metrics(registry), \
-                use_fault_policy(policy):
+                use_ledger(ledger), use_fault_policy(policy):
             return args.func(args)
     finally:
         if tracer is not None:
@@ -496,6 +684,12 @@ def _run_with_observability(args) -> int:
         if registry is not None:
             path = registry.export(metrics_out)
             print(f"wrote metrics to {path}", file=sys.stderr)
+        if ledger is not None:
+            ledger.close()
+            print(
+                f"wrote {ledger.n_written} ledger records to {ledger.path}",
+                file=sys.stderr,
+            )
 
 
 def main(argv=None) -> int:

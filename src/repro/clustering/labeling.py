@@ -17,6 +17,7 @@ import numpy as np
 from repro.clustering.incremental import IncrementalClustering
 from repro.exceptions import ValidationError
 from repro.observability import get_logger, get_metrics, get_tracer
+from repro.observability.ledger import ClusterAtlas, get_ledger
 from repro.imputation.base import BaseImputer, get_imputer
 from repro.imputation.evaluation import rank_imputers
 from repro.parallel import ExecutionEngine, ParallelConfig
@@ -74,6 +75,11 @@ class LabeledCorpus:
     n_benchmark_runs:
         How many full algorithm races were executed (cluster count), the
         cost the clustering amortizes.
+    atlas:
+        Fit-time :class:`~repro.observability.ledger.ClusterAtlas` — one
+        z-normalized representative + winning label per cluster, used at
+        serving time to assign incoming series a cluster (and NCC) for
+        repair provenance rows and per-cluster scorecards.
     """
 
     series: list[TimeSeries]
@@ -81,6 +87,7 @@ class LabeledCorpus:
     rankings: list[list[str]]
     categories: list[str] = field(default_factory=list)
     n_benchmark_runs: int = 0
+    atlas: ClusterAtlas | None = None
 
     def __len__(self) -> int:
         return len(self.series)
@@ -265,7 +272,11 @@ class ClusterLabeler:
         # cannot perturb the seeded randomness.
         jobs: list[tuple[np.ndarray, np.ndarray]] = []
         job_faulty: list[list[TimeSeries]] = []
-        for members in clustering.clusters_:
+        job_meta: list[dict] = []
+        cluster_truth: dict[str, np.ndarray] = {}
+        dataset_name = dataset.name or "dataset"
+        for cluster_idx, members in enumerate(clustering.clusters_):
+            cluster_id = f"{dataset_name}:c{cluster_idx}"
             cluster_series = [dataset[i] for i in members]
             min_len = min(len(s) for s in cluster_series)
             truth = np.vstack([s.values[:min_len] for s in cluster_series])
@@ -273,6 +284,7 @@ class ClusterLabeler:
                 truth = np.vstack(
                     [TimeSeries(row).interpolated().values for row in truth]
                 )
+            cluster_truth[cluster_id] = truth
             for ratio in self.missing_ratios:
                 for pattern in self.patterns:
                     mask = np.zeros_like(truth, dtype=bool)
@@ -293,6 +305,15 @@ class ClusterLabeler:
                         )
                     jobs.append((truth, mask))
                     job_faulty.append(cluster_faulty)
+                    job_meta.append(
+                        {
+                            "dataset": dataset_name,
+                            "cluster_id": cluster_id,
+                            "n_members": len(members),
+                            "ratio": float(ratio),
+                            "pattern": pattern,
+                        }
+                    )
         # Phase 2 (parallel): race the imputer slate on every
         # representative job.  Each job is independent; the engine
         # preserves job order, so labels come back deterministic.
@@ -300,13 +321,46 @@ class ClusterLabeler:
             _rank_worker, imputer_names=self.imputer_names
         )
         outcomes = engine.map(task, jobs, label="labeling.rank_clusters")
-        # Phase 3 (serial): resolve ties and propagate labels.
+        # Phase 3 (serial): resolve ties, propagate labels, and record
+        # provenance — one ledger "label" row per race plus one atlas
+        # entry per cluster (representative = mean member series, winner
+        # = the first race's winning algorithm for that cluster).
+        ledger = get_ledger()
+        atlas = ClusterAtlas()
+        registered: set[str] = set()
         labels: list[str] = []
         rankings: list[list[str]] = []
         faulty_series: list[TimeSeries] = []
-        for (ranked, elapsed), cluster_faulty in zip(outcomes, job_faulty):
+        for (ranked, elapsed), cluster_faulty, meta in zip(
+            outcomes, job_faulty, job_meta
+        ):
             rank_hist.observe(elapsed)
             ranking_names = self._resolve_ties(ranked)
+            truth = cluster_truth[meta["cluster_id"]]
+            if meta["cluster_id"] not in registered:
+                registered.add(meta["cluster_id"])
+                atlas.add(
+                    meta["cluster_id"], ranking_names[0], truth.mean(axis=0)
+                )
+            if ledger.enabled:
+                from repro.timeseries.batch import ncc_rowwise, znorm_rows
+
+                rep = atlas.representatives[
+                    atlas.ids.index(meta["cluster_id"])
+                ]
+                member_ncc = ncc_rowwise(
+                    znorm_rows(truth), np.tile(rep, (truth.shape[0], 1))
+                )
+                ledger.record(
+                    "label",
+                    {
+                        **meta,
+                        "winner": ranking_names[0],
+                        "ranking": list(ranking_names),
+                        "scores": {name: float(s) for name, s in ranked},
+                        "member_ncc": [float(v) for v in member_ncc],
+                    },
+                )
             for faulty in cluster_faulty:
                 faulty_series.append(faulty)
                 labels.append(ranking_names[0])
@@ -317,6 +371,7 @@ class ClusterLabeler:
             rankings=rankings,
             categories=[dataset.category] * len(faulty_series),
             n_benchmark_runs=len(jobs),
+            atlas=atlas,
         )
 
     def label_corpus(self, datasets: list[TimeSeriesDataset]) -> LabeledCorpus:
@@ -326,10 +381,15 @@ class ClusterLabeler:
         # One engine (one worker pool) shared across every dataset.
         with ExecutionEngine(self.parallel) as engine:
             parts = [self.label_dataset(ds, engine=engine) for ds in datasets]
+        atlas = ClusterAtlas()
+        for part in parts:
+            if part.atlas is not None:
+                atlas.merge(part.atlas)
         return LabeledCorpus(
             series=[s for p in parts for s in p.series],
             labels=np.concatenate([p.labels for p in parts]),
             rankings=[r for p in parts for r in p.rankings],
             categories=[c for p in parts for c in p.categories],
             n_benchmark_runs=sum(p.n_benchmark_runs for p in parts),
+            atlas=atlas,
         )

@@ -37,6 +37,13 @@ from repro.observability import (
     get_metrics,
     get_tracer,
 )
+from repro.observability.ledger import (
+    ClusterAtlas,
+    get_ledger,
+    new_id,
+    repair_context,
+)
+from repro.parallel.cache import hash_arrays
 from repro.pipeline.pipeline import Pipeline, make_seed_pipelines
 from repro.resilience.stats import tick
 from repro.timeseries.series import TimeSeries, TimeSeriesDataset
@@ -67,16 +74,29 @@ class Recommendation:
         True when this recommendation was produced in degraded mode —
         ensemble members were dropped from the vote, or the static
         fallback answered because no member could vote.
+    repair_id:
+        Stable id of this repair's provenance row in the active
+        :class:`~repro.observability.ledger.RepairLedger`, ``None`` when
+        no ledger was installed.  ``repro explain <repair_id>`` renders
+        the full decision path behind it.
     """
 
     algorithm: str
     ranking: tuple[str, ...]
     probabilities: dict[str, float]
     degraded: bool = False
+    repair_id: str | None = None
 
     def impute(self, series: TimeSeries) -> TimeSeries:
-        """Apply the recommended algorithm to the faulty series."""
-        return get_imputer(self.algorithm).impute_series(series)
+        """Apply the recommended algorithm to the faulty series.
+
+        Runs under a :class:`~repro.observability.ledger.repair_context`
+        so the imputer's ``impute`` ledger row (timing + post-repair
+        quality stats) is correlated with this recommendation's
+        ``repair_id``.
+        """
+        with repair_context(self.repair_id):
+            return get_imputer(self.algorithm).impute_series(series)
 
 
 class ADarts:
@@ -159,6 +179,16 @@ class ADarts:
         #: captured by :meth:`fit_features` and consumed by the serving
         #: drift monitor (see :mod:`repro.observability.serving`).
         self.feature_baseline_: FeatureBaseline | None = None
+        #: Fit-time provenance head — run/fit/race ids plus the training
+        #: ledger rows — captured by :meth:`fit_features` when a
+        #: :class:`~repro.observability.ledger.RepairLedger` is active,
+        #: and persisted through export/import so serving-side ``repair``
+        #: rows can reference their training lineage.
+        self.ledger_head_: dict | None = None
+        #: Fit-time cluster atlas (representatives + winning labels),
+        #: captured by :meth:`fit_datasets`; used at serving time to
+        #: assign incoming series a cluster + NCC for provenance rows.
+        self.cluster_atlas_: ClusterAtlas | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -227,7 +257,49 @@ class ADarts:
         except ValueError as exc:  # degenerate matrices: skip, don't fail fit
             _log.warning("feature baseline capture skipped: %s", exc)
             self.feature_baseline_ = None
+        self._capture_ledger_head(X, y, members)
         return self
+
+    def _capture_ledger_head(self, X, y, members) -> None:
+        """Emit the ``fit`` provenance row and snapshot the lineage head.
+
+        The head bundles this fit's run/fit/race ids together with the
+        training rows themselves (race, labeling, fit), so it can travel
+        inside the exported engine document and let ``repro explain``
+        reconstruct training lineage even when serving writes to a
+        different ledger file.
+        """
+        ledger = get_ledger()
+        if not ledger.enabled:
+            return
+        race_id = (
+            self._race_result.ledger_record_id if self._race_result else None
+        )
+        fit_id = ledger.record(
+            "fit",
+            {
+                "n_samples": int(X.shape[0]),
+                "n_features": int(X.shape[1]) if X.ndim == 2 else 0,
+                "classes": sorted(str(c) for c in set(y.tolist())),
+                "train_hash": hash_arrays(X, y),
+                "race_id": race_id,
+                "voting": self.voting,
+                "n_members": len(members),
+                "test_ratio": self.test_ratio,
+            },
+            record_id=new_id("fit"),
+        )
+        head_rows = [
+            row
+            for row in ledger.records()
+            if row["id"] in (fit_id, race_id) or row["kind"] == "label"
+        ]
+        self.ledger_head_ = {
+            "run_id": ledger.run_id,
+            "fit_id": fit_id,
+            "race_id": race_id,
+            "records": head_rows,
+        }
 
     def fit_labeled(self, corpus: LabeledCorpus) -> "ADarts":
         """Train from a labeled corpus (faulty series + best-imputer labels)."""
@@ -244,6 +316,7 @@ class ADarts:
         ):
             corpus = self.labeler.label_corpus(datasets)
             self._labeled_corpus = corpus
+            self.cluster_atlas_ = corpus.atlas
             return self.fit_labeled(corpus)
 
     # ------------------------------------------------------------------
@@ -321,6 +394,73 @@ class ADarts:
         )
         return [rec] * n_series
 
+    def annotate_with_ledger(
+        self,
+        series_list,
+        recommendations: list[Recommendation],
+        detail,
+        *,
+        source: str = "engine",
+    ) -> list[Recommendation]:
+        """Emit one ``repair`` provenance row per recommendation.
+
+        Returns the recommendations with their ``repair_id`` filled in
+        (via :func:`dataclasses.replace`); a no-op pass-through when no
+        ledger is installed.  ``detail`` is the vote's
+        :class:`~repro.core.voting.VoteDetail`, or ``None`` when the
+        static fallback answered.  Shared by :meth:`recommend_many` and
+        the serving-side
+        :class:`~repro.observability.serving.InferenceMonitor`.
+        """
+        ledger = get_ledger()
+        if not ledger.enabled:
+            return recommendations
+        head = self.ledger_head_ or {}
+        fingerprint = self.extractor.fingerprint
+        vote = None
+        if detail is not None:
+            vote = {
+                "n_members": detail.n_members,
+                "used": list(detail.used_members),
+                "failed": list(detail.failed_members),
+                "skipped": list(detail.skipped_members),
+            }
+        atlas = self.cluster_atlas_
+        out = []
+        for series, rec in zip(series_list, recommendations):
+            values = np.asarray(series.values, dtype=float)
+            assignment = (
+                atlas.assign(values) if atlas is not None and len(atlas) else None
+            )
+            top = sorted(rec.probabilities.items(), key=lambda kv: -kv[1])[:5]
+            repair_id = ledger.record(
+                "repair",
+                {
+                    "series": getattr(series, "name", None),
+                    "series_len": int(values.size),
+                    "n_missing": int(np.isnan(values).sum()),
+                    "feature_hash": FeatureCache.key(values, fingerprint),
+                    "cluster": assignment,
+                    "algorithm": rec.algorithm,
+                    "confidence": rec.probabilities.get(rec.algorithm),
+                    "probabilities": dict(top),
+                    "ranking": list(rec.ranking[:5]),
+                    "vote": vote,
+                    "quarantined_members": (
+                        list(detail.skipped_members) if detail is not None else []
+                    ),
+                    "degraded": bool(rec.degraded),
+                    "fallback": detail is None,
+                    "fit_run_id": head.get("run_id"),
+                    "fit_id": head.get("fit_id"),
+                    "race_id": head.get("race_id"),
+                    "source": source,
+                },
+                record_id=new_id("rep"),
+            )
+            out.append(replace(rec, repair_id=repair_id))
+        return out
+
     def recommend_many(self, series_list) -> list[Recommendation]:
         """Vectorized recommendation over several series.
 
@@ -367,6 +507,7 @@ class ADarts:
                 out = self._recommendations_from_proba(
                     detail.proba, degraded=detail.degraded
                 )
+            out = self.annotate_with_ledger(series_list, out, detail)
             if detail is None or detail.degraded:
                 tick("degraded_requests")
                 metrics.counter(

@@ -50,6 +50,7 @@ from repro.observability import (
     get_metrics,
     get_tracer,
 )
+from repro.observability.ledger import get_ledger, new_id
 from repro.parallel import ExecutionEngine, ScoreMemo, hash_arrays
 from repro.pipeline.pipeline import Pipeline
 from repro.pipeline.scoring import PipelineScore, score_pipeline
@@ -158,12 +159,18 @@ class RaceResult:
         (:class:`~repro.observability.observer.IterationRecord`).
     runtime:
         Total wall-clock seconds of the race.
+    ledger_record_id:
+        Id of the ``race`` provenance row appended to the active
+        :class:`~repro.observability.ledger.RepairLedger`, ``None`` when
+        no ledger was installed.  ``fit`` and ``repair`` rows reference
+        it so ``repro explain`` can walk back to the elite fold scores.
     """
 
     elite: list[Pipeline]
     scores: dict[tuple, list[float]]
     iterations: list[IterationRecord] = field(default_factory=list)
     runtime: float = 0.0
+    ledger_record_id: str | None = None
 
     @property
     def history(self) -> list[dict]:
@@ -651,6 +658,42 @@ class ModelRace:
             "repro_race_score_memo_hit_rate",
             "Fraction of race evaluations served from the score memo",
         ).set(memo.hit_rate)
+        ledger = get_ledger()
+        if ledger.enabled:
+            result.ledger_record_id = ledger.record(
+                "race",
+                {
+                    "elites": [
+                        {
+                            "classifier": p.classifier_name,
+                            "classifier_params": dict(
+                                p.classifier_params or {}
+                            ),
+                            "scaler": p.scaler_name,
+                            "fold_scores": [
+                                float(s) for s in result.scores.get(
+                                    p.config_key(), []
+                                )
+                            ],
+                            "mean_score": float(
+                                np.mean(result.scores[p.config_key()])
+                            )
+                            if result.scores.get(p.config_key())
+                            else None,
+                        }
+                        for p in result.elite
+                    ],
+                    "iterations": [r.as_dict() for r in result.iterations],
+                    "n_evaluations": result.n_evaluations,
+                    "n_early_terminated": result.n_early_terminated,
+                    "n_ttest_pruned": result.n_ttest_pruned,
+                    "n_failures": result.n_failures,
+                    "n_quarantined": result.n_quarantined,
+                    "prune_ratio": result.prune_ratio,
+                    "runtime_s": result.runtime,
+                },
+                record_id=new_id("race"),
+            )
         obs.on_race_end(result)
         return result
 

@@ -21,6 +21,7 @@ from repro.core.adarts import ADarts
 from repro.core.voting import MajorityVotingEnsemble, SoftVotingEnsemble
 from repro.exceptions import NotFittedError, ValidationError
 from repro.features.extractor import FeatureExtractor
+from repro.observability.ledger import ClusterAtlas, upgrade_record
 from repro.observability.serving import FeatureBaseline
 from repro.pipeline.pipeline import Pipeline
 
@@ -91,23 +92,43 @@ def export_engine(engine: ADarts) -> dict:
     # DriftDetector from this without re-touching the training matrix.
     if engine.feature_baseline_ is not None:
         document["feature_baseline"] = engine.feature_baseline_.as_dict()
+    # Optional provenance: the fit-time ledger head (run/fit/race ids +
+    # training rows) and the cluster atlas travel with the engine so
+    # serving-side repair rows keep their training lineage and cluster
+    # assignments after an export/import round-trip.
+    if engine.ledger_head_ is not None:
+        document["ledger_head"] = engine.ledger_head_
+    if engine.cluster_atlas_ is not None and len(engine.cluster_atlas_):
+        document["cluster_atlas"] = engine.cluster_atlas_.as_dict()
     return document
 
 
 def import_engine(document: dict) -> ADarts:
     """Rebuild a fitted engine from :func:`export_engine`'s output."""
+    if not isinstance(document, dict):
+        raise ValidationError(
+            f"engine document must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
     version = document.get("format_version")
     if version != FORMAT_VERSION:
         raise ValidationError(
             f"unsupported engine format version {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
-    extractor = FeatureExtractor(**document["extractor"])
-    engine = ADarts(extractor=extractor, voting=document["voting"])
-    X = np.asarray(document["training_features"], dtype=float)
-    y = np.asarray(document["training_labels"], dtype=object)
+    try:
+        extractor = FeatureExtractor(**document["extractor"])
+        engine = ADarts(extractor=extractor, voting=document["voting"])
+        X = np.asarray(document["training_features"], dtype=float)
+        y = np.asarray(document["training_labels"], dtype=object)
+    except KeyError as exc:
+        raise ValidationError(
+            f"engine document is missing required key {exc}"
+        ) from None
+    except TypeError as exc:
+        raise ValidationError(f"malformed engine document: {exc}") from None
     members = []
-    for spec in document["pipelines"]:
+    for spec in document.get("pipelines", []):
         pipeline = Pipeline(
             spec["classifier_name"],
             _from_jsonable(spec["classifier_params"]),
@@ -141,21 +162,53 @@ def import_engine(document: dict) -> ADarts:
             )
         except ValueError:
             engine.feature_baseline_ = None
+    head = document.get("ledger_head")
+    if head is not None:
+        # Rows inside the head are schema-upgraded on the way in, so a
+        # document exported under ledger schema v1 explains cleanly.
+        engine.ledger_head_ = {
+            "run_id": head.get("run_id"),
+            "fit_id": head.get("fit_id"),
+            "race_id": head.get("race_id"),
+            "records": [upgrade_record(r) for r in head.get("records", [])],
+        }
+    atlas = document.get("cluster_atlas")
+    if atlas is not None:
+        engine.cluster_atlas_ = ClusterAtlas.from_dict(atlas)
     return engine
+
+
+def _json_default(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
 
 
 def save_engine(engine: ADarts, path) -> pathlib.Path:
     """Write a fitted engine to a JSON file; returns the path."""
     path = pathlib.Path(path)
     with path.open("w") as fh:
-        json.dump(export_engine(engine), fh)
+        json.dump(export_engine(engine), fh, default=_json_default)
     return path
 
 
 def load_engine(path) -> ADarts:
-    """Load a fitted engine from a JSON file written by :func:`save_engine`."""
+    """Load a fitted engine from a JSON file written by :func:`save_engine`.
+
+    Raises :class:`~repro.exceptions.ValidationError` (not a bare
+    ``JSONDecodeError``) on malformed files, so CLI callers turn it into
+    a clean non-zero exit instead of a traceback.
+    """
     path = pathlib.Path(path)
     if not path.exists():
         raise ValidationError(f"no engine file at {path}")
-    with path.open() as fh:
-        return import_engine(json.load(fh))
+    try:
+        with path.open() as fh:
+            document = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path} is not valid JSON: {exc}") from None
+    return import_engine(document)

@@ -18,6 +18,11 @@ import numpy as np
 
 from repro.exceptions import ImputationError, RegistryError, ValidationError
 from repro.observability import get_metrics, get_tracer
+from repro.observability.ledger import (
+    current_repair_id,
+    get_ledger,
+    repair_quality_stats,
+)
 from repro.resilience import (
     call_with_deadline,
     get_fault_injector,
@@ -141,6 +146,31 @@ class BaseImputer(ABC):
             )
         # Observed entries are ground truth; never let an algorithm drift them.
         completed[~mask] = X[~mask]
+        ledger = get_ledger()
+        repair_id = current_repair_id()
+        # Provenance is per *repair*: only invocations inside a
+        # Recommendation.impute repair context emit rows, so labeling-time
+        # benchmark races never flood the ledger.
+        if ledger.enabled and repair_id is not None:
+            hyperparams = {
+                k: v
+                for k, v in sorted(vars(self).items())
+                if not k.startswith("_")
+                and isinstance(v, (str, int, float, bool, type(None)))
+            }
+            ledger.record(
+                "impute",
+                {
+                    "repair_id": repair_id,
+                    "algorithm": self.name,
+                    "hyperparameters": hyperparams,
+                    "n_series": int(X.shape[0]),
+                    "length": int(X.shape[1]),
+                    "n_missing": int(mask.sum()),
+                    "elapsed_s": timer.elapsed,
+                    "quality": repair_quality_stats(completed, mask),
+                },
+            )
         return completed
 
     def impute_series(self, series: TimeSeries) -> TimeSeries:

@@ -21,7 +21,12 @@ The instrumentation substrate for every performance claim in the repro:
   (the ``repro monitor`` subcommand);
 * :mod:`repro.observability.profiler` — :class:`SamplingProfiler`,
   a low-overhead thread/signal sampling profiler with collapsed-stack
-  (flamegraph) output (the ``repro profile`` subcommand).
+  (flamegraph) output (the ``repro profile`` subcommand);
+* :mod:`repro.observability.ledger` — the append-only, schema-versioned
+  :class:`RepairLedger` recording per-fit and per-repair provenance
+  (cluster assignment, vote confidences, race elites, imputer choice,
+  post-repair quality stats), trace-correlated with spans and logs
+  (the ``repro audit`` / ``repro explain`` subcommands).
 
 Everything is zero-dependency, thread-safe, and free when disabled: the
 module-level defaults are no-op singletons, so library code instruments
@@ -31,7 +36,29 @@ hot paths unconditionally and users pay only when they install a real
 :class:`use_metrics` context managers.
 """
 
+from repro.observability.ledger import (
+    ClusterAtlas,
+    NULL_LEDGER,
+    NullLedger,
+    RepairLedger,
+    SCHEMA_VERSION as LEDGER_SCHEMA_VERSION,
+    current_repair_id,
+    explain_repair,
+    filter_records,
+    get_ledger,
+    new_id,
+    read_ledger,
+    render_explanation,
+    render_summary,
+    repair_context,
+    repair_quality_stats,
+    set_ledger,
+    summarize_ledger,
+    upgrade_record,
+    use_ledger,
+)
 from repro.observability.log import (
+    TraceContextFilter,
     disable_console_logging,
     enable_console_logging,
     get_logger,
@@ -125,4 +152,25 @@ __all__ = [
     "get_logger",
     "enable_console_logging",
     "disable_console_logging",
+    "TraceContextFilter",
+    # ledger
+    "RepairLedger",
+    "NullLedger",
+    "NULL_LEDGER",
+    "LEDGER_SCHEMA_VERSION",
+    "ClusterAtlas",
+    "get_ledger",
+    "set_ledger",
+    "use_ledger",
+    "new_id",
+    "current_repair_id",
+    "repair_context",
+    "repair_quality_stats",
+    "read_ledger",
+    "upgrade_record",
+    "filter_records",
+    "summarize_ledger",
+    "render_summary",
+    "explain_repair",
+    "render_explanation",
 ]

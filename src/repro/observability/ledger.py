@@ -1,0 +1,901 @@
+"""Repair provenance ledger: append-only lineage for every fit and repair.
+
+Latency histograms and drift scores (PR 3) say *how well* the system is
+doing; this module answers *why a specific repair happened the way it
+did*.  Every training run and every served repair is assigned a stable
+id and appended to a schema-versioned JSONL ledger:
+
+* ``fit`` rows — one per ``ADarts.fit_features``: training-matrix
+  content hash, class set, the race/label rows it references;
+* ``race`` rows — one per :class:`~repro.core.modelrace.ModelRace` run:
+  elite pipelines with their accumulated fold scores, the structured
+  per-iteration pruning records, evaluation counts, prune ratio;
+* ``label`` rows — one per (cluster, ratio, pattern) labeling race:
+  winning imputer, full ranking, and each member's NCC against the
+  cluster representative (:func:`~repro.timeseries.batch.ncc_rowwise`);
+* ``repair`` rows — one per recommended series at serving time: feature
+  content hash (the :class:`~repro.parallel.FeatureCache` key), cluster
+  assignment (nearest atlas representative + NCC), per-class soft-vote
+  confidences, the :class:`~repro.core.voting.VoteDetail` member
+  accounting, degraded/fallback flags, and the fit/race rows that
+  produced the ensemble;
+* ``impute`` rows — one per imputation executed under a repair context:
+  the algorithm, its hyperparameters, and post-repair residual/quality
+  statistics on the observed region.
+
+All rows carry the thread's active trace id
+(:meth:`~repro.observability.tracing.Tracer.current_trace_id`), the same
+key stamped into log records, so ledger rows, spans, and log lines join
+on one correlation key.
+
+Following the substrate's rules, the module-level default is a
+:data:`NULL_LEDGER` no-op: library code emits unconditionally and pays
+nothing until a real :class:`RepairLedger` is installed via
+:func:`set_ledger` / :class:`use_ledger` (the CLI's ``--ledger-out``
+flag does exactly this).  The ``repro audit`` and ``repro explain``
+subcommands are thin renderers over :func:`read_ledger`,
+:func:`summarize_ledger`, and :func:`explain_repair`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import pathlib
+import threading
+import uuid
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.observability.log import get_logger
+from repro.observability.tracing import get_tracer
+
+_log = get_logger(__name__)
+
+#: Current ledger record schema.  v1 was the flat prototype layout
+#: (payload keys at the top level, epoch-seconds ``ts``, no trace id);
+#: v2 nests the payload under ``data`` and adds ``time``/``trace_id``.
+SCHEMA_VERSION = 2
+
+#: Envelope keys of a v2 record; everything else belongs in ``data``.
+RESERVED_KEYS = ("schema", "kind", "id", "run_id", "time", "trace_id", "data")
+
+_EPS = 1e-12
+
+
+def new_id(prefix: str) -> str:
+    """A short, collision-resistant id (``rep_3f9a1c...``)."""
+    return f"{prefix}_{uuid.uuid4().hex[:12]}"
+
+
+def _utcnow() -> str:
+    return _dt.datetime.now(_dt.timezone.utc).isoformat()
+
+
+def upgrade_record(record: dict) -> dict:
+    """Normalize a ledger record of any known schema version to v2.
+
+    * v2 records pass through (missing envelope fields get defaults);
+    * v1 records — no ``schema`` field or ``schema: 1`` — carried their
+      payload at the top level and an epoch-seconds ``ts``: the payload
+      moves under ``data``, ``ts`` becomes an ISO ``time``, and
+      ``trace_id`` defaults to ``None``.
+
+    Raises :class:`~repro.exceptions.ValidationError` for records that
+    are not dicts or claim a future schema.
+    """
+    if not isinstance(record, dict):
+        raise ValidationError(f"ledger record must be an object, got {type(record).__name__}")
+    version = record.get("schema", 1)
+    if not isinstance(version, int) or version < 1 or version > SCHEMA_VERSION:
+        raise ValidationError(f"unsupported ledger schema version {version!r}")
+    if version == SCHEMA_VERSION:
+        out = dict(record)
+        out.setdefault("trace_id", None)
+        out.setdefault("run_id", None)
+        out.setdefault("time", None)
+        out.setdefault("data", {})
+        return out
+    # v1 -> v2: lift the flat payload into the envelope.
+    data = {
+        key: value
+        for key, value in record.items()
+        if key not in RESERVED_KEYS and key != "ts"
+    }
+    ts = record.get("ts")
+    if isinstance(ts, (int, float)):
+        time_str = _dt.datetime.fromtimestamp(
+            float(ts), tz=_dt.timezone.utc
+        ).isoformat()
+    else:
+        time_str = record.get("time")
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": record.get("kind", "event"),
+        "id": record.get("id", new_id("rec")),
+        "run_id": record.get("run_id"),
+        "time": time_str,
+        "trace_id": record.get("trace_id"),
+        "data": data,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ledger objects
+# ---------------------------------------------------------------------------
+class NullLedger:
+    """Default no-op ledger: emission sites check ``enabled`` and skip."""
+
+    enabled = False
+    run_id = None
+
+    def record(self, kind: str, data: dict, *, record_id: str | None = None) -> str | None:
+        """Discard the row; returns ``None`` so callers skip correlation."""
+        return None
+
+    def records(self) -> list[dict]:
+        return []
+
+    def flush(self) -> None:
+        """Nothing buffered."""
+
+    def close(self) -> None:
+        """Nothing open."""
+
+
+#: Shared no-op ledger singleton; the default until :func:`set_ledger`.
+NULL_LEDGER = NullLedger()
+
+
+class RepairLedger:
+    """Append-only, schema-versioned JSONL provenance ledger.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to append rows to.  ``None`` keeps the ledger
+        memory-only (tests, snapshot aggregation).
+    run_id:
+        Stable id stamped into every row; generated when omitted.  A
+        serving process replaying against a trained engine may reuse the
+        engine's fit-time run id to keep one lineage namespace.
+    keep_in_memory:
+        Ring-buffer capacity of the in-memory record view (the file is
+        never truncated).  ``None`` keeps everything.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path=None,
+        *,
+        run_id: str | None = None,
+        keep_in_memory: int | None = 100_000,
+    ):
+        self.path = pathlib.Path(path) if path is not None else None
+        self.run_id = run_id or new_id("run")
+        self._records: deque = deque(maxlen=keep_in_memory)
+        self._lock = threading.Lock()
+        self._fh = None
+        self.n_written = 0
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+
+    # -- emission --------------------------------------------------------
+    def record(self, kind: str, data: dict, *, record_id: str | None = None) -> str:
+        """Append one row; returns the row id for caller-side correlation."""
+        row = {
+            "schema": SCHEMA_VERSION,
+            "kind": str(kind),
+            "id": record_id or new_id(kind[:3] if kind else "rec"),
+            "run_id": self.run_id,
+            "time": _utcnow(),
+            "trace_id": get_tracer().current_trace_id(),
+            "data": data,
+        }
+        line = json.dumps(row, default=_jsonable)
+        with self._lock:
+            self._records.append(row)
+            self.n_written += 1
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+        return row["id"]
+
+    # -- access ----------------------------------------------------------
+    def records(self) -> list[dict]:
+        """Snapshot of the in-memory record view, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def tail(self, n: int) -> list[dict]:
+        """The most recent ``n`` in-memory records."""
+        with self._lock:
+            items = list(self._records)
+        return items[-max(0, int(n)):]
+
+    def flush(self) -> None:
+        """Flush buffered file writes to disk."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the backing file (idempotent)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "RepairLedger":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def _jsonable(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default ledger (a no-op unless explicitly installed).
+# ---------------------------------------------------------------------------
+_default_ledger: RepairLedger | NullLedger = NULL_LEDGER
+_default_lock = threading.Lock()
+
+
+def get_ledger() -> RepairLedger | NullLedger:
+    """The currently installed ledger (a shared no-op by default)."""
+    return _default_ledger
+
+
+def set_ledger(ledger: RepairLedger | None) -> RepairLedger | NullLedger:
+    """Install ``ledger`` as the process-wide default; ``None`` resets."""
+    global _default_ledger
+    with _default_lock:
+        _default_ledger = ledger if ledger is not None else NULL_LEDGER
+    return _default_ledger
+
+
+class use_ledger:
+    """Context manager installing a ledger for the duration of a block."""
+
+    def __init__(self, ledger: RepairLedger | None):
+        self.ledger = ledger
+        self._previous: RepairLedger | NullLedger | None = None
+
+    def __enter__(self) -> RepairLedger | NullLedger:
+        self._previous = get_ledger()
+        return set_ledger(self.ledger)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_ledger(
+            self._previous if isinstance(self._previous, RepairLedger) else None
+        )
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Repair context: correlates imputer-level rows with their repair row.
+# ---------------------------------------------------------------------------
+_repair_local = threading.local()
+
+
+def current_repair_id() -> str | None:
+    """The repair id bound to the calling thread, if any."""
+    stack = getattr(_repair_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+class repair_context:
+    """Bind a repair id to the calling thread for the duration of a block.
+
+    :meth:`Recommendation.impute <repro.core.adarts.Recommendation.impute>`
+    wraps the imputation call in this context, so the ``impute`` ledger
+    row emitted inside :meth:`BaseImputer.impute
+    <repro.imputation.base.BaseImputer.impute>` carries the repair id of
+    the recommendation that triggered it.
+    """
+
+    def __init__(self, repair_id: str | None):
+        self.repair_id = repair_id
+
+    def __enter__(self):
+        stack = getattr(_repair_local, "stack", None)
+        if stack is None:
+            stack = _repair_local.stack = []
+        stack.append(self.repair_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = getattr(_repair_local, "stack", None)
+        if stack:
+            stack.pop()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Post-repair quality statistics
+# ---------------------------------------------------------------------------
+def repair_quality_stats(completed: np.ndarray, mask: np.ndarray) -> dict:
+    """Residual/quality proxies of one completed matrix.
+
+    Ground truth at the missing positions is unknown at serving time, so
+    quality is scored against the *observed region*:
+
+    * ``plausibility_z`` — distance of the imputed-value mean from the
+      observed mean, in observed standard deviations (large values mean
+      the fill is distributionally implausible);
+    * ``scale_ratio`` — imputed std over observed std (≈1 is healthy;
+      ≈0 flags flat fills into a variable series);
+    * ``roughness_ratio`` — mean absolute first difference at the
+      repair-block boundaries over the series' own mean absolute first
+      difference (large values flag visible seams).
+    """
+    completed = np.atleast_2d(np.asarray(completed, dtype=float))
+    mask = np.atleast_2d(np.asarray(mask, dtype=bool))
+    observed = completed[~mask]
+    imputed = completed[mask]
+    obs_mean = float(observed.mean()) if observed.size else 0.0
+    obs_std = float(observed.std()) if observed.size else 0.0
+    imp_mean = float(imputed.mean()) if imputed.size else 0.0
+    imp_std = float(imputed.std()) if imputed.size else 0.0
+    plausibility = abs(imp_mean - obs_mean) / max(obs_std, _EPS)
+    scale_ratio = imp_std / max(obs_std, _EPS)
+    # Boundary seams: |x[t] - x[t-1]| wherever the mask flips.
+    diffs = np.abs(np.diff(completed, axis=1))
+    flips = mask[:, 1:] != mask[:, :-1]
+    overall = float(diffs.mean()) if diffs.size else 0.0
+    boundary = float(diffs[flips].mean()) if flips.any() else 0.0
+    return {
+        "n_missing": int(mask.sum()),
+        "missing_fraction": float(mask.mean()) if mask.size else 0.0,
+        "observed_mean": obs_mean,
+        "observed_std": obs_std,
+        "imputed_mean": imp_mean,
+        "imputed_std": imp_std,
+        "plausibility_z": float(plausibility),
+        "scale_ratio": float(scale_ratio),
+        "roughness_ratio": float(boundary / max(overall, _EPS)) if boundary else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Cluster atlas: fit-time representatives for serving-side assignment
+# ---------------------------------------------------------------------------
+class ClusterAtlas:
+    """Fit-time cluster representatives, queryable at serving time.
+
+    Built by :class:`~repro.clustering.labeling.ClusterLabeler`: one
+    z-normalized representative series per labeling cluster, together
+    with the cluster's winning imputer.  :meth:`assign` then gives any
+    incoming series a cluster assignment — the nearest representative by
+    NCC (:func:`~repro.timeseries.batch.ncc_rowwise`) — which repair
+    ledger rows and the per-cluster serving scorecard both use.
+    """
+
+    def __init__(self):
+        self.ids: list[str] = []
+        self.labels: list[str] = []
+        self.representatives: list[np.ndarray] = []
+        # Serving traffic is usually fixed-length, so the z-normed,
+        # truncated representative matrices are cached per query length.
+        self._prepared: dict[int, list] = {}
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.ids)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def add(self, cluster_id: str, label: str, representative) -> None:
+        """Register one cluster; ``representative`` is z-normalized here."""
+        values = np.asarray(representative, dtype=float).ravel()
+        if values.size < 2:
+            raise ValidationError("cluster representative needs >= 2 points")
+        self.ids.append(str(cluster_id))
+        self.labels.append(str(label))
+        self.representatives.append(_znorm(values))
+        self._prepared.clear()
+
+    def merge(self, other: "ClusterAtlas") -> "ClusterAtlas":
+        """Fold another atlas's clusters into this one (corpus labeling)."""
+        self.ids.extend(other.ids)
+        self.labels.extend(other.labels)
+        self.representatives.extend(other.representatives)
+        self._prepared.clear()
+        return self
+
+    # -- assignment ------------------------------------------------------
+    def assign(self, values) -> dict | None:
+        """Nearest-representative assignment of one series.
+
+        Returns ``{"cluster", "ncc", "label"}`` or ``None`` for an empty
+        atlas.  NaNs are linearly interpolated first (serving series are
+        faulty by definition); both sides are truncated to the common
+        length and z-normalized, matching the labeling-time treatment.
+        """
+        if not self.ids:
+            return None
+        series = _interpolate(np.asarray(values, dtype=float).ravel())
+        if series.size < 2:
+            return None
+        best_idx, best_ncc = 0, -np.inf
+        for length, indices, conj_fft, norms, size in self._prepare(
+            series.size
+        ):
+            x = _znorm(series[:length])
+            # Shift-maximized NCC against every representative at once
+            # (the ncc_rowwise recipe with the representatives' FFTs and
+            # norms precomputed — this runs once per served series).
+            cc = np.fft.irfft(
+                np.fft.rfft(x, size)[None, :] * conj_fft, size, axis=1
+            )
+            if length > 1:
+                cc = np.concatenate(
+                    (cc[:, -(length - 1):], cc[:, :length]), axis=1
+                )
+            peaks = cc.max(axis=1)
+            denom = np.linalg.norm(x) * norms
+            nccs = np.divide(
+                peaks, denom, out=np.zeros_like(peaks), where=denom != 0.0
+            )
+            group_best = int(np.argmax(nccs))
+            if nccs[group_best] > best_ncc:
+                best_idx, best_ncc = indices[group_best], float(nccs[group_best])
+        return {
+            "cluster": self.ids[best_idx],
+            "ncc": best_ncc,
+            "label": self.labels[best_idx],
+        }
+
+    def _prepare(self, n: int) -> list:
+        """Representatives grouped by common length with ``n``-point series.
+
+        Each entry is ``(length, indices, conj_fft, norms, fft_size)``
+        with the z-normed, truncated representatives' conjugate FFTs and
+        norms precomputed, so :meth:`assign` only transforms the query.
+        """
+        cached = self._prepared.get(n)
+        if cached is None:
+            from repro.timeseries.batch import _fft_size
+
+            groups: dict[int, list[int]] = {}
+            for idx, rep in enumerate(self.representatives):
+                groups.setdefault(min(n, rep.size), []).append(idx)
+            cached = []
+            for length, indices in groups.items():
+                matrix = np.vstack(
+                    [_znorm(self.representatives[i][:length]) for i in indices]
+                )
+                size = _fft_size(length)
+                cached.append(
+                    (
+                        length,
+                        indices,
+                        np.conj(np.fft.rfft(matrix, size, axis=1)),
+                        np.linalg.norm(matrix, axis=1),
+                        size,
+                    )
+                )
+            if len(self._prepared) >= 32:  # unbounded-length traffic guard
+                self._prepared.clear()
+            self._prepared[n] = cached
+        return cached
+
+    # -- persistence -----------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "ids": list(self.ids),
+            "labels": list(self.labels),
+            "representatives": [r.tolist() for r in self.representatives],
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ClusterAtlas":
+        atlas = cls()
+        for cluster_id, label, rep in zip(
+            document["ids"], document["labels"], document["representatives"]
+        ):
+            atlas.ids.append(str(cluster_id))
+            atlas.labels.append(str(label))
+            atlas.representatives.append(np.asarray(rep, dtype=float))
+        return atlas
+
+
+def _znorm(values: np.ndarray) -> np.ndarray:
+    std = values.std()
+    return (values - values.mean()) / (std if std > _EPS else 1.0)
+
+
+def _interpolate(values: np.ndarray) -> np.ndarray:
+    mask = np.isnan(values)
+    if not mask.any():
+        return values
+    obs = np.flatnonzero(~mask)
+    if obs.size == 0:
+        return np.zeros_like(values)
+    out = values.copy()
+    out[mask] = np.interp(np.flatnonzero(mask), obs, values[obs])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Reading, filtering, summarizing
+# ---------------------------------------------------------------------------
+def read_ledger(path) -> list[dict]:
+    """Load and schema-upgrade every record of a JSONL ledger file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such ledger file: {path}")
+    records: list[dict] = []
+    with path.open(encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{path}:{line_no} is not valid JSON: {exc}"
+                ) from None
+            records.append(upgrade_record(raw))
+    return records
+
+
+def filter_records(
+    records,
+    *,
+    kind: str | None = None,
+    algorithm: str | None = None,
+    cluster: str | None = None,
+    degraded_only: bool = False,
+    run_id: str | None = None,
+) -> list[dict]:
+    """Subset of ``records`` matching every given criterion."""
+    out = []
+    for rec in records:
+        data = rec.get("data", {})
+        if kind is not None and rec.get("kind") != kind:
+            continue
+        if run_id is not None and rec.get("run_id") != run_id:
+            continue
+        if algorithm is not None and data.get("algorithm") != algorithm:
+            continue
+        if cluster is not None:
+            rec_cluster = (data.get("cluster") or {}).get("cluster") \
+                if isinstance(data.get("cluster"), dict) else data.get("cluster")
+            if rec_cluster != cluster:
+                continue
+        if degraded_only and not (data.get("degraded") or data.get("fallback")):
+            continue
+        out.append(rec)
+    return out
+
+
+def _mean(values: list[float]) -> float:
+    return float(np.mean(values)) if values else 0.0
+
+
+def summarize_ledger(records) -> dict:
+    """Aggregate a record list into the ``repro audit --summary`` document.
+
+    Per-imputer and per-cluster scorecards over the repair rows, quality
+    aggregates over the impute rows, counts of everything else.
+    """
+    kinds: dict[str, int] = {}
+    run_ids: set[str] = set()
+    times: list[str] = []
+    per_algorithm: dict[str, dict] = {}
+    per_cluster: dict[str, dict] = {}
+    quality: dict[str, dict] = {}
+    n_degraded = n_fallback = 0
+    for rec in records:
+        kinds[rec.get("kind", "?")] = kinds.get(rec.get("kind", "?"), 0) + 1
+        if rec.get("run_id"):
+            run_ids.add(rec["run_id"])
+        if rec.get("time"):
+            times.append(rec["time"])
+        data = rec.get("data", {})
+        if rec.get("kind") == "repair":
+            algo = str(data.get("algorithm"))
+            card = per_algorithm.setdefault(
+                algo, {"n": 0, "degraded": 0, "confidences": []}
+            )
+            card["n"] += 1
+            if data.get("degraded") or data.get("fallback"):
+                card["degraded"] += 1
+                n_degraded += 1
+            if data.get("fallback"):
+                n_fallback += 1
+            if data.get("confidence") is not None:
+                card["confidences"].append(float(data["confidence"]))
+            assignment = data.get("cluster")
+            if isinstance(assignment, dict) and assignment.get("cluster"):
+                entry = per_cluster.setdefault(
+                    str(assignment["cluster"]), {"n": 0, "nccs": [], "degraded": 0}
+                )
+                entry["n"] += 1
+                if assignment.get("ncc") is not None:
+                    entry["nccs"].append(float(assignment["ncc"]))
+                if data.get("degraded") or data.get("fallback"):
+                    entry["degraded"] += 1
+        elif rec.get("kind") == "impute":
+            algo = str(data.get("algorithm"))
+            stats = data.get("quality") or {}
+            card = quality.setdefault(
+                algo, {"n": 0, "plausibility": [], "roughness": [], "elapsed": []}
+            )
+            card["n"] += 1
+            if stats.get("plausibility_z") is not None:
+                card["plausibility"].append(float(stats["plausibility_z"]))
+            if stats.get("roughness_ratio") is not None:
+                card["roughness"].append(float(stats["roughness_ratio"]))
+            if data.get("elapsed_s") is not None:
+                card["elapsed"].append(float(data["elapsed_s"]))
+    return {
+        "n_records": len(records),
+        "kinds": dict(sorted(kinds.items())),
+        "run_ids": sorted(run_ids),
+        "first_time": min(times) if times else None,
+        "last_time": max(times) if times else None,
+        "repairs": {
+            "n": kinds.get("repair", 0),
+            "degraded": n_degraded,
+            "fallback": n_fallback,
+            "per_algorithm": {
+                name: {
+                    "n": card["n"],
+                    "degraded": card["degraded"],
+                    "mean_confidence": _mean(card["confidences"]),
+                }
+                for name, card in sorted(per_algorithm.items())
+            },
+            "per_cluster": {
+                name: {
+                    "n": entry["n"],
+                    "degraded": entry["degraded"],
+                    "mean_ncc": _mean(entry["nccs"]),
+                }
+                for name, entry in sorted(per_cluster.items())
+            },
+        },
+        "imputations": {
+            name: {
+                "n": card["n"],
+                "mean_plausibility_z": _mean(card["plausibility"]),
+                "mean_roughness_ratio": _mean(card["roughness"]),
+                "mean_elapsed_s": _mean(card["elapsed"]),
+            }
+            for name, card in sorted(quality.items())
+        },
+    }
+
+
+def render_summary(summary: dict) -> str:
+    """Fixed-width text rendering of :func:`summarize_ledger`'s output."""
+    lines = [
+        "repair ledger summary",
+        "=" * 60,
+        f"records      : {summary['n_records']}",
+        f"kinds        : "
+        + ", ".join(f"{k}={v}" for k, v in summary["kinds"].items()),
+        f"runs         : {len(summary['run_ids'])}",
+        f"span         : {summary['first_time']} .. {summary['last_time']}",
+    ]
+    repairs = summary["repairs"]
+    lines.append(
+        f"repairs      : {repairs['n']} "
+        f"(degraded {repairs['degraded']}, fallback {repairs['fallback']})"
+    )
+    if repairs["per_algorithm"]:
+        lines.append("per-imputer scorecard:")
+        lines.append(f"  {'algorithm':<14} {'n':>6} {'degraded':>9} {'conf':>7}")
+        for name, card in repairs["per_algorithm"].items():
+            lines.append(
+                f"  {name:<14} {card['n']:>6} {card['degraded']:>9} "
+                f"{card['mean_confidence']:>7.3f}"
+            )
+    if repairs["per_cluster"]:
+        lines.append("per-cluster scorecard:")
+        lines.append(f"  {'cluster':<22} {'n':>6} {'degraded':>9} {'ncc':>7}")
+        for name, card in repairs["per_cluster"].items():
+            lines.append(
+                f"  {name:<22} {card['n']:>6} {card['degraded']:>9} "
+                f"{card['mean_ncc']:>7.3f}"
+            )
+    if summary["imputations"]:
+        lines.append("imputation quality (observed-region proxies):")
+        lines.append(
+            f"  {'algorithm':<14} {'n':>6} {'plaus_z':>8} {'rough':>7} {'sec':>8}"
+        )
+        for name, card in summary["imputations"].items():
+            lines.append(
+                f"  {name:<14} {card['n']:>6} "
+                f"{card['mean_plausibility_z']:>8.3f} "
+                f"{card['mean_roughness_ratio']:>7.2f} "
+                f"{card['mean_elapsed_s']:>8.4f}"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Explain: reconstruct one repair's decision path
+# ---------------------------------------------------------------------------
+def explain_repair(records, repair_id: str, *, head: dict | None = None) -> dict:
+    """Assemble the full decision path of one repair row.
+
+    ``records`` is a (possibly filtered) record list from
+    :func:`read_ledger`; ``head`` is an optional engine
+    ``ledger_head_`` whose fit-time rows extend the search space when
+    training and serving wrote to different files.
+
+    Raises :class:`~repro.exceptions.ValidationError` when ``repair_id``
+    is unknown.
+    """
+    pool = list(records)
+    if head and head.get("records"):
+        known = {rec.get("id") for rec in pool}
+        pool.extend(
+            upgrade_record(rec)
+            for rec in head["records"]
+            if rec.get("id") not in known
+        )
+    by_id = {rec.get("id"): rec for rec in pool}
+    repair = by_id.get(repair_id)
+    if repair is None or repair.get("kind") != "repair":
+        raise ValidationError(f"no repair record with id {repair_id!r}")
+    data = repair.get("data", {})
+    race = by_id.get(data.get("race_id"))
+    fit = by_id.get(data.get("fit_id"))
+    if fit is None and data.get("fit_run_id"):
+        fits = [
+            rec for rec in pool
+            if rec.get("kind") == "fit" and rec.get("run_id") == data["fit_run_id"]
+        ]
+        fit = fits[-1] if fits else None
+    if race is None and fit is not None:
+        race = by_id.get(fit.get("data", {}).get("race_id"))
+    assignment = data.get("cluster") or {}
+    cluster_id = assignment.get("cluster") if isinstance(assignment, dict) else None
+    labels = [
+        rec for rec in pool
+        if rec.get("kind") == "label"
+        and (cluster_id is None or rec.get("data", {}).get("cluster_id") == cluster_id)
+    ]
+    imputes = [
+        rec for rec in pool
+        if rec.get("kind") == "impute"
+        and rec.get("data", {}).get("repair_id") == repair_id
+    ]
+    return {
+        "repair": repair,
+        "cluster": assignment or None,
+        "labeling": labels if cluster_id is not None else [],
+        "race": race,
+        "fit": fit,
+        "imputations": imputes,
+        "resilience": {
+            "degraded": bool(data.get("degraded")),
+            "fallback": bool(data.get("fallback")),
+            "vote": data.get("vote"),
+            "quarantined_members": data.get("quarantined_members", []),
+        },
+    }
+
+
+def render_explanation(explanation: dict) -> str:
+    """Human-readable decision path of one repair."""
+    repair = explanation["repair"]
+    data = repair.get("data", {})
+    lines = [
+        f"repair {repair.get('id')}",
+        "=" * 60,
+        f"time         : {repair.get('time')}",
+        f"trace id     : {repair.get('trace_id')}",
+        f"run id       : {repair.get('run_id')}",
+        f"series       : {data.get('series')} "
+        f"(len {data.get('series_len')}, {data.get('n_missing')} missing)",
+        f"feature hash : {data.get('feature_hash')}",
+    ]
+    assignment = explanation.get("cluster")
+    if assignment:
+        lines.append(
+            f"cluster      : {assignment.get('cluster')} "
+            f"(NCC {assignment.get('ncc', 0.0):.3f} to representative, "
+            f"fit-time winner {assignment.get('label')})"
+        )
+    else:
+        lines.append("cluster      : unassigned (no atlas)")
+    lines.append(
+        f"decision     : {data.get('algorithm')} "
+        f"(confidence {data.get('confidence', 0.0):.3f}"
+        + (", DEGRADED" if data.get("degraded") else "")
+        + (", STATIC FALLBACK" if data.get("fallback") else "")
+        + ")"
+    )
+    probabilities = data.get("probabilities") or {}
+    if probabilities:
+        top = sorted(probabilities.items(), key=lambda kv: -kv[1])[:5]
+        lines.append("confidences  : " + ", ".join(f"{k}={v:.3f}" for k, v in top))
+    vote = data.get("vote") or {}
+    if vote:
+        lines.append(
+            f"vote         : {len(vote.get('used', []))}/{vote.get('n_members')} "
+            f"members voted"
+            + (f"; failed {vote['failed']}" if vote.get("failed") else "")
+            + (f"; quarantined {vote['skipped']}" if vote.get("skipped") else "")
+        )
+    race = explanation.get("race")
+    if race is not None:
+        rdata = race.get("data", {})
+        lines.append(
+            f"race         : {race.get('id')} — "
+            f"{rdata.get('n_evaluations')} evaluations, "
+            f"prune ratio {rdata.get('prune_ratio', 0.0):.1%}, "
+            f"{len(rdata.get('elites', []))} elites"
+        )
+        for elite in rdata.get("elites", [])[:8]:
+            scores = elite.get("fold_scores", [])
+            lines.append(
+                f"  elite      : {elite.get('classifier')} "
+                f"(mean score {elite.get('mean_score', 0.0):.4f} "
+                f"over {len(scores)} folds)"
+            )
+        iterations = rdata.get("iterations", [])
+        for rec in iterations:
+            lines.append(
+                f"  iteration {rec.get('iteration')}: "
+                f"{rec.get('n_evaluations')} evals, "
+                f"{rec.get('n_early_terminated')} early-terminated, "
+                f"{rec.get('n_ttest_pruned')} t-test pruned, "
+                f"{rec.get('n_elite')} elite"
+            )
+    for label in explanation.get("labeling", [])[:3]:
+        ldata = label.get("data", {})
+        lines.append(
+            f"labeling     : cluster {ldata.get('cluster_id')} "
+            f"({ldata.get('n_members')} members, pattern "
+            f"{ldata.get('pattern')}@{ldata.get('ratio')}) -> "
+            f"winner {ldata.get('winner')}; ranking "
+            + ">".join(ldata.get("ranking", [])[:4])
+        )
+    for impute in explanation.get("imputations", []):
+        idata = impute.get("data", {})
+        stats = idata.get("quality") or {}
+        lines.append(
+            f"imputation   : {idata.get('algorithm')} "
+            f"({idata.get('n_missing')} values in {idata.get('elapsed_s', 0.0):.4f}s; "
+            f"plausibility_z {stats.get('plausibility_z', 0.0):.3f}, "
+            f"scale {stats.get('scale_ratio', 0.0):.2f}, "
+            f"roughness {stats.get('roughness_ratio', 0.0):.2f})"
+        )
+    resilience = explanation.get("resilience", {})
+    if resilience.get("degraded") or resilience.get("fallback") \
+            or resilience.get("quarantined_members"):
+        lines.append(
+            "resilience   : degraded="
+            f"{resilience.get('degraded')} fallback={resilience.get('fallback')} "
+            f"quarantined={resilience.get('quarantined_members')}"
+        )
+    else:
+        lines.append("resilience   : clean (no degradation events)")
+    return "\n".join(lines)

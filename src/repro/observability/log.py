@@ -5,6 +5,13 @@ logger carries a ``NullHandler`` so importing the library never prints
 anything or trips the "no handlers could be found" warning.  Applications
 (and the CLI's ``--verbose`` flag) opt in with
 :func:`enable_console_logging`.
+
+Trace correlation: every record emitted through the ``repro`` hierarchy
+is stamped with the calling thread's active trace id
+(:meth:`~repro.observability.tracing.Tracer.current_trace_id`) as
+``record.trace_id`` by :class:`TraceContextFilter`, and the console
+format renders it — so log lines, tracer spans, and repair-ledger rows
+all share one correlation key.
 """
 
 from __future__ import annotations
@@ -15,11 +22,37 @@ import sys
 #: Root of the library's logger hierarchy.
 ROOT_LOGGER_NAME = "repro"
 
-_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_FORMAT = "%(asctime)s %(levelname)-7s [%(trace_id)s] %(name)s: %(message)s"
+
+#: Placeholder rendered when no span is open (keeps columns aligned).
+NO_TRACE = "-"
+
+
+class TraceContextFilter(logging.Filter):
+    """Inject the active span's trace id into every log record.
+
+    Attached to the ``repro`` root logger at import time, so the
+    ``trace_id`` attribute is available to *any* handler/formatter a host
+    application installs — not only the console handler below.  Records
+    that already carry a ``trace_id`` (passed via ``extra=``) win over
+    the ambient span context.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "trace_id"):
+            # Local import: log.py must stay importable before tracing.
+            from repro.observability.tracing import get_tracer
+
+            record.trace_id = get_tracer().current_trace_id() or NO_TRACE
+        return True
 
 # Silent default: the library never logs unless the host application
 # attaches handlers (directly or via enable_console_logging).
 logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+# One shared context filter instance; addFilter is idempotent for the
+# same object, so repeated imports/reloads never stack duplicates.
+_TRACE_FILTER = TraceContextFilter()
+logging.getLogger(ROOT_LOGGER_NAME).addFilter(_TRACE_FILTER)
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
@@ -30,10 +63,17 @@ def get_logger(name: str | None = None) -> logging.Logger:
     returns the root ``repro`` logger.
     """
     if not name:
-        return logging.getLogger(ROOT_LOGGER_NAME)
-    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
-        return logging.getLogger(name)
-    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+        logger = logging.getLogger(ROOT_LOGGER_NAME)
+    elif name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        logger = logging.getLogger(name)
+    else:
+        logger = logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+    # Logger-level filters are not inherited, so each library logger gets
+    # the shared trace-context filter directly; the record is stamped
+    # before *any* handler (including host-application ones) formats it.
+    if _TRACE_FILTER not in logger.filters:
+        logger.addFilter(_TRACE_FILTER)
+    return logger
 
 
 def enable_console_logging(
@@ -57,6 +97,10 @@ def enable_console_logging(
     handler = logging.StreamHandler(stream)
     handler.setLevel(level)
     handler.setFormatter(logging.Formatter(_FORMAT))
+    # Handler-level safety net: records reaching this handler from a
+    # logger without the context filter still get a trace_id attribute
+    # before the formatter renders %(trace_id)s.
+    handler.addFilter(_TRACE_FILTER)
     root.addHandler(handler)
     root.setLevel(level)
     return handler

@@ -74,15 +74,21 @@ def load_metrics(path) -> dict:
     except json.JSONDecodeError:
         return _parse_prometheus(text)
     flat: dict = {}
-    for name, by_labels in document.items():
-        for labels, payload in by_labels.items():
-            key = name if labels == "_" else f"{name}{labels}"
-            if payload.get("type") == "histogram":
-                for stat, value in payload.items():
-                    if stat != "type":
-                        flat[f"{key}:{stat}"] = value
-            else:
-                flat[key] = payload.get("value", 0.0)
+    try:
+        for name, by_labels in document.items():
+            for labels, payload in by_labels.items():
+                key = name if labels == "_" else f"{name}{labels}"
+                if payload.get("type") == "histogram":
+                    for stat, value in payload.items():
+                        if stat != "type":
+                            flat[f"{key}:{stat}"] = value
+                else:
+                    flat[key] = payload.get("value", 0.0)
+    except (AttributeError, TypeError):
+        raise ValidationError(
+            f"{path}: unrecognized metrics format (expected the JSON "
+            "document written by --metrics-out)"
+        ) from None
     return flat
 
 

@@ -535,6 +535,12 @@ class InferenceMonitor:
         self.n_degraded = 0
         #: Requests answered by the static fallback (no member voted).
         self.n_fallback = 0
+        #: Per-imputer quality scorecards (count/degraded/confidence),
+        #: accumulated per served series; surfaced by HealthSnapshot.
+        self._imputer_cards: dict[str, dict] = {}
+        #: Per-cluster scorecards (count/degraded/NCC), populated only
+        #: when the engine carries a fit-time cluster atlas.
+        self._cluster_cards: dict[str, dict] = {}
         #: Members already announced through ``on_member_quarantined``.
         self._announced_quarantined: set[str] = set()
         if observer is not None:
@@ -592,6 +598,12 @@ class InferenceMonitor:
                 recommendations = engine._recommendations_from_proba(
                     proba, degraded=detail.degraded
                 )
+            # Provenance: one ledger "repair" row per series (a no-op
+            # pass-through unless a RepairLedger is installed); emitted
+            # inside the span so rows carry this request's trace id.
+            recommendations = engine.annotate_with_ledger(
+                series_list, recommendations, detail, source="monitor"
+            )
         elapsed = time.perf_counter() - start
 
         # -- degradation accounting --------------------------------------
@@ -641,6 +653,7 @@ class InferenceMonitor:
                 self.recommendation_mix[rec.algorithm] = (
                     self.recommendation_mix.get(rec.algorithm, 0) + 1
                 )
+        self._update_scorecards(series_list, recommendations)
 
         # -- metrics registry (no-op unless installed) --------------------
         metrics = get_metrics()
@@ -668,6 +681,66 @@ class InferenceMonitor:
         return recommendations
 
     # ------------------------------------------------------------------
+    def _update_scorecards(self, series_list, recommendations) -> None:
+        """Accumulate per-imputer (and, with an atlas, per-cluster) cards."""
+        atlas = getattr(self.engine, "cluster_atlas_", None)
+        assignments = None
+        if atlas is not None and len(atlas):
+            # NCC against a handful of representatives: cheap relative to
+            # feature extraction, and done outside the lock.
+            assignments = [
+                atlas.assign(np.asarray(s.values, dtype=float))
+                for s in series_list
+            ]
+        with self._mix_lock:
+            for idx, rec in enumerate(recommendations):
+                card = self._imputer_cards.setdefault(
+                    rec.algorithm,
+                    {"n": 0, "degraded": 0, "confidence_sum": 0.0},
+                )
+                card["n"] += 1
+                if rec.degraded:
+                    card["degraded"] += 1
+                card["confidence_sum"] += float(
+                    rec.probabilities.get(rec.algorithm, 0.0)
+                )
+                if assignments is None or assignments[idx] is None:
+                    continue
+                assignment = assignments[idx]
+                cluster = self._cluster_cards.setdefault(
+                    str(assignment["cluster"]),
+                    {"n": 0, "degraded": 0, "ncc_sum": 0.0},
+                )
+                cluster["n"] += 1
+                if rec.degraded:
+                    cluster["degraded"] += 1
+                cluster["ncc_sum"] += float(assignment["ncc"])
+
+    def scorecard_summary(self) -> dict:
+        """Aggregated per-imputer / per-cluster quality scorecards."""
+        with self._mix_lock:
+            per_imputer = {
+                name: {
+                    "n": card["n"],
+                    "degraded": card["degraded"],
+                    "mean_confidence": (
+                        card["confidence_sum"] / card["n"] if card["n"] else 0.0
+                    ),
+                }
+                for name, card in sorted(self._imputer_cards.items())
+            }
+            per_cluster = {
+                name: {
+                    "n": card["n"],
+                    "degraded": card["degraded"],
+                    "mean_ncc": (
+                        card["ncc_sum"] / card["n"] if card["n"] else 0.0
+                    ),
+                }
+                for name, card in sorted(self._cluster_cards.items())
+            }
+        return {"per_imputer": per_imputer, "per_cluster": per_cluster}
+
     @property
     def uptime(self) -> float:
         return time.time() - self.started_at
@@ -714,6 +787,7 @@ class HealthSnapshot:
     backends: dict
     alerts: dict = field(default_factory=dict)
     resilience: dict = field(default_factory=dict)
+    scorecards: dict = field(default_factory=dict)
 
     @classmethod
     def collect(
@@ -796,6 +870,7 @@ class HealthSnapshot:
                 "quarantined_members": len(quarantined),
             },
             resilience=resilience,
+            scorecards=monitor.scorecard_summary(),
         )
 
     def as_dict(self) -> dict:
@@ -814,6 +889,7 @@ class HealthSnapshot:
             "backends": self.backends,
             "alerts": self.alerts,
             "resilience": self.resilience,
+            "scorecards": self.scorecards,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -900,6 +976,34 @@ class HealthSnapshot:
                     "Process-wide resilience events",
                     labels={"event": key},
                 ).inc(value)
+        for name, card in self.scorecards.get("per_imputer", {}).items():
+            labels = {"algorithm": name}
+            registry.counter(
+                "repro_serving_imputer_series_total",
+                "Series repaired per imputer", labels=labels,
+            ).inc(card.get("n", 0))
+            registry.counter(
+                "repro_serving_imputer_degraded_total",
+                "Degraded recommendations per imputer", labels=labels,
+            ).inc(card.get("degraded", 0))
+            registry.gauge(
+                "repro_serving_imputer_confidence_mean",
+                "Mean soft-vote confidence per imputer", labels=labels,
+            ).set(card.get("mean_confidence", 0.0))
+        for name, card in self.scorecards.get("per_cluster", {}).items():
+            labels = {"cluster": name}
+            registry.counter(
+                "repro_serving_cluster_series_total",
+                "Series assigned per fit-time cluster", labels=labels,
+            ).inc(card.get("n", 0))
+            registry.counter(
+                "repro_serving_cluster_degraded_total",
+                "Degraded recommendations per cluster", labels=labels,
+            ).inc(card.get("degraded", 0))
+            registry.gauge(
+                "repro_serving_cluster_ncc_mean",
+                "Mean NCC to the cluster representative", labels=labels,
+            ).set(card.get("mean_ncc", 0.0))
         return registry.to_prometheus()
 
     def export(self, path):

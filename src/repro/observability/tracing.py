@@ -29,6 +29,7 @@ import os
 import pathlib
 import threading
 import time
+import uuid
 
 
 class Span:
@@ -145,6 +146,10 @@ class NullTracer:
         """Return the shared no-op span; ``name``/``tags`` are ignored."""
         return NULL_SPAN
 
+    def current_trace_id(self) -> str | None:
+        """A null tracer carries no trace context."""
+        return None
+
     def finished_spans(self) -> list[Span]:
         """A null tracer never records anything."""
         return []
@@ -170,6 +175,9 @@ class Tracer:
 
     def __init__(self, name: str = "repro"):
         self.name = str(name)
+        #: Stable id of this tracer instance; prefixes every trace id so
+        #: correlation keys from different processes/runs never collide.
+        self.trace_id = uuid.uuid4().hex[:12]
         self._lock = threading.Lock()
         self._finished: list[Span] = []
         self._local = threading.local()
@@ -198,6 +206,19 @@ class Tracer:
         """The innermost open span of the calling thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def current_trace_id(self) -> str | None:
+        """Correlation key of the calling thread's active trace.
+
+        ``<tracer id>:<root span id>`` while a span is open (every nested
+        span of one top-level operation shares it), ``None`` otherwise.
+        Ledger rows and log records embed this key so spans, logs, and
+        repair provenance can be joined after the fact.
+        """
+        stack = self._stack()
+        if not stack:
+            return None
+        return f"{self.trace_id}:{stack[0].span_id}"
 
     def finished_spans(self) -> list[Span]:
         """Snapshot of the finished spans, in completion order."""

@@ -44,6 +44,12 @@ class TestCsvIO:
         with pytest.raises(ValidationError):
             read_series_csv(path)
 
+    def test_malformed_value_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,2.0\n3.0,oops,5.0\n")
+        with pytest.raises(ValidationError, match="line 2"):
+            read_series_csv(path)
+
 
 class TestParser:
     def test_all_commands_registered(self):
@@ -257,6 +263,14 @@ class TestServingCommands:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_monitor_malformed_metrics_input_errors(self, tmp_path, capsys):
+        from repro.observability.report import load_metrics
+
+        bad = tmp_path / "metrics.json"
+        bad.write_text('[1, 2, 3]')
+        with pytest.raises(ValidationError, match="unrecognized metrics"):
+            load_metrics(bad)
+
     def test_profile_writes_collapsed_stacks(
         self, serving_artifacts, tmp_path, capsys
     ):
@@ -279,3 +293,147 @@ class TestServingCommands:
         assert counts, "profiler collected no samples"
         assert any("repro" in stack for stack in counts)
         assert "samples" in capsys.readouterr().out
+
+
+class TestLedgerParser:
+    def test_audit_and_explain_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["audit", "--ledger", "l.jsonl", "--summary"])
+        assert callable(args.func)
+        assert args.summary is True
+        args = parser.parse_args(
+            [
+                "audit", "--ledger", "l.jsonl", "--kind", "repair",
+                "--algorithm", "linear", "--degraded-only", "--tail", "5",
+            ]
+        )
+        assert args.kind == "repair"
+        assert args.tail == 5
+        args = parser.parse_args(
+            ["explain", "rep_abc", "--ledger", "l.jsonl", "--engine", "e.json"]
+        )
+        assert callable(args.func)
+        assert args.repair_id == "rep_abc"
+
+    def test_audit_kind_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["audit", "--ledger", "l.jsonl", "--kind", "bogus"]
+            )
+
+    def test_repair_accepts_ledger_out(self):
+        args = build_parser().parse_args(
+            [
+                "repair", "--engine", "e.json", "--data", "d.csv",
+                "--out", "o.csv", "--ledger-out", "l.jsonl",
+            ]
+        )
+        assert args.ledger_out == "l.jsonl"
+
+
+@pytest.fixture(scope="module")
+def ledgered_repair(serving_artifacts, tmp_path_factory):
+    """Run ``repro repair --ledger-out`` once; share the resulting ledger."""
+    engine_path, data_path = serving_artifacts
+    root = tmp_path_factory.mktemp("ledgered")
+    faulty_path = root / "faulty.csv"
+    t = np.linspace(0, 4 * np.pi, 96)
+    values = np.sin(t)
+    values[30:50] = np.nan
+    write_series_csv(faulty_path, [TimeSeries(values, name="gap")])
+    ledger_path = root / "ledger.jsonl"
+    code = main(
+        [
+            "repair",
+            "--engine", str(engine_path),
+            "--data", str(faulty_path),
+            "--out", str(root / "repaired.csv"),
+            "--ledger-out", str(ledger_path),
+        ]
+    )
+    assert code == 0
+    return engine_path, ledger_path
+
+
+class TestLedgerCommands:
+    def test_repair_writes_ledger(self, ledgered_repair):
+        import json
+
+        _engine_path, ledger_path = ledgered_repair
+        rows = [
+            json.loads(line)
+            for line in ledger_path.read_text().splitlines()
+        ]
+        kinds = {row["kind"] for row in rows}
+        assert "repair" in kinds
+        assert "impute" in kinds
+
+    def test_audit_summary(self, ledgered_repair, capsys):
+        _engine_path, ledger_path = ledgered_repair
+        assert main(["audit", "--ledger", str(ledger_path), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "repair ledger summary" in out
+        assert "per-imputer scorecard" in out
+
+    def test_audit_line_and_json_modes(self, ledgered_repair, capsys):
+        import json
+
+        _engine_path, ledger_path = ledgered_repair
+        assert main(["audit", "--ledger", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repair" in out
+        assert (
+            main(
+                [
+                    "audit", "--ledger", str(ledger_path),
+                    "--kind", "repair", "--json",
+                ]
+            )
+            == 0
+        )
+        rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert rows and all(r["kind"] == "repair" for r in rows)
+
+    def test_explain_reconstructs_repair(
+        self, ledgered_repair, capsys
+    ):
+        import json
+
+        engine_path, ledger_path = ledgered_repair
+        rows = [
+            json.loads(line)
+            for line in ledger_path.read_text().splitlines()
+        ]
+        repair_id = next(r["id"] for r in rows if r["kind"] == "repair")
+        code = main(
+            [
+                "explain", repair_id,
+                "--ledger", str(ledger_path),
+                "--engine", str(engine_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert repair_id in out
+        assert "decision" in out
+
+    def test_audit_missing_ledger_errors(self, tmp_path, capsys):
+        code = main(["audit", "--ledger", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_audit_malformed_ledger_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        code = main(["audit", "--ledger", str(bad)])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_explain_unknown_id_errors(self, ledgered_repair, capsys):
+        _engine_path, ledger_path = ledgered_repair
+        code = main(["explain", "rep_nope", "--ledger", str(ledger_path)])
+        assert code == 2
+        assert "no repair record" in capsys.readouterr().err

@@ -133,3 +133,78 @@ class TestFeatureBaselinePersistence:
         assert np.allclose(
             restored.feature_baseline_.std, engine.feature_baseline_.std
         )
+
+
+class TestLedgerHeadPersistence:
+    @pytest.fixture(scope="class")
+    def ledgered(self, labeled_features):
+        from repro.observability import RepairLedger, use_ledger
+
+        X, y = labeled_features
+        engine = ADarts(**FAST)
+        with use_ledger(RepairLedger()):
+            engine.fit_features(X, y)
+        return engine
+
+    def test_head_round_trips(self, ledgered):
+        restored = import_engine(export_engine(ledgered))
+        assert restored.ledger_head_ is not None
+        assert restored.ledger_head_["fit_id"] == ledgered.ledger_head_["fit_id"]
+        kinds = {r["kind"] for r in restored.ledger_head_["records"]}
+        assert {"fit", "race"} <= kinds
+
+    def test_head_document_is_json_safe(self, ledgered):
+        text = json.dumps(export_engine(ledgered))
+        assert json.loads(text)["ledger_head"]["fit_id"].startswith("fit")
+
+    def test_head_records_schema_upgraded_on_import(self, ledgered):
+        from repro.observability import LEDGER_SCHEMA_VERSION
+
+        document = export_engine(ledgered)
+        # Simulate a head written by the v1 prototype: flat payload + epoch ts.
+        old = dict(document["ledger_head"]["records"][0])
+        old.pop("schema")
+        old.update(old.pop("data"))
+        old["ts"] = 1700000000.0
+        old.pop("time", None)
+        document["ledger_head"]["records"][0] = old
+        restored = import_engine(document)
+        first = restored.ledger_head_["records"][0]
+        assert first["schema"] == LEDGER_SCHEMA_VERSION
+        assert "data" in first
+
+    def test_engine_without_head_still_imports(self, trained):
+        engine, X, _ = trained
+        document = export_engine(engine)
+        document.pop("ledger_head", None)
+        document.pop("cluster_atlas", None)
+        restored = import_engine(document)
+        assert restored.ledger_head_ is None
+        assert restored.cluster_atlas_ is None
+        assert (engine.predict(X) == restored.predict(X)).all()
+
+
+class TestMalformedDocuments:
+    def test_non_dict_document_rejected(self):
+        with pytest.raises(ValidationError):
+            import_engine([1, 2, 3])
+
+    def test_missing_required_key_rejected(self, trained):
+        engine, _, _ = trained
+        document = export_engine(engine)
+        document.pop("extractor")
+        with pytest.raises(ValidationError, match="missing required key"):
+            import_engine(document)
+
+    def test_malformed_section_rejected(self, trained):
+        engine, _, _ = trained
+        document = export_engine(engine)
+        document["extractor"] = "not a mapping"
+        with pytest.raises(ValidationError):
+            import_engine(document)
+
+    def test_invalid_json_file_rejected(self, tmp_path):
+        path = tmp_path / "engine.json"
+        path.write_text("{ this is not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_engine(path)

@@ -9,20 +9,28 @@ both JSON and Prometheus forms.
 
 When ``REPRO_HEALTH_SNAPSHOT_OUT`` is set (CI does this), the final
 health snapshot is also written there so the workflow can upload it as
-an artifact.
+an artifact; ``REPRO_LEDGER_OUT`` does the same for the serving-time
+repair provenance ledger.
 """
 
 import json
 import os
 import pathlib
+import shutil
 
 import numpy as np
 import pytest
 
 from repro import ADarts, ModelRaceConfig, TimeSeries
 from repro.observability import (
+    ClusterAtlas,
     InferenceMonitor,
     RecordingServingObserver,
+    RepairLedger,
+    Tracer,
+    read_ledger,
+    use_ledger,
+    use_tracer,
 )
 from repro.pipeline.scoring import ScoreWeights
 
@@ -182,6 +190,78 @@ class TestServingEndToEnd:
                 sorted(a.probabilities.values()),
                 sorted(b.probabilities.values()),
             )
+
+    def test_ledger_and_scorecards_during_serving(
+        self, trained_engine, tmp_path
+    ):
+        engine, corpus = trained_engine
+        # fit_features has no clustering phase, so register the two
+        # training families as atlas representatives by hand.
+        t = np.linspace(0, 4 * np.pi, LENGTH)
+        atlas = ClusterAtlas()
+        atlas.add("corpus:c0", "linear", np.sin(t))
+        atlas.add(
+            "corpus:c1",
+            "mean",
+            np.mean([s.values for s in corpus[20:]], axis=0),
+        )
+        engine.cluster_atlas_ = atlas
+
+        ledger_path = tmp_path / "serving_ledger.jsonl"
+        ledger = RepairLedger(ledger_path)
+        monitor = InferenceMonitor(engine, drift_min_samples=8)
+        rng = np.random.default_rng(7)
+        live = _in_distribution_series(rng, 24, corpus)
+        with use_tracer(Tracer()), use_ledger(ledger):
+            recommendations = monitor.recommend_many(live)
+        ledger.close()
+
+        # Every served series produced a repair row with full lineage.
+        rows = read_ledger(ledger_path)
+        repairs = [r for r in rows if r["kind"] == "repair"]
+        assert len(repairs) == 24
+        assert all(r["data"]["source"] == "monitor" for r in repairs)
+        assert all(r["trace_id"] for r in repairs), (
+            "monitor spans must stamp trace ids onto ledger rows"
+        )
+        assert all(r["data"]["cluster"]["cluster"] for r in repairs)
+        assert all(rec.repair_id for rec in recommendations)
+
+        # Scorecards accumulate per imputer and per cluster.
+        cards = monitor.scorecard_summary()
+        assert set(cards["per_imputer"]) <= {"linear", "mean"}
+        assert sum(c["n"] for c in cards["per_imputer"].values()) == 24
+        for card in cards["per_imputer"].values():
+            assert 0.0 < card["mean_confidence"] <= 1.0
+        assert cards["per_cluster"]
+        assert sum(c["n"] for c in cards["per_cluster"].values()) == 24
+        for card in cards["per_cluster"].values():
+            assert -1.0 <= card["mean_ncc"] <= 1.0
+
+        # Both health-document renderings surface the scorecards.
+        snapshot = monitor.snapshot()
+        document = snapshot.as_dict()
+        assert document["scorecards"]["per_imputer"] == cards["per_imputer"]
+        prometheus = snapshot.to_prometheus()
+        assert "repro_serving_imputer_series_total" in prometheus
+        assert "repro_serving_imputer_confidence_mean" in prometheus
+        assert "repro_serving_cluster_ncc_mean" in prometheus
+
+        # -- CI artifact hook ----------------------------------------------
+        out = os.environ.get("REPRO_LEDGER_OUT")
+        if out:
+            shutil.copyfile(ledger_path, pathlib.Path(out))
+
+    def test_serving_without_ledger_unchanged(self, trained_engine):
+        engine, corpus = trained_engine
+        rng = np.random.default_rng(13)
+        series = _in_distribution_series(rng, 6, corpus)
+        monitor = InferenceMonitor(engine)
+        recommendations = monitor.recommend_many(series)
+        # No ledger installed: no repair ids, but scorecards still work.
+        assert all(rec.repair_id is None for rec in recommendations)
+        cards = monitor.scorecard_summary()
+        assert sum(c["n"] for c in cards["per_imputer"].values()) == 6
 
     def test_baseline_survives_save_load(self, trained_engine, tmp_path):
         from repro.core.serialization import load_engine, save_engine
