@@ -220,11 +220,9 @@ def _cmd_repair(args) -> int:
     if parallel is not None:
         engine.extractor.parallel = parallel
     series_list = read_series_csv(args.data)
-    repaired = []
-    for series, rec in zip(series_list, engine.recommend_many(series_list)):
-        repaired.append(
-            rec.impute(series) if series.has_missing else series
-        )
+    recommendations = engine.recommend_many(series_list)
+    repaired = engine.repair_many(series_list, recommendations)
+    for series, rec in zip(series_list, recommendations):
         print(f"{series.name}\t{rec.algorithm}", file=sys.stderr)
     write_series_csv(args.out, repaired)
     print(f"wrote {len(repaired)} repaired series to {args.out}", file=sys.stderr)

@@ -546,6 +546,46 @@ class ADarts:
         """One-call repair: recommend, impute, return the completed series."""
         return self.recommend(series).impute(series)
 
+    def repair_many(
+        self, series_list, recommendations: list | None = None
+    ) -> list[TimeSeries]:
+        """Batched repair: recommend once, impute per-algorithm in batches.
+
+        Series sharing a recommended algorithm are grouped and pushed
+        through that imputer's :meth:`~repro.imputation.base.BaseImputer.
+        impute_series_many` (one batched kernel call per algorithm for the
+        vectorized imputers), with each repair's ledger rows correlated to
+        its recommendation's ``repair_id``.  Results come back in input
+        order; series with nothing missing are returned as-is, exactly
+        like the per-series ``rec.impute`` path.
+
+        Pass ``recommendations`` (aligned with ``series_list``) to reuse
+        an earlier :meth:`recommend_many` call.
+        """
+        series_list = list(series_list)
+        if recommendations is None:
+            recommendations = self.recommend_many(series_list)
+        if len(recommendations) != len(series_list):
+            raise ValidationError(
+                f"{len(recommendations)} recommendations for "
+                f"{len(series_list)} series"
+            )
+        out: list[TimeSeries | None] = [None] * len(series_list)
+        groups: dict[str, list[int]] = {}
+        for i, (series, rec) in enumerate(zip(series_list, recommendations)):
+            if series.has_missing:
+                groups.setdefault(rec.algorithm, []).append(i)
+            else:
+                out[i] = series
+        for algorithm, indices in groups.items():
+            repaired = get_imputer(algorithm).impute_series_many(
+                [series_list[i] for i in indices],
+                repair_ids=[recommendations[i].repair_id for i in indices],
+            )
+            for i, series in zip(indices, repaired):
+                out[i] = series
+        return out
+
     # ------------------------------------------------------------------
     # Evaluation helpers
     # ------------------------------------------------------------------

@@ -32,12 +32,16 @@ from repro.observability import get_metrics, get_tracer
 from repro.parallel import ExecutionEngine, FeatureCache, ParallelConfig
 from repro.features.statistical import (
     STATISTICAL_FEATURE_NAMES,
+    _prepare,
     statistical_features,
+    statistical_features_block,
 )
 from repro.features.topological import (
     TOPOLOGICAL_FEATURE_NAMES,
     topological_features,
+    topological_features_block,
 )
+from repro.timeseries.batch import SeriesBank
 from repro.timeseries.series import TimeSeries
 
 
@@ -50,6 +54,17 @@ def _worker_extractor(config: tuple) -> "FeatureExtractor":
 def _extract_worker(values: np.ndarray, *, config: tuple) -> np.ndarray:
     """Extract one series from its raw value array (picklable worker)."""
     return _worker_extractor(config).extract(values)
+
+
+def _extract_row_worker(index: int, *, config: tuple, matrix: np.ndarray) -> np.ndarray:
+    """Extract one row of a shared corpus matrix (picklable worker).
+
+    ``matrix`` is bound by ``ExecutionEngine.map(shared=...)`` — passed
+    directly on the serial/thread backends, attached zero-copy from a
+    shared-memory segment on the process backend — so each task pickles
+    only the integer row index instead of the row data.
+    """
+    return _worker_extractor(config).extract(matrix[index])
 
 
 class FeatureExtractor:
@@ -74,6 +89,11 @@ class FeatureExtractor:
     cache:
         Optional :class:`~repro.parallel.FeatureCache`; series content
         hashes are looked up before extraction and stored after.
+    compute_dtype:
+        Dtype of the *blockwise* kernels (``"float64"`` default, or
+        ``"float32"``).  Float32 halves the block working set at a small
+        accuracy cost; feature vectors are always accumulated and
+        returned as float64.  The scalar per-series path is unaffected.
 
     At least one family must be enabled.  Feature order is stable across
     calls, exposed via :attr:`feature_names`.
@@ -88,9 +108,14 @@ class FeatureExtractor:
         embedding_delay: int = 2,
         parallel: ParallelConfig | None = None,
         cache: FeatureCache | None = None,
+        compute_dtype: str = "float64",
     ):
         if not (use_statistical or use_topological or use_missing_pattern):
             raise ValidationError("at least one feature family must be enabled")
+        if compute_dtype not in ("float64", "float32"):
+            raise ValidationError(
+                f"compute_dtype must be 'float64' or 'float32', got {compute_dtype!r}"
+            )
         self.use_statistical = bool(use_statistical)
         self.use_topological = bool(use_topological)
         self.use_missing_pattern = bool(use_missing_pattern)
@@ -98,6 +123,7 @@ class FeatureExtractor:
         self.embedding_delay = int(embedding_delay)
         self.parallel = parallel
         self.cache = cache
+        self.compute_dtype = compute_dtype
         names: list[str] = []
         if self.use_statistical:
             names.extend(STATISTICAL_FEATURE_NAMES)
@@ -127,7 +153,7 @@ class FeatureExtractor:
         vectors for identical input, so cached vectors are shareable
         across instances (and across processes via a disk-backed cache).
         """
-        return (
+        base = (
             "fx1",  # bump when extraction semantics change
             self.use_statistical,
             self.use_topological,
@@ -135,6 +161,11 @@ class FeatureExtractor:
             self.embedding_dimension,
             self.embedding_delay,
         )
+        # Only non-default compute dtypes extend the key, so historical
+        # float64 cache entries stay valid.
+        if self.compute_dtype != "float64":
+            return base + (("compute_dtype", self.compute_dtype),)
+        return base
 
     def _worker_config(self) -> tuple:
         """Hashable kwargs for reconstructing this extractor in workers."""
@@ -144,6 +175,7 @@ class FeatureExtractor:
             ("use_missing_pattern", self.use_missing_pattern),
             ("embedding_dimension", self.embedding_dimension),
             ("embedding_delay", self.embedding_delay),
+            ("compute_dtype", self.compute_dtype),
         )
 
     def extract(self, series) -> np.ndarray:
@@ -189,31 +221,103 @@ class FeatureExtractor:
         vector = np.array([feats[name] for name in self._names], dtype=float)
         return np.nan_to_num(vector, nan=0.0, posinf=0.0, neginf=0.0)
 
-    def extract_many(self, series_list) -> np.ndarray:
+    def extract_block(
+        self, matrix, *, bank: SeriesBank | None = None
+    ) -> np.ndarray:
+        """Feature matrix of pre-stacked equal-length rows via block kernels.
+
+        ``matrix`` is an ``(n_series, length)`` NaN-free float matrix (rows
+        already interpolated — a :attr:`SeriesBank.raw` qualifies).  Every
+        feature is computed as a column-wise reduction over the whole
+        stack, matching per-row :meth:`extract` to ~1e-9 (exactly, for the
+        topological block).  Pass ``bank`` to memoize reusable derived
+        arrays (the detrended periodogram) in the bank's :meth:`cached
+        <repro.timeseries.batch.SeriesBank.cached>` store across repeated
+        extractions.
+
+        Blocks run in :attr:`compute_dtype`; the returned matrix is always
+        float64.  Missing-pattern features need per-series NaN masks and
+        are not supported here.
+        """
+        if self.use_missing_pattern:
+            raise ValidationError(
+                "missing-pattern features need per-series NaN masks; "
+                "block extraction covers statistical/topological only"
+            )
+        X = np.ascontiguousarray(matrix, dtype=np.dtype(self.compute_dtype))
+        metrics = get_metrics()
+        cols: dict[str, np.ndarray] = {}
+        if self.use_statistical:
+            with metrics.histogram(
+                "repro_features_block_seconds",
+                "Per-feature-block extraction wall seconds",
+                labels={"block": "statistical"},
+            ).time():
+                cols.update(
+                    statistical_features_block(
+                        X, cache=bank.cached if bank is not None else None
+                    )
+                )
+        if self.use_topological:
+            with metrics.histogram(
+                "repro_features_block_seconds",
+                "Per-feature-block extraction wall seconds",
+                labels={"block": "topological"},
+            ).time():
+                cols.update(
+                    topological_features_block(
+                        X,
+                        dimension=self.embedding_dimension,
+                        delay=self.embedding_delay,
+                    )
+                )
+        out = np.empty((X.shape[0], self.n_features), dtype=float)
+        for col_idx, name in enumerate(self._names):
+            out[:, col_idx] = cols[name]
+        return np.nan_to_num(out, nan=0.0, posinf=0.0, neginf=0.0)
+
+    def extract_many(self, series_list, *, batched: bool = False) -> np.ndarray:
         """Extract a feature matrix (n_series, n_features).
+
+        ``series_list`` may also be a prepared
+        :class:`~repro.timeseries.batch.SeriesBank`, in which case the
+        blockwise kernels run over its (already cleaned, truncated) rows
+        and derived arrays are memoized on the bank.  For a plain list,
+        ``batched=True`` groups equal-length series and pushes each group
+        through :meth:`extract_block` (ignored when missing-pattern
+        features are enabled, which need per-series handling).
 
         With a :attr:`cache`, every series is first looked up by content
         hash and duplicate series within the batch are extracted only
         once.  With a :attr:`parallel` config, the remaining extractions
         fan out across an :class:`~repro.parallel.ExecutionEngine`.  Row
         order always matches ``series_list``, and the produced vectors
-        are bit-identical to the serial, uncached path.
+        are bit-identical to the serial, uncached path (to ~1e-9 on the
+        blockwise paths).
         """
-        if not len(series_list):
+        bank = series_list if isinstance(series_list, SeriesBank) else None
+        n_series = bank.n if bank is not None else len(series_list)
+        if not n_series:
             raise ValidationError("series_list is empty")
         tracer = get_tracer()
         metrics = get_metrics()
         span = tracer.span(
             "features.extract_many",
             subsystem="features",
-            n_series=len(series_list),
+            n_series=n_series,
             n_features=self.n_features,
         )
         with span, metrics.histogram(
             "repro_features_extract_many_seconds",
             "Wall seconds per extract_many batch",
         ).time():
-            if self.cache is None and self.parallel is None:
+            if bank is not None:
+                span.set_tag("mode", "bank")
+                matrix = self.extract_block(bank.raw, bank=bank)
+            elif batched and not self.use_missing_pattern:
+                span.set_tag("mode", "batched")
+                matrix = self._extract_block_grouped(series_list, span)
+            elif self.cache is None and self.parallel is None:
                 # Historical serial path, byte-for-byte.
                 matrix = np.vstack([self.extract(s) for s in series_list])
             else:
@@ -221,8 +325,27 @@ class FeatureExtractor:
         metrics.counter(
             "repro_features_series_total",
             "Series pushed through feature extraction",
-        ).inc(len(series_list))
+        ).inc(n_series)
         return matrix
+
+    def _extract_block_grouped(self, series_list, span) -> np.ndarray:
+        """Blockwise extraction of a heterogeneous list, grouped by length."""
+        arrays = [_prepare(s) for s in series_list]
+        groups: dict[int, list[int]] = {}
+        for i, arr in enumerate(arrays):
+            groups.setdefault(arr.shape[0], []).append(i)
+        out = np.empty((len(arrays), self.n_features), dtype=float)
+        for indices in groups.values():
+            stacked = np.vstack([arrays[i] for i in indices])
+            if np.isfinite(stacked).all():
+                out[indices] = self.extract_block(stacked)
+            else:
+                # Non-finite rows (inf survives interpolation) keep the
+                # scalar path, whose _finite guards define the semantics.
+                for i in indices:
+                    out[i] = self.extract(arrays[i])
+        span.set_tag("block_groups", len(groups))
+        return out
 
     def _extract_many_accelerated(self, series_list, span) -> np.ndarray:
         """Cache-deduplicated, optionally parallel batch extraction."""
@@ -251,15 +374,28 @@ class FeatureExtractor:
             work_indices = list(range(n))
         # 2) Extract the remaining unique series (possibly in parallel).
         if work_indices:
-            task = functools.partial(
-                _extract_worker, config=self._worker_config()
-            )
+            config = self._worker_config()
+            lengths = {arrays[i].shape[0] for i in work_indices}
             with ExecutionEngine(self.parallel) as engine:
-                vectors = engine.map(
-                    task,
-                    [arrays[i] for i in work_indices],
-                    label="features.extract_batch",
-                )
+                if self.parallel is not None and len(lengths) == 1 and len(work_indices) > 1:
+                    # Equal-length corpus: ship one shared matrix instead
+                    # of pickling every row (zero-copy on the process
+                    # backend via a shared-memory segment).
+                    stacked = np.ascontiguousarray(
+                        np.vstack([arrays[i] for i in work_indices])
+                    )
+                    vectors = engine.map(
+                        functools.partial(_extract_row_worker, config=config),
+                        list(range(len(work_indices))),
+                        label="features.extract_batch",
+                        shared={"matrix": stacked},
+                    )
+                else:
+                    vectors = engine.map(
+                        functools.partial(_extract_worker, config=config),
+                        [arrays[i] for i in work_indices],
+                        label="features.extract_batch",
+                    )
         else:
             vectors = []
         # 3) Assemble rows in input order; store fresh vectors.

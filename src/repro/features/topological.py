@@ -123,6 +123,30 @@ def _mst_edge_lengths(points: np.ndarray) -> np.ndarray:
     return np.sort(edges)
 
 
+def _sublevel_pairs(values: list, order: list) -> list[tuple[float, float]]:
+    """Finite (birth, death) pairs of the sublevel-set filtration.
+
+    ``values``/``order`` are plain Python lists (see :class:`_UnionFind` on
+    why): the per-element filtration loop is the sublevel hot spot and is
+    inherently sequential, so the block path runs it per row too.
+    """
+    n = len(values)
+    uf = _UnionFind(n)
+    active = [False] * n
+    birth = uf.birth
+    pairs: list[tuple[float, float]] = []
+    for idx in order:
+        value = values[idx]
+        birth[idx] = value
+        active[idx] = True
+        for nb in (idx - 1, idx + 1):
+            if 0 <= nb < n and active[nb]:
+                died = uf.union(idx, nb, value)
+                if died is not None and died[1] > died[0]:
+                    pairs.append(died)
+    return pairs
+
+
 def persistence_diagram(
     series,
     kind: str = "sublevel",
@@ -162,24 +186,10 @@ def persistence_diagram(
         return np.column_stack([np.zeros_like(deaths), deaths])
     if kind != "sublevel":
         raise ValidationError(f"kind must be 'sublevel' or 'rips', got {kind!r}")
-    n = x.shape[0]
     # Pre-convert to native Python ints/floats once: the filtration loop
-    # below indexes per element, where numpy scalar boxing dominates.
+    # indexes per element, where numpy scalar boxing dominates.
     order = np.argsort(x, kind="stable").tolist()
-    values = x.tolist()
-    uf = _UnionFind(n)
-    active = [False] * n
-    birth = uf.birth
-    pairs: list[tuple[float, float]] = []
-    for idx in order:
-        value = values[idx]
-        birth[idx] = value
-        active[idx] = True
-        for nb in (idx - 1, idx + 1):
-            if 0 <= nb < n and active[nb]:
-                died = uf.union(idx, nb, value)
-                if died is not None and died[1] > died[0]:
-                    pairs.append(died)
+    pairs = _sublevel_pairs(x.tolist(), order)
     if not pairs:
         return np.empty((0, 2))
     return np.asarray(pairs, dtype=float)
@@ -241,3 +251,139 @@ def topological_features(
 TOPOLOGICAL_FEATURE_NAMES: tuple[str, ...] = tuple(
     topological_features(np.sin(np.linspace(0, 12.56, 128))).keys()
 )
+
+
+# ---------------------------------------------------------------------------
+# Blockwise kernels over a stacked ``(n_series, length)`` matrix.  The Rips
+# side (delay embedding → pairwise distances → MST) batches fully: Prim's
+# algorithm runs in lockstep over a whole stack of distance matrices, so its
+# Python loop runs ``n_points`` times per *chunk* instead of per series.  The
+# sublevel filtration is inherently sequential and stays per-row.
+# ---------------------------------------------------------------------------
+
+#: Target size for one chunk of stacked distance matrices (bytes).
+_MST_CHUNK_BYTES = 32 * 1024 * 1024
+
+_DIAGRAM_STAT_KEYS = (
+    "count", "life_mean", "life_std", "life_max", "life_sum",
+    "life_q75", "entropy", "top_ratio",
+)
+
+
+def _mst_edge_lengths_block(sq: np.ndarray) -> np.ndarray:
+    """Lockstep Prim over a stack of squared-distance matrices.
+
+    ``sq`` has shape ``(batch, n, n)``; returns ``(batch, n - 1)`` sorted
+    edge lengths, each row identical to ``_mst_edge_lengths`` on the
+    corresponding point set (argmin tie-breaking included).
+    """
+    batch, n = sq.shape[0], sq.shape[1]
+    if n < 2:
+        return np.empty((batch, 0))
+    rows = np.arange(batch)
+    in_tree = np.zeros((batch, n), dtype=bool)
+    in_tree[:, 0] = True
+    best = sq[:, 0, :].copy()
+    edges = np.empty((batch, n - 1))
+    for k in range(n - 1):
+        best_masked = np.where(in_tree, np.inf, best)
+        j = np.argmin(best_masked, axis=1)
+        edges[:, k] = np.sqrt(best_masked[rows, j])
+        in_tree[rows, j] = True
+        best = np.minimum(best, sq[rows, j])
+    return np.sort(edges, axis=1)
+
+
+def _diagram_stats_block(lifetimes: np.ndarray, prefix: str) -> dict[str, np.ndarray]:
+    """Vectorized :func:`_diagram_stats` for fixed-size (Rips) diagrams.
+
+    ``lifetimes`` has shape ``(n_series, n_pairs)`` — every row has the same
+    pair count, true of Rips diagrams (always ``n_points - 1`` MST edges).
+    """
+    n_rows, n_pairs = lifetimes.shape
+    if n_pairs == 0:
+        return {f"{prefix}_{k}": np.zeros(n_rows) for k in _DIAGRAM_STAT_KEYS}
+    total = lifetimes.sum(axis=1)
+    entropy = np.zeros(n_rows)
+    top_ratio = np.zeros(n_rows)
+    ok = total > 0
+    if ok.any():
+        p = lifetimes[ok] / total[ok, None]
+        entropy[ok] = -(p * np.log(p + 1e-15)).sum(axis=1) / np.log(max(2, n_pairs))
+        top_ratio[ok] = lifetimes[ok].max(axis=1) / total[ok]
+    return {
+        f"{prefix}_count": np.full(n_rows, np.log1p(n_pairs)),
+        f"{prefix}_life_mean": lifetimes.mean(axis=1),
+        f"{prefix}_life_std": lifetimes.std(axis=1),
+        f"{prefix}_life_max": lifetimes.max(axis=1),
+        f"{prefix}_life_sum": np.log1p(total),
+        f"{prefix}_life_q75": np.percentile(lifetimes, 75, axis=1),
+        f"{prefix}_entropy": entropy,
+        f"{prefix}_top_ratio": top_ratio,
+    }
+
+
+def topological_features_block(
+    matrix,
+    *,
+    dimension: int = 3,
+    delay: int = 2,
+    max_points: int = 128,
+) -> dict[str, np.ndarray]:
+    """All 16 topological features over a stack of equal-length rows.
+
+    ``matrix`` is ``(n_series, length)`` with no NaNs.  Returns ``{name:
+    (n_series,) float64 array}`` in :data:`TOPOLOGICAL_FEATURE_NAMES` order;
+    each column matches the scalar :func:`topological_features` on the
+    corresponding row.
+    """
+    X = np.asarray(matrix)
+    if X.ndim != 2 or X.shape[0] == 0 or X.shape[1] == 0:
+        raise ValidationError(
+            "topological_features_block expects a non-empty 2-D matrix"
+        )
+    if X.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        X = X.astype(np.float64)
+    if not np.isfinite(X).all():
+        raise ValidationError(
+            "topological_features_block expects finite rows; interpolate first"
+        )
+    n_rows, length = X.shape
+    stds = X.std(axis=1)
+    znorm = np.where(
+        (stds > 0)[:, None],
+        (X - X.mean(axis=1, keepdims=True)) / np.where(stds > 0, stds, 1.0)[:, None],
+        X,
+    )
+    # Sublevel filtration: batch the stable argsort, pair per row.
+    orders = np.argsort(znorm, axis=1, kind="stable")
+    sub_cols: dict[str, np.ndarray] = {
+        f"topo_sub_{k}": np.zeros(n_rows) for k in _DIAGRAM_STAT_KEYS
+    }
+    for i in range(n_rows):
+        pairs = _sublevel_pairs(znorm[i].tolist(), orders[i].tolist())
+        diagram = np.asarray(pairs, dtype=float) if pairs else np.empty((0, 2))
+        for key, value in _diagram_stats(diagram, "topo_sub").items():
+            sub_cols[key][i] = value
+    feats = sub_cols
+    # Rips diagrams: batched embedding, chunked distance stacks, lockstep MST.
+    n_vectors = length - (dimension - 1) * delay
+    if n_vectors < 2:
+        feats.update(
+            {f"topo_rips_{k}": np.zeros(n_rows) for k in _DIAGRAM_STAT_KEYS}
+        )
+        return feats
+    embed_idx = np.arange(n_vectors)[:, None] + delay * np.arange(dimension)[None, :]
+    cloud = znorm[:, embed_idx]
+    if n_vectors > max_points:
+        step = n_vectors / max_points
+        cloud = cloud[:, (step * np.arange(max_points)).astype(int)]
+    n_points = cloud.shape[1]
+    chunk = max(1, _MST_CHUNK_BYTES // (n_points * n_points * (dimension + 1) * 8))
+    edges = np.empty((n_rows, n_points - 1))
+    for start in range(0, n_rows, chunk):
+        part = cloud[start : start + chunk]
+        sq = ((part[:, :, None, :] - part[:, None, :, :]) ** 2).sum(axis=3)
+        edges[start : start + chunk] = _mst_edge_lengths_block(sq)
+    feats.update(_diagram_stats_block(edges, "topo_rips"))
+    return feats

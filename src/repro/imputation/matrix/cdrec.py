@@ -13,7 +13,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.imputation.base import BaseImputer, interpolate_rows, register_imputer
+from repro.imputation.base import (
+    BaseImputer,
+    interpolate_rows,
+    interpolate_rows_block,
+    register_imputer,
+)
+from repro.imputation.matrix._kernels import ActiveStack
 
 
 def _sign_vector(X: np.ndarray, max_passes: int = 100) -> np.ndarray:
@@ -109,3 +115,35 @@ class CDRecImputer(BaseImputer):
             prev = new
         self._record_convergence(n_iter, converged)
         return current
+
+    def _impute_block(self, X3: np.ndarray, mask3: np.ndarray) -> np.ndarray:
+        B, n, L = X3.shape
+        if n != 1:
+            # The greedy sign-vector search is sequential per matrix;
+            # multi-series problems keep the scalar loop.
+            return super()._impute_block(X3, mask3)
+        # Single-series problems: the sign vector of a 1-row matrix is
+        # always [1] (a flip never improves ||X^T z||), so the centroid
+        # decomposition degenerates to the rank-1 pair
+        # r = row/||row||, l = row @ r — vectorizable across the stack.
+        cur3 = interpolate_rows_block(X3, mask3)
+        state = ActiveStack(cur3, mask3, self.tol)
+        for it in range(1, self.max_iter + 1):
+            if not state.alive:
+                break
+            rows = state.cur[:, 0, :]
+            norms = np.linalg.norm(rows, axis=1)
+            live = norms >= 1e-12  # scalar loop's deflation break
+            safe = np.maximum(norms, 1e-300)
+            r = rows / safe[:, None]
+            loading = np.einsum("al,al->a", rows, r)
+            approx = np.where(
+                live[:, None], loading[:, None] * r, 0.0
+            )
+            state.advance(
+                np.where(state.mask, approx[:, None, :], state.cur), it
+            )
+        result = state.finalize()
+        for b in range(B):
+            self._record_convergence(state.iters[b], state.converged[b])
+        return result

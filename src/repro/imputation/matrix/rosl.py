@@ -13,7 +13,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.imputation.base import BaseImputer, interpolate_rows, register_imputer
+from repro.imputation.base import (
+    BaseImputer,
+    interpolate_rows,
+    interpolate_rows_block,
+    register_imputer,
+)
+from repro.imputation.matrix._kernels import (
+    ActiveStack,
+    reconstruct_truncated,
+    svd_block,
+)
 
 
 def _soft(arr: np.ndarray, threshold: float) -> np.ndarray:
@@ -79,3 +89,29 @@ class ROSLImputer(BaseImputer):
                 break
             prev = new
         return current
+
+    def _impute_block(self, X3: np.ndarray, mask3: np.ndarray) -> np.ndarray:
+        B, n, L = X3.shape
+        cur3 = interpolate_rows_block(X3, mask3)
+        rank = self.rank if self.rank is not None else max(1, n // 3)
+        rank = min(rank, min(n, L))
+        E = np.zeros_like(cur3)
+        state = ActiveStack(cur3, mask3, self.tol)
+        for it in range(1, self.max_iter + 1):
+            if not state.alive:
+                break
+            U, s, Vt = svd_block(state.cur - E)
+            low_rank = reconstruct_truncated(U, s, Vt, rank)
+            residual = state.cur - low_rank
+            flat = residual.reshape(residual.shape[0], -1)
+            med = np.median(flat, axis=1)
+            scale = (
+                np.median(np.abs(flat - med[:, None]), axis=1) + 1e-12
+            )
+            E = np.sign(residual) * np.maximum(
+                np.abs(residual) - (self.sparsity * scale)[:, None, None], 0.0
+            )
+            (E,) = state.advance(
+                np.where(state.mask, low_rank, state.cur), it, (E,)
+            )
+        return state.finalize()

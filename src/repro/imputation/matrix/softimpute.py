@@ -11,7 +11,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.imputation.base import BaseImputer, interpolate_rows, register_imputer
+from repro.imputation.base import (
+    BaseImputer,
+    interpolate_rows,
+    interpolate_rows_block,
+    register_imputer,
+)
+from repro.imputation.matrix._kernels import (
+    ActiveStack,
+    reconstruct_shrunk,
+    svd_block,
+    svdvals_block,
+)
 
 
 @register_imputer
@@ -54,3 +65,24 @@ class SoftImputer(BaseImputer):
                 break
             prev = new
         return current
+
+    def _impute_block(self, X3: np.ndarray, mask3: np.ndarray) -> np.ndarray:
+        cur3 = interpolate_rows_block(X3, mask3)
+        # Per-problem threshold from each problem's own initial spectrum,
+        # exactly as the scalar path derives it.
+        s0 = svdvals_block(cur3)
+        thresholds = self.lam * (
+            s0[:, 0] if s0.shape[1] else np.ones(cur3.shape[0])
+        )
+        state = ActiveStack(cur3, mask3, self.tol)
+        thr = thresholds
+        for it in range(1, self.max_iter + 1):
+            if not state.alive:
+                break
+            U, s, Vt = svd_block(state.cur)
+            s_shrunk = np.maximum(s - thr[:, None], 0.0)
+            approx = reconstruct_shrunk(U, s_shrunk, Vt)
+            (thr,) = state.advance(
+                np.where(state.mask, approx, state.cur), it, (thr,)
+            )
+        return state.finalize()

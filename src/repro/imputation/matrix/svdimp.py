@@ -10,7 +10,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.imputation.base import BaseImputer, interpolate_rows, register_imputer
+from repro.imputation.base import (
+    BaseImputer,
+    interpolate_rows,
+    interpolate_rows_block,
+    register_imputer,
+)
+from repro.imputation.matrix._kernels import (
+    ActiveStack,
+    reconstruct_truncated,
+    svd_block,
+)
 
 
 @register_imputer
@@ -56,3 +66,20 @@ class SVDImputer(BaseImputer):
             prev = new
         self._record_convergence(n_iter, converged)
         return current
+
+    def _impute_block(self, X3: np.ndarray, mask3: np.ndarray) -> np.ndarray:
+        B, n, L = X3.shape
+        cur3 = interpolate_rows_block(X3, mask3)
+        rank = self.rank if self.rank is not None else max(1, n // 3)
+        rank = min(rank, min(n, L))
+        state = ActiveStack(cur3, mask3, self.tol)
+        for it in range(1, self.max_iter + 1):
+            if not state.alive:
+                break
+            U, s, Vt = svd_block(state.cur)
+            approx = reconstruct_truncated(U, s, Vt, rank)
+            state.advance(np.where(state.mask, approx, state.cur), it)
+        result = state.finalize()
+        for b in range(B):
+            self._record_convergence(state.iters[b], state.converged[b])
+        return result

@@ -14,7 +14,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.imputation.base import BaseImputer, interpolate_rows, register_imputer
+from repro.imputation.base import (
+    BaseImputer,
+    interpolate_rows,
+    interpolate_rows_block,
+    register_imputer,
+)
+from repro.imputation.matrix._kernels import (
+    masked_norms,
+    reconstruct_shrunk,
+    svd_block,
+)
 
 
 @register_imputer
@@ -74,3 +84,45 @@ class SVTImputer(BaseImputer):
             return interpolate_rows(X)
         out[mask] = best[mask]
         return out
+
+    def _impute_block(self, X3: np.ndarray, mask3: np.ndarray) -> np.ndarray:
+        B, n, m = X3.shape
+        obs3 = ~mask3
+        M3 = np.where(obs3, X3, 0.0)
+        tau = self.tau if self.tau is not None else self.tau_scale * np.sqrt(n * m)
+        p = obs3.mean(axis=(1, 2))
+        delta = 1.2 / np.maximum(p, 1e-6)
+        # M3 is already zero at unobserved cells, so the full-matrix norm
+        # equals the scalar path's observed-entry extraction norm.
+        norm_M = masked_norms(M3) + 1e-12
+        best3 = interpolate_rows_block(X3, mask3)
+        # Compacted active-problem state: converged problems are dropped
+        # from the working arrays; their best iterate is already in best3.
+        idx = np.arange(B)
+        Y = np.zeros_like(M3)
+        M_act, obs_act, norm_act, delta_act = M3, obs3, norm_M, delta
+        for _ in range(self.max_iter):
+            if idx.size == 0:
+                break
+            U, s, Vt = svd_block(Y)
+            s_shrunk = np.maximum(s - tau, 0.0)
+            Xk = reconstruct_shrunk(U, s_shrunk, Vt)
+            residual = np.where(obs_act, M_act - Xk, 0.0)
+            rel = masked_norms(residual) / norm_act
+            best3[idx] = Xk
+            conv = rel < self.tol
+            if conv.any():
+                keep = ~conv
+                Y = (Y + delta_act[:, None, None] * residual)[keep]
+                idx = idx[keep]
+                M_act, obs_act = M_act[keep], obs_act[keep]
+                norm_act, delta_act = norm_act[keep], delta_act[keep]
+            else:
+                Y = Y + delta_act[:, None, None] * residual
+        out3 = X3.copy()
+        for b in range(B):
+            if not np.any(best3[b]):
+                out3[b] = interpolate_rows(X3[b])
+            else:
+                out3[b][mask3[b]] = best3[b][mask3[b]]
+        return out3

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.imputation.base import BaseImputer, interpolate_rows, register_imputer
+from repro.imputation.base import (
+    BaseImputer,
+    interpolate_rows,
+    interpolate_rows_block,
+    register_imputer,
+)
 from repro.exceptions import ValidationError
 
 
@@ -30,6 +35,21 @@ class MeanImputer(BaseImputer):
             X[i, row_mask] = fill
         return X
 
+    def _impute_block(self, X3: np.ndarray, mask3: np.ndarray) -> np.ndarray:
+        # Closed form over the whole (B, n, L) stack: masked row means
+        # with a per-problem global-mean fallback for dead rows.
+        obs3 = ~mask3
+        counts = obs3.sum(axis=2)
+        sums = np.where(obs3, X3, 0.0).sum(axis=2)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            row_mean = sums / np.maximum(counts, 1)
+        total = counts.sum(axis=1)
+        global_mean = sums.sum(axis=1) / np.maximum(total, 1)
+        fill = np.where(counts > 0, row_mean, global_mean[:, None])
+        out = X3.copy()
+        out[mask3] = np.broadcast_to(fill[:, :, None], out.shape)[mask3]
+        return out
+
 
 @register_imputer
 class LinearImputer(BaseImputer):
@@ -43,6 +63,9 @@ class LinearImputer(BaseImputer):
 
     def _impute(self, X: np.ndarray, mask: np.ndarray) -> np.ndarray:
         return interpolate_rows(X)
+
+    def _impute_block(self, X3: np.ndarray, mask3: np.ndarray) -> np.ndarray:
+        return interpolate_rows_block(X3, mask3)
 
 
 @register_imputer
@@ -117,3 +140,13 @@ class KNNImputer(BaseImputer):
             if estimates:
                 out[i, row_mask] = np.mean(estimates, axis=0)
         return out
+
+    def _impute_block(self, X3: np.ndarray, mask3: np.ndarray) -> np.ndarray:
+        # Single-series problems degenerate to interpolation (the scalar
+        # n_series < 2 branch) and vectorize across the whole stack; the
+        # multi-series case keeps the scalar neighbour search, whose
+        # |corr| ranking is too order-sensitive to re-derive blockwise
+        # without risking different neighbour picks.
+        if X3.shape[1] < 2:
+            return interpolate_rows_block(X3, mask3)
+        return super()._impute_block(X3, mask3)

@@ -52,6 +52,7 @@ from repro.observability.ledger import (
     render_summary,
     repair_context,
     repair_quality_stats,
+    repair_quality_stats_block,
     set_ledger,
     summarize_ledger,
     upgrade_record,
@@ -166,6 +167,7 @@ __all__ = [
     "current_repair_id",
     "repair_context",
     "repair_quality_stats",
+    "repair_quality_stats_block",
     "read_ledger",
     "upgrade_record",
     "filter_records",

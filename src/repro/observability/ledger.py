@@ -135,6 +135,12 @@ class NullLedger:
         """Discard the row; returns ``None`` so callers skip correlation."""
         return None
 
+    def record_many(
+        self, kind: str, datas, *, record_ids=None
+    ) -> list[str | None]:
+        """Discard all rows; one ``None`` per payload."""
+        return [None] * len(datas)
+
     def records(self) -> list[dict]:
         return []
 
@@ -204,6 +210,43 @@ class RepairLedger:
             if self._fh is not None:
                 self._fh.write(line + "\n")
         return row["id"]
+
+    def record_many(
+        self, kind: str, datas, *, record_ids=None
+    ) -> list[str]:
+        """Append one row per payload under a single lock acquisition.
+
+        The envelope fields that are identical across a batch — kind,
+        run id, timestamp, trace id — are computed once, so emitting a
+        corpus-sized batch of ``impute`` rows costs one ``_utcnow`` and
+        one tracer lookup instead of one per row.  Row ids remain
+        per-row (generated unless ``record_ids`` supplies them).
+        """
+        kind = str(kind)
+        prefix = kind[:3] if kind else "rec"
+        time_str = _utcnow()
+        trace_id = get_tracer().current_trace_id()
+        rows = []
+        for i, data in enumerate(datas):
+            rid = record_ids[i] if record_ids is not None else None
+            rows.append(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "kind": kind,
+                    "id": rid or new_id(prefix),
+                    "run_id": self.run_id,
+                    "time": time_str,
+                    "trace_id": trace_id,
+                    "data": data,
+                }
+            )
+        lines = [json.dumps(row, default=_jsonable) for row in rows]
+        with self._lock:
+            self._records.extend(rows)
+            self.n_written += len(rows)
+            if self._fh is not None and lines:
+                self._fh.write("\n".join(lines) + "\n")
+        return [row["id"] for row in rows]
 
     # -- access ----------------------------------------------------------
     def records(self) -> list[dict]:
@@ -374,6 +417,83 @@ def repair_quality_stats(completed: np.ndarray, mask: np.ndarray) -> dict:
         "scale_ratio": float(scale_ratio),
         "roughness_ratio": float(boundary / max(overall, _EPS)) if boundary else 0.0,
     }
+
+
+def repair_quality_stats_block(
+    completed3: np.ndarray, mask3: np.ndarray
+) -> list[dict]:
+    """Batched :func:`repair_quality_stats` over a ``(B, n, L)`` stack.
+
+    Returns one stats dict per problem, numerically matching the scalar
+    function applied per problem (same reduction structure: flat means
+    and stds over the problem's observed/imputed cells).  Used by
+    :meth:`BaseImputer.impute_many
+    <repro.imputation.base.BaseImputer.impute_many>` to amortize the
+    per-call setup when emitting a batch of ``impute`` rows.
+    """
+    completed3 = np.asarray(completed3, dtype=float)
+    mask3 = np.asarray(mask3, dtype=bool)
+    if completed3.ndim == 2:
+        completed3 = completed3[None]
+        mask3 = mask3[None]
+    B = completed3.shape[0]
+    obs3 = ~mask3
+    n_missing = mask3.sum(axis=(1, 2))
+    n_observed = obs3.sum(axis=(1, 2))
+    cells = mask3[0].size
+    # Masked means/stds per problem via sums (empty selections -> 0.0,
+    # matching the scalar guards).
+    obs_vals = np.where(obs3, completed3, 0.0)
+    imp_vals = np.where(mask3, completed3, 0.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        obs_mean = np.where(
+            n_observed > 0, obs_vals.sum(axis=(1, 2)) / np.maximum(n_observed, 1), 0.0
+        )
+        imp_mean = np.where(
+            n_missing > 0, imp_vals.sum(axis=(1, 2)) / np.maximum(n_missing, 1), 0.0
+        )
+        obs_var = (
+            np.where(obs3, (completed3 - obs_mean[:, None, None]) ** 2, 0.0).sum(
+                axis=(1, 2)
+            )
+            / np.maximum(n_observed, 1)
+        )
+        imp_var = (
+            np.where(mask3, (completed3 - imp_mean[:, None, None]) ** 2, 0.0).sum(
+                axis=(1, 2)
+            )
+            / np.maximum(n_missing, 1)
+        )
+    obs_std = np.where(n_observed > 0, np.sqrt(obs_var), 0.0)
+    imp_std = np.where(n_missing > 0, np.sqrt(imp_var), 0.0)
+    plausibility = np.abs(imp_mean - obs_mean) / np.maximum(obs_std, _EPS)
+    scale_ratio = imp_std / np.maximum(obs_std, _EPS)
+    diffs = np.abs(np.diff(completed3, axis=2))
+    flips = mask3[:, :, 1:] != mask3[:, :, :-1]
+    n_flips = flips.sum(axis=(1, 2))
+    overall = diffs.mean(axis=(1, 2)) if diffs.size else np.zeros(B)
+    boundary = np.where(
+        n_flips > 0,
+        np.where(flips, diffs, 0.0).sum(axis=(1, 2)) / np.maximum(n_flips, 1),
+        0.0,
+    )
+    rough = np.where(
+        boundary != 0.0, boundary / np.maximum(overall, _EPS), 0.0
+    )
+    return [
+        {
+            "n_missing": int(n_missing[b]),
+            "missing_fraction": float(n_missing[b] / cells) if cells else 0.0,
+            "observed_mean": float(obs_mean[b]),
+            "observed_std": float(obs_std[b]),
+            "imputed_mean": float(imp_mean[b]),
+            "imputed_std": float(imp_std[b]),
+            "plausibility_z": float(plausibility[b]),
+            "scale_ratio": float(scale_ratio[b]),
+            "roughness_ratio": float(rough[b]),
+        }
+        for b in range(B)
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -811,6 +811,8 @@ class HealthSnapshot:
             )
         # ``is not None`` matters: both caches define ``__len__``, so an
         # *empty* cache is falsy but still worth reporting.
+        from repro.timeseries.batch import bank_cache_stats
+
         caches = {
             "feature_cache": (
                 feature_cache.stats() if feature_cache is not None else None
@@ -818,6 +820,9 @@ class HealthSnapshot:
             "score_memo": (
                 score_memo.stats() if score_memo is not None else None
             ),
+            # Process-wide SeriesBank derived-array cache (rFFT banks,
+            # extractor spectra) — always reportable.
+            "series_bank": bank_cache_stats(),
         }
         if backends is None:
             from repro.parallel.executor import engine_stats

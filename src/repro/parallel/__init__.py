@@ -41,6 +41,13 @@ from repro.parallel.executor import (
     engine_stats,
     reset_engine_stats,
 )
+from repro.parallel.shm import (
+    SharedArray,
+    active_segments,
+    attach_cached,
+    clear_attach_cache,
+    shm_available,
+)
 
 __all__ = [
     "AUTO_MIN_BATCH_SECONDS",
@@ -54,10 +61,15 @@ __all__ = [
     "ParallelConfig",
     "SERIAL",
     "ScoreMemo",
+    "SharedArray",
+    "active_segments",
+    "attach_cached",
     "available_cpus",
+    "clear_attach_cache",
     "default_cache_dir",
     "engine_stats",
     "hash_array",
     "hash_arrays",
     "reset_engine_stats",
+    "shm_available",
 ]

@@ -41,6 +41,7 @@ support), the engine logs a warning and degrades to threads.
 from __future__ import annotations
 
 import concurrent.futures as _futures
+import functools
 import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
@@ -178,7 +179,9 @@ class ExecutionEngine:
         return self._cost_ewma.get(label)
 
     # ------------------------------------------------------------------
-    def map(self, fn, items, *, label: str = "parallel.map") -> list:
+    def map(
+        self, fn, items, *, label: str = "parallel.map", shared: dict | None = None
+    ) -> list:
         """Apply ``fn`` to every item; results come back in input order.
 
         Parameters
@@ -194,10 +197,21 @@ class ExecutionEngine:
         label:
             Span name recorded on the process tracer for this batch (and
             the fault-injection target for the ``executor.task`` site).
+        shared:
+            Optional ``{keyword: ndarray}`` of large read-only arrays
+            every task needs; ``fn`` is then called as
+            ``fn(item, **arrays)``.  On the process backend each array is
+            copied once into a shared-memory segment and only its handle
+            rides in the task pickles (see :mod:`repro.parallel.shm`);
+            serial/thread backends bind the arrays directly.  Segments
+            are unlinked when the batch finishes, including on
+            worker-crash demotion.
         """
         items = list(items)
         if not items:
             return []
+        if shared:
+            return self._map_with_shared(fn, items, label, shared)
         cfg = self.config
         est = self._cost_ewma.get(label)
         # First-task probe: an ``auto`` batch with an unseen label runs
@@ -262,6 +276,100 @@ class ExecutionEngine:
             labels={"backend": backend},
         ).inc()
         _record_batch(backend, len(items), time.perf_counter() - batch_start)
+        return results
+
+    # ------------------------------------------------------------------
+    def _map_with_shared(self, fn, items: list, label: str, shared: dict) -> list:
+        """Run a batch whose tasks all read the same large arrays.
+
+        Non-process backends bind the arrays to ``fn`` directly and go
+        through the ordinary :meth:`map` machinery.  The process backend
+        copies each array into a shared-memory segment exactly once and
+        ships only handles in the task pickles; the segments are
+        unlinked when the batch finishes — including when a worker crash
+        demotes the batch to the thread backend, where the resubmitted
+        tasks read the parent's arrays directly.  Worker-side segment
+        mappings live until the engine (and its pools) shut down.
+        """
+        from repro.parallel import shm as _shm
+
+        cfg = self.config
+        est = self._cost_ewma.get(label)
+        backend = cfg.resolve_backend(len(items), est)
+        direct = functools.partial(_shm.call_with_arrays, fn, shared)
+        if backend != "process" or not _shm.shm_available():
+            return self.map(direct, items, label=label)
+        pool = self._process_pool()
+        if pool is None:
+            return self.map(direct, items, label=label)
+        chunk = cfg.resolve_chunk_size(len(items), est)
+        segments = {
+            key: _shm.SharedArray.create(array)
+            for key, array in shared.items()
+        }
+        handles = {key: seg.handle for key, seg in segments.items()}
+        task = functools.partial(_shm.call_with_handles, fn, handles)
+        metrics = get_metrics()
+        batch_start = time.perf_counter()
+        backend_used = "process"
+        try:
+            with get_tracer().span(
+                label,
+                subsystem="parallel",
+                backend="process",
+                n_tasks=len(items),
+                n_jobs=min(cfg.effective_jobs, len(items)),
+                chunk_size=chunk,
+                shared_arrays=len(segments),
+            ), metrics.histogram(
+                "repro_parallel_batch_seconds",
+                "Wall seconds per ExecutionEngine.map batch",
+                labels={"backend": "process"},
+            ).time():
+                try:
+                    results = self._drain(pool, task, items, chunk, label)
+                except BrokenProcessPool as exc:
+                    tick("worker_crashes")
+                    metrics.counter(
+                        "repro_parallel_worker_crashes_total",
+                        "Process-pool workers detected dead mid-batch",
+                    ).inc()
+                    self._process_pool_broken = True
+                    broken = self._pools.pop("process", None)
+                    if broken is not None:
+                        broken.shutdown(wait=False, cancel_futures=True)
+                    self._demote("process", "thread", exc)
+                    # Unlink *before* resubmitting: the demoted thread
+                    # batch binds the parent's arrays directly, so the
+                    # segments must not outlive the crashed pool.
+                    for seg in segments.values():
+                        seg.close()
+                        seg.unlink()
+                    segments = {}
+                    backend_used = "thread"
+                    results = self._map_thread(direct, items, chunk, label)
+        finally:
+            for seg in segments.values():
+                seg.close()
+                seg.unlink()
+        for metric_name, help_text, amount in (
+            (
+                "repro_parallel_tasks_total",
+                "Tasks executed through ExecutionEngine.map",
+                len(items),
+            ),
+            (
+                "repro_parallel_batches_total",
+                "Batches executed through ExecutionEngine.map",
+                1,
+            ),
+        ):
+            metrics.counter(
+                metric_name, help_text, labels={"backend": backend_used}
+            ).inc(amount)
+        _record_batch(
+            backend_used, len(items), time.perf_counter() - batch_start
+        )
         return results
 
     # ------------------------------------------------------------------

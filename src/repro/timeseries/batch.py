@@ -39,6 +39,30 @@ from repro.exceptions import ValidationError
 #: real cross-correlation); blocks are sized to stay under this cap.
 DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024
 
+#: Process-wide hit/miss counters of every :meth:`SeriesBank.cached`
+#: lookup (rFFT banks, feature-extractor spectra, ...).  Surfaced by
+#: :func:`bank_cache_stats` and the serving health snapshot.
+_BANK_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def bank_cache_stats() -> dict:
+    """Process-wide ``{hits, misses, hit_rate}`` of the bank derived-array
+    caches (all :class:`SeriesBank` instances combined)."""
+    hits = _BANK_CACHE_STATS["hits"]
+    misses = _BANK_CACHE_STATS["misses"]
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / total if total else 0.0,
+    }
+
+
+def reset_bank_cache_stats() -> None:
+    """Zero the process-wide bank cache counters (tests / fresh monitoring)."""
+    _BANK_CACHE_STATS["hits"] = 0
+    _BANK_CACHE_STATS["misses"] = 0
+
 
 def _clean_array(series) -> np.ndarray:
     """Clean one series exactly like the scalar reference path."""
@@ -241,7 +265,10 @@ class SeriesBank:
         self.znorm = znorm_rows(matrix)
         #: Row norms of the z-normed matrix (0.0 marks constant rows).
         self.norms = np.linalg.norm(self.znorm, axis=1)
-        self._rfft_cache: dict[int, np.ndarray] = {}
+        #: Generic memo of arrays derived from the (immutable) bank
+        #: contents, keyed by caller-chosen hashable keys; see
+        #: :meth:`cached`.  The rFFT banks live here too.
+        self._derived: dict = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -261,6 +288,31 @@ class SeriesBank:
             raise ValidationError("cannot bank zero-length series")
         return cls(np.vstack([a[:min_len] for a in arrays]))
 
+    # ------------------------------------------------------------------
+    def share(self):
+        """Copy the raw matrix into a shared-memory segment.
+
+        Returns the owning :class:`~repro.parallel.shm.SharedArray`;
+        pass its ``.handle`` to workers and rebuild a zero-copy bank
+        there with :meth:`attach`.  The caller owns the segment and must
+        ``unlink()`` it when the fan-out completes.
+        """
+        from repro.parallel.shm import SharedArray
+
+        return SharedArray.create(self.raw)
+
+    @classmethod
+    def attach(cls, handle) -> "SeriesBank":
+        """Rebuild a bank from a :meth:`share` handle without copying.
+
+        The raw matrix is a view into the shared segment (kept mapped by
+        the per-process attach cache); derived arrays (z-norm, rFFT
+        banks) are computed locally as usual.
+        """
+        from repro.parallel.shm import attach_cached
+
+        return cls(attach_cached(handle).array)
+
     @property
     def n(self) -> int:
         return self.raw.shape[0]
@@ -273,15 +325,32 @@ class SeriesBank:
         return self.n
 
     # ------------------------------------------------------------------
+    def cached(self, key, builder):
+        """Memoize an array derived from the bank's (immutable) contents.
+
+        ``builder`` is a zero-argument callable evaluated on the first
+        lookup of ``key``; later lookups return the stored value.  Every
+        kernel that re-derives data from the bank (rFFT banks, the
+        feature extractor's detrended spectra, ...) routes through here,
+        so repeated batched calls over the same corpus share work.
+        Hits/misses feed the process-wide :func:`bank_cache_stats`
+        counters surfaced by the serving health snapshot.
+        """
+        if key in self._derived:
+            _BANK_CACHE_STATS["hits"] += 1
+            return self._derived[key]
+        _BANK_CACHE_STATS["misses"] += 1
+        value = builder()
+        self._derived[key] = value
+        return value
+
     def rfft(self, size: int | None = None) -> np.ndarray:
         """Cached ``rfft(znorm, size, axis=1)`` bank (one FFT per series)."""
         if size is None:
             size = _fft_size(self.length)
-        bank = self._rfft_cache.get(size)
-        if bank is None:
-            bank = np.fft.rfft(self.znorm, size, axis=1)
-            self._rfft_cache[size] = bank
-        return bank
+        return self.cached(
+            ("rfft", size), lambda: np.fft.rfft(self.znorm, size, axis=1)
+        )
 
     # ------------------------------------------------------------------
     def corr_matrix(

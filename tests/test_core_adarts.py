@@ -109,6 +109,32 @@ class TestFitLabeledAndRecommend:
         assert not repaired.has_missing
         assert len(repaired) == len(faulty_series)
 
+    def test_repair_many_matches_per_series_path(
+        self, trained, faulty_series, sine_series
+    ):
+        batch = [faulty_series, sine_series, faulty_series]
+        recs = trained.recommend_many(batch)
+        repaired = trained.repair_many(batch, recs)
+        assert len(repaired) == len(batch)
+        # Complete series pass through untouched (same object).
+        assert repaired[1] is sine_series
+        for series, rec, out in zip(batch, recs, repaired):
+            assert not out.has_missing
+            expected = rec.impute(series) if series.has_missing else series
+            np.testing.assert_allclose(
+                out.values, expected.values, rtol=1e-9, atol=1e-9
+            )
+
+    def test_repair_many_recommends_when_not_given(self, trained, faulty_series):
+        out = trained.repair_many([faulty_series])
+        assert len(out) == 1
+        assert not out[0].has_missing
+
+    def test_repair_many_length_mismatch(self, trained, faulty_series):
+        recs = trained.recommend_many([faulty_series])
+        with pytest.raises(ValidationError):
+            trained.repair_many([faulty_series, faulty_series], recs)
+
     def test_recommendation_impute_method(self, trained, faulty_series):
         rec = trained.recommend(faulty_series)
         out = rec.impute(faulty_series)

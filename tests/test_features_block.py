@@ -1,0 +1,191 @@
+"""Parity tests for the blockwise feature kernels.
+
+The contract: every feature computed by the blockwise kernels
+(``statistical_features_block`` / ``topological_features_block`` /
+``FeatureExtractor.extract_block``) matches the scalar per-series path to
+1e-9 on the corresponding row, including the degenerate-input guards
+(constant rows, too-short series, zero spectra).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features.extractor import FeatureExtractor
+from repro.features.statistical import (
+    STATISTICAL_FEATURE_NAMES,
+    statistical_features,
+    statistical_features_block,
+)
+from repro.features.topological import (
+    TOPOLOGICAL_FEATURE_NAMES,
+    _mst_edge_lengths,
+    _mst_edge_lengths_block,
+    topological_features,
+    topological_features_block,
+)
+from repro.timeseries.batch import (
+    SeriesBank,
+    bank_cache_stats,
+    reset_bank_cache_stats,
+)
+from repro.timeseries.series import TimeSeries
+
+
+def _mixed_matrix(rng, n, length):
+    """Random walks plus the degenerate rows every guard must handle."""
+    matrix = np.vstack([rng.normal(size=length).cumsum() for _ in range(n)])
+    matrix[0] = 2.5  # constant
+    matrix[1] = 0.0  # all-zero
+    if n > 3:
+        matrix[2] = np.sin(np.linspace(0, 12.56, length)) * 5 + 1
+        matrix[3] = np.arange(length, dtype=float)  # exact linear trend
+    return matrix
+
+
+class TestStatisticalBlock:
+    @pytest.mark.parametrize("length", [4, 5, 16, 64, 256])
+    def test_matches_scalar_per_row(self, length):
+        rng = np.random.default_rng(length)
+        matrix = _mixed_matrix(rng, 6, length)
+        block = statistical_features_block(matrix)
+        assert tuple(block.keys()) == STATISTICAL_FEATURE_NAMES
+        for i, row in enumerate(matrix):
+            scalar = statistical_features(row.copy())
+            for name in STATISTICAL_FEATURE_NAMES:
+                assert block[name][i] == pytest.approx(
+                    scalar[name], rel=1e-9, abs=1e-9
+                ), (name, i, length)
+
+    def test_single_sample_rows(self):
+        matrix = np.array([[3.0], [0.0], [-1.5]])
+        block = statistical_features_block(matrix)
+        for i, row in enumerate(matrix):
+            scalar = statistical_features(row.copy())
+            for name in STATISTICAL_FEATURE_NAMES:
+                assert block[name][i] == pytest.approx(scalar[name], abs=1e-12)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValidationError):
+            statistical_features_block(np.ones(8))  # 1-D
+        with pytest.raises(ValidationError):
+            statistical_features_block(np.empty((0, 4)))
+        with pytest.raises(ValidationError):
+            statistical_features_block(np.array([[1.0, np.nan]]))
+
+    def test_all_outputs_finite(self):
+        rng = np.random.default_rng(0)
+        matrix = _mixed_matrix(rng, 8, 32) * 1e150  # provoke overflow paths
+        block = statistical_features_block(matrix)
+        for name, col in block.items():
+            assert np.isfinite(col).all(), name
+
+
+class TestTopologicalBlock:
+    @pytest.mark.parametrize("length", [6, 16, 64, 300])
+    def test_matches_scalar_per_row(self, length):
+        rng = np.random.default_rng(length)
+        matrix = _mixed_matrix(rng, 5, length)
+        block = topological_features_block(matrix)
+        assert tuple(block.keys()) == TOPOLOGICAL_FEATURE_NAMES
+        for i, row in enumerate(matrix):
+            scalar = topological_features(row.copy())
+            for name in TOPOLOGICAL_FEATURE_NAMES:
+                assert block[name][i] == pytest.approx(
+                    scalar[name], rel=1e-9, abs=1e-9
+                ), (name, i, length)
+
+    def test_too_short_for_embedding_zeroes_rips(self):
+        matrix = np.random.default_rng(0).normal(size=(3, 4))
+        block = topological_features_block(matrix)  # n_vectors < 2
+        for name in TOPOLOGICAL_FEATURE_NAMES:
+            if name.startswith("topo_rips"):
+                assert np.all(block[name] == 0.0)
+        scalar = topological_features(matrix[0].copy())
+        for name in TOPOLOGICAL_FEATURE_NAMES:
+            assert block[name][0] == pytest.approx(scalar[name], abs=1e-12)
+
+    def test_lockstep_mst_matches_dense_prim(self):
+        rng = np.random.default_rng(3)
+        clouds = rng.normal(size=(7, 20, 3))
+        sq = ((clouds[:, :, None, :] - clouds[:, None, :, :]) ** 2).sum(axis=3)
+        batch = _mst_edge_lengths_block(sq)
+        for i in range(clouds.shape[0]):
+            np.testing.assert_array_equal(batch[i], _mst_edge_lengths(clouds[i]))
+
+
+class TestExtractorBlock:
+    def test_bank_extraction_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        bank = SeriesBank(_mixed_matrix(rng, 6, 96))
+        fx = FeatureExtractor()
+        matrix = fx.extract_many(bank)
+        assert matrix.shape == (bank.n, fx.n_features)
+        reference = np.vstack([fx.extract(bank.raw[i]) for i in range(bank.n)])
+        np.testing.assert_allclose(matrix, reference, rtol=1e-9, atol=1e-9)
+
+    def test_batched_list_matches_serial_with_mixed_lengths(self):
+        rng = np.random.default_rng(6)
+        series = []
+        for i in range(9):
+            values = rng.normal(size=64 if i % 2 else 100).cumsum()
+            if i % 3 == 0:
+                values[4:9] = np.nan  # interpolated identically on both paths
+            series.append(TimeSeries(values, name=f"s{i}"))
+        fx = FeatureExtractor()
+        serial = fx.extract_many(series)
+        batched = fx.extract_many(series, batched=True)
+        np.testing.assert_allclose(batched, serial, rtol=1e-9, atol=1e-9)
+
+    def test_block_rejects_missing_pattern_family(self):
+        fx = FeatureExtractor(use_missing_pattern=True)
+        with pytest.raises(ValidationError):
+            fx.extract_block(np.ones((2, 32)))
+        # extract_many silently falls back to the per-series path.
+        series = [TimeSeries(np.arange(32.0)) for _ in range(2)]
+        out = fx.extract_many(series, batched=True)
+        np.testing.assert_allclose(out, fx.extract_many(series))
+
+    def test_float32_mode_close_to_float64(self):
+        rng = np.random.default_rng(7)
+        bank = SeriesBank(_mixed_matrix(rng, 8, 128))
+        exact = FeatureExtractor().extract_many(bank)
+        approx = FeatureExtractor(compute_dtype="float32").extract_many(bank)
+        assert approx.dtype == np.float64  # accumulation stays float64
+        np.testing.assert_allclose(approx, exact, rtol=1e-3, atol=1e-3)
+
+    def test_compute_dtype_validated_and_fingerprinted(self):
+        with pytest.raises(ValidationError):
+            FeatureExtractor(compute_dtype="float16")
+        default = FeatureExtractor().fingerprint
+        f32 = FeatureExtractor(compute_dtype="float32").fingerprint
+        assert default != f32
+        # The historical float64 fingerprint is unchanged (cache compat).
+        assert ("compute_dtype", "float32") in f32
+        assert all("compute_dtype" not in str(part) for part in default)
+
+    def test_bank_cache_hits_counted_and_surfaced(self):
+        rng = np.random.default_rng(8)
+        bank = SeriesBank(_mixed_matrix(rng, 5, 64))
+        fx = FeatureExtractor()
+        reset_bank_cache_stats()
+        first = fx.extract_many(bank)
+        assert bank_cache_stats()["misses"] >= 1
+        second = fx.extract_many(bank)
+        stats = bank_cache_stats()
+        assert stats["hits"] >= 1
+        assert 0.0 < stats["hit_rate"] <= 1.0
+        np.testing.assert_array_equal(first, second)
+
+    def test_health_snapshot_reports_series_bank_cache(self):
+        from repro.observability.serving import HealthSnapshot, InferenceMonitor
+
+        class _Engine:
+            extractor = None
+            is_fitted = True
+
+        snapshot = HealthSnapshot.collect(InferenceMonitor(_Engine()))
+        assert "series_bank" in snapshot.caches
+        assert set(snapshot.caches["series_bank"]) == {
+            "hits", "misses", "hit_rate",
+        }

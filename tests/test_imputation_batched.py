@@ -1,0 +1,150 @@
+"""Scalar-vs-batched parity matrix for every registered imputer.
+
+``impute_many`` promises results within 1e-9 of looping ``impute`` per
+problem, with the same typed errors on invalid input.  This suite pins
+that contract across the full registry, over degenerate inputs, input
+containers (list / 2-D array / SeriesBank), and the batched ledger path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImputationError, ValidationError
+from repro.imputation.base import available_imputers, get_imputer
+from repro.observability.ledger import RepairLedger, use_ledger
+from repro.timeseries.batch import SeriesBank
+from repro.timeseries.series import TimeSeries
+
+ALL_IMPUTERS = available_imputers()
+
+
+def _corpus(rng, n=6, length=48, missing=0.2):
+    """Row problems with scattered gaps; every row keeps observed values."""
+    rows = []
+    for i in range(n):
+        row = rng.normal(size=length).cumsum()
+        if i == 0:
+            row[:] = 4.0  # constant row
+        gaps = rng.choice(length, size=max(1, int(length * missing)), replace=False)
+        row[gaps] = np.nan
+        if np.isnan(row).all():  # paranoia: keep at least one observation
+            row[0] = 1.0
+        rows.append(row)
+    return rows
+
+
+class TestImputeManyParity:
+    @pytest.mark.parametrize("name", ALL_IMPUTERS)
+    def test_matches_scalar_loop(self, name):
+        rng = np.random.default_rng(11)
+        rows = _corpus(rng)
+        scalar = [get_imputer(name).impute(r.copy()[None, :]) for r in rows]
+        batched = get_imputer(name).impute_many([r.copy() for r in rows])
+        assert len(batched) == len(rows)
+        for i, (a, b) in enumerate(zip(scalar, batched)):
+            np.testing.assert_allclose(b, a, rtol=1e-9, atol=1e-9,
+                                       err_msg=f"{name} row {i}")
+
+    @pytest.mark.parametrize("name", ALL_IMPUTERS)
+    def test_mixed_shapes_and_complete_rows(self, name):
+        rng = np.random.default_rng(12)
+        problems = _corpus(rng, n=3, length=40)
+        problems.append(rng.normal(size=40).cumsum())      # complete: passthrough
+        problems.append(_corpus(rng, n=1, length=64)[0])   # different length
+        scalar = [get_imputer(name).impute(p.copy()[None, :]) for p in problems]
+        batched = get_imputer(name).impute_many([p.copy() for p in problems])
+        for i, (a, b) in enumerate(zip(scalar, batched)):
+            np.testing.assert_allclose(b, a, rtol=1e-9, atol=1e-9,
+                                       err_msg=f"{name} problem {i}")
+
+    def test_complete_corpus_is_pure_passthrough(self):
+        rng = np.random.default_rng(13)
+        rows = [rng.normal(size=32) for _ in range(4)]
+        out = get_imputer("mean").impute_many([r.copy() for r in rows])
+        for row, completed in zip(rows, out):
+            np.testing.assert_array_equal(completed[0], row)
+
+    def test_all_nan_problem_raises_like_scalar(self):
+        rows = [np.array([1.0, np.nan, 3.0]), np.full(3, np.nan)]
+        imp = get_imputer("mean")
+        with pytest.raises(ImputationError):
+            imp.impute(rows[1][None, :])
+        with pytest.raises(ImputationError):
+            imp.impute_many([r.copy() for r in rows])
+
+    def test_inf_problem_raises_like_scalar(self):
+        rows = [np.array([1.0, np.nan, 3.0]), np.array([1.0, np.inf, np.nan])]
+        imp = get_imputer("mean")
+        with pytest.raises(ValidationError):
+            imp.impute(rows[1][None, :])
+        with pytest.raises(ValidationError):
+            imp.impute_many([r.copy() for r in rows])
+
+    def test_matrix_container_matches_list(self):
+        rng = np.random.default_rng(14)
+        rows = _corpus(rng, n=5, length=36)
+        matrix = np.vstack(rows)
+        from_list = get_imputer("linear").impute_many([r.copy() for r in rows])
+        from_matrix = get_imputer("linear").impute_many(matrix.copy())
+        for a, b in zip(from_list, from_matrix):
+            np.testing.assert_array_equal(a, b)
+
+    def test_series_bank_rows_become_problems(self):
+        rng = np.random.default_rng(15)
+        clean = np.vstack([rng.normal(size=24).cumsum() for _ in range(4)])
+        bank = SeriesBank(clean)
+        out = get_imputer("mean").impute_many(bank)
+        assert len(out) == 4  # complete rows pass through
+        for row, completed in zip(clean, out):
+            np.testing.assert_array_equal(completed[0], row)
+
+    def test_repair_ids_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            get_imputer("mean").impute_many(
+                [np.array([1.0, np.nan])], repair_ids=["a", "b"]
+            )
+
+    def test_impute_series_many_matches_impute_series(self):
+        rng = np.random.default_rng(16)
+        series = [
+            TimeSeries(r, name=f"s{i}") for i, r in enumerate(_corpus(rng, n=4))
+        ]
+        imp = get_imputer("knn")
+        batched = imp.impute_series_many(series)
+        for s, repaired in zip(series, batched):
+            expected = get_imputer("knn").impute_series(s)
+            assert repaired.name == s.name
+            np.testing.assert_allclose(
+                repaired.values, expected.values, rtol=1e-9, atol=1e-9
+            )
+            assert not repaired.has_missing
+
+
+class TestBatchedLedger:
+    def test_one_row_per_problem_with_repair_ids(self):
+        rng = np.random.default_rng(17)
+        rows = _corpus(rng, n=4, length=32)
+        rows.append(rng.normal(size=32))  # complete: no ledger row
+        ids = [f"rep-{i}" for i in range(len(rows))]
+        ledger = RepairLedger()  # memory-only
+        with use_ledger(ledger):
+            get_imputer("mean").impute_many(
+                [r.copy() for r in rows], repair_ids=ids
+            )
+        impute_rows = [r for r in ledger.records() if r["kind"] == "impute"]
+        assert len(impute_rows) == 4  # complete problem emits nothing
+        seen = {r["data"]["repair_id"] for r in impute_rows}
+        assert seen == set(ids[:4])
+        for row in impute_rows:
+            assert row["data"]["algorithm"] == "mean"
+            assert row["data"]["elapsed_s"] is not None
+            assert row["data"]["quality"] is not None
+
+    def test_no_ledger_rows_without_repair_context(self):
+        rng = np.random.default_rng(18)
+        ledger = RepairLedger()
+        with use_ledger(ledger):
+            get_imputer("mean").impute_many(
+                [r.copy() for r in _corpus(rng, n=3, length=24)]
+            )
+        assert [r for r in ledger.records() if r["kind"] == "impute"] == []
