@@ -246,9 +246,8 @@ def _load_serving_engine(args):
     return engine
 
 
-def _cmd_monitor(args) -> int:
-    engine = _load_serving_engine(args)
-    series_list = read_series_csv(args.data)
+def _build_monitor(args, engine) -> InferenceMonitor:
+    """InferenceMonitor with the drift detector the flags describe."""
     if engine.feature_baseline_ is None:
         print(
             "note: engine has no feature baseline; drift monitoring disabled",
@@ -263,13 +262,49 @@ def _cmd_monitor(args) -> int:
             psi_threshold=args.psi_threshold,
             ks_threshold=args.ks_threshold,
         )
-    monitor = InferenceMonitor(
+    return InferenceMonitor(
         engine, window=args.window, drift_detector=detector
     )
-    batch = max(1, args.batch)
-    for _ in range(max(1, args.repeat)):
+
+
+def _replay(monitor, series_list, *, batch: int, repeat: int) -> None:
+    """Push the CSV through the monitor in request-sized batches."""
+    batch = max(1, batch)
+    for _ in range(max(1, repeat)):
         for start in range(0, len(series_list), batch):
             monitor.recommend_many(series_list[start : start + batch])
+
+
+def _cmd_monitor(args) -> int:
+    import time
+
+    from repro.observability.dashboard import ANSI_CLEAR
+
+    engine = _load_serving_engine(args)
+    series_list = read_series_csv(args.data)
+    monitor = _build_monitor(args, engine)
+
+    def render(snapshot) -> str:
+        return (
+            snapshot.to_prometheus() if args.format == "prometheus"
+            else snapshot.to_json()
+        )
+
+    if args.watch is not None:
+        # Periodic refresh: replay, clear the screen, re-render, sleep.
+        # Ctrl-C exits cleanly (the accumulated windows keep their data,
+        # so the final frame on screen is the freshest one).
+        try:
+            while True:
+                _replay(monitor, series_list, batch=args.batch,
+                        repeat=args.repeat)
+                print(ANSI_CLEAR + render(monitor.snapshot()), flush=True)
+                time.sleep(max(0.1, args.watch))
+        except KeyboardInterrupt:
+            print("monitor stopped", file=sys.stderr)
+            return 0
+
+    _replay(monitor, series_list, batch=args.batch, repeat=args.repeat)
     snapshot = monitor.snapshot()
     if args.out:
         path = snapshot.export(args.out)
@@ -278,10 +313,100 @@ def _cmd_monitor(args) -> int:
         path = pathlib.Path(args.prom_out)
         path.write_text(snapshot.to_prometheus())
         print(f"wrote Prometheus health document to {path}", file=sys.stderr)
-    print(
-        snapshot.to_prometheus() if args.format == "prometheus"
-        else snapshot.to_json()
+    print(render(snapshot))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.observability.dashboard import (
+        ANSI_CLEAR,
+        load_snapshot,
+        render_top,
     )
+
+    color = sys.stdout.isatty() and not args.no_color
+
+    if args.snapshot:
+        # Offline mode: render a previously exported health document
+        # (re-reading the file every tick, so an external writer can
+        # drive the dashboard).
+        if args.once:
+            print(render_top(load_snapshot(args.snapshot), color=color))
+            return 0
+        try:
+            while True:
+                frame = render_top(load_snapshot(args.snapshot), color=color)
+                print(ANSI_CLEAR + frame, flush=True)
+                time.sleep(max(0.1, args.interval))
+        except KeyboardInterrupt:
+            return 0
+
+    if not args.engine or not args.data:
+        raise ValidationError(
+            "repro top needs either --snapshot or --engine plus --data"
+        )
+    engine = _load_serving_engine(args)
+    series_list = read_series_csv(args.data)
+    monitor = _build_monitor(args, engine)
+    if args.once:
+        _replay(monitor, series_list, batch=args.batch, repeat=args.repeat)
+        print(render_top(monitor.snapshot().as_dict(), color=color))
+        return 0
+    try:
+        while True:
+            _replay(monitor, series_list, batch=args.batch,
+                    repeat=args.repeat)
+            frame = render_top(monitor.snapshot().as_dict(), color=color)
+            print(ANSI_CLEAR + frame, flush=True)
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        print("top stopped", file=sys.stderr)
+        return 0
+
+
+def _cmd_bench_trend(args) -> int:
+    import glob
+    import json
+
+    from repro.observability.dashboard import render_bench_trend
+
+    repo_root = pathlib.Path.cwd()
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        raise ValidationError(f"no baseline document at {baseline_path}")
+    baseline = json.loads(baseline_path.read_text())
+    fresh_paths = []
+    for pattern in args.fresh or [str(repo_root / "BENCH_*.json")]:
+        matches = sorted(glob.glob(pattern))
+        fresh_paths.extend(matches if matches else [pattern])
+    fresh: dict = {}
+    n_docs = 0
+    for path in fresh_paths:
+        path = pathlib.Path(path)
+        if not path.exists():
+            print(f"note: skipping missing document {path}", file=sys.stderr)
+            continue
+        document = json.loads(path.read_text())
+        if isinstance(document, dict):
+            fresh.update(document)
+            n_docs += 1
+    if not fresh:
+        raise ValidationError(
+            "no fresh benchmark documents found (pass --fresh BENCH_x.json)"
+        )
+    print(f"comparing {n_docs} document(s) against {baseline_path}",
+          file=sys.stderr)
+    table = render_bench_trend(
+        baseline, fresh, threshold=args.threshold,
+        color=sys.stdout.isatty() and not args.no_color,
+        include_missing=args.all,
+    )
+    print(table)
+    if args.out:
+        pathlib.Path(args.out).write_text(table + "\n")
+        print(f"wrote trend report to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -536,7 +661,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--prom-out", default=None,
         help="also write the Prometheus text exposition here",
     )
+    monitor.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="refresh mode: replay and re-render every SECONDS "
+        "(clear screen between frames; Ctrl-C exits cleanly)",
+    )
     monitor.set_defaults(func=_cmd_monitor)
+
+    top = sub.add_parser(
+        "top",
+        help="live ANSI dashboard: SLOs, burn rates, latency, resources",
+        parents=[common],
+    )
+    top.add_argument(
+        "--engine", default=None, help="engine JSON path (live mode)"
+    )
+    top.add_argument(
+        "--data", default=None, help="faulty series CSV (live mode)"
+    )
+    top.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="render a health-snapshot JSON exported by 'repro monitor' "
+        "instead of serving live traffic",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (CI-friendly, no ANSI clear)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period for the live loop",
+    )
+    top.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI colors even on a TTY",
+    )
+    top.add_argument(
+        "--repeat", type=int, default=1,
+        help="times to replay the CSV per frame (live mode)",
+    )
+    top.add_argument(
+        "--batch", type=int, default=1,
+        help="series per monitored request (live mode)",
+    )
+    top.add_argument("--window", type=int, default=512)
+    top.add_argument("--drift-window", type=int, default=256)
+    top.add_argument("--drift-min-samples", type=int, default=64)
+    top.add_argument("--psi-threshold", type=float, default=0.25)
+    top.add_argument("--ks-threshold", type=float, default=0.5)
+    top.set_defaults(func=_cmd_top)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark utilities (trend: compare BENCH_*.json to baseline)",
+        parents=[common],
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    trend = bench_sub.add_parser(
+        "trend",
+        help="per-workload trend table of fresh BENCH_*.json vs baseline",
+    )
+    trend.add_argument(
+        "--baseline", default="benchmarks/bench_baseline.json",
+        help="committed baseline document",
+    )
+    trend.add_argument(
+        "--fresh", action="append", metavar="PATH_OR_GLOB",
+        help="fresh benchmark document(s); repeat or glob "
+        "(default: BENCH_*.json in the working directory)",
+    )
+    trend.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="slowdown factor flagged REGRESSED (matches the CI gate)",
+    )
+    trend.add_argument(
+        "--out", default=None, help="also write the table here"
+    )
+    trend.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI colors even on a TTY",
+    )
+    trend.add_argument(
+        "--all", action="store_true",
+        help="also list baseline arms missing from the fresh documents",
+    )
+    trend.set_defaults(func=_cmd_bench_trend)
 
     profile = sub.add_parser(
         "profile",

@@ -36,6 +36,7 @@ from repro.observability import (
     get_logger,
     get_metrics,
     get_tracer,
+    resource_stamp,
 )
 from repro.observability.ledger import (
     ClusterAtlas,
@@ -286,6 +287,7 @@ class ADarts:
                 "voting": self.voting,
                 "n_members": len(members),
                 "test_ratio": self.test_ratio,
+                "resources": resource_stamp(),
             },
             record_id=new_id("fit"),
         )
@@ -426,6 +428,10 @@ class ADarts:
                 "skipped": list(detail.skipped_members),
             }
         atlas = self.cluster_atlas_
+        # One resource stamp per annotate call (not per row): the memory
+        # state is request-scoped, and per-row sampling would re-read
+        # /proc for every series in a batch.
+        resources = resource_stamp()
         out = []
         for series, rec in zip(series_list, recommendations):
             values = np.asarray(series.values, dtype=float)
@@ -455,6 +461,7 @@ class ADarts:
                     "fit_id": head.get("fit_id"),
                     "race_id": head.get("race_id"),
                     "source": source,
+                    "resources": resources,
                 },
                 record_id=new_id("rep"),
             )

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.observability import get_metrics, get_tracer
+from repro.observability.resources import get_accounting
 from repro.parallel import ExecutionEngine, FeatureCache, ParallelConfig
 from repro.features.statistical import (
     STATISTICAL_FEATURE_NAMES,
@@ -274,6 +275,12 @@ class FeatureExtractor:
         out = np.empty((X.shape[0], self.n_features), dtype=float)
         for col_idx, name in enumerate(self._names):
             out[:, col_idx] = cols[name]
+        get_accounting().record_kernel(
+            "extract_block",
+            bytes_moved=X.nbytes + out.nbytes,
+            chunks=len(cols),
+            scratch_allocations=1,
+        )
         return np.nan_to_num(out, nan=0.0, posinf=0.0, neginf=0.0)
 
     def extract_many(self, series_list, *, batched: bool = False) -> np.ndarray:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.observability.resources import get_accounting
 from repro.timeseries.series import TimeSeries
 
 
@@ -381,9 +382,19 @@ def topological_features_block(
     n_points = cloud.shape[1]
     chunk = max(1, _MST_CHUNK_BYTES // (n_points * n_points * (dimension + 1) * 8))
     edges = np.empty((n_rows, n_points - 1))
+    n_chunks = 0
+    scratch_bytes = 0
     for start in range(0, n_rows, chunk):
         part = cloud[start : start + chunk]
         sq = ((part[:, :, None, :] - part[:, None, :, :]) ** 2).sum(axis=3)
         edges[start : start + chunk] = _mst_edge_lengths_block(sq)
+        n_chunks += 1
+        scratch_bytes += sq.nbytes
+    get_accounting().record_kernel(
+        "topological_mst",
+        bytes_moved=cloud.nbytes + edges.nbytes + scratch_bytes,
+        chunks=n_chunks,
+        scratch_allocations=n_chunks,
+    )
     feats.update(_diagram_stats_block(edges, "topo_rips"))
     return feats

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exceptions import ImputationError, RegistryError, ValidationError
 from repro.observability import get_metrics, get_tracer
+from repro.observability.resources import get_accounting
 from repro.observability.ledger import (
     current_repair_id,
     get_ledger,
@@ -364,6 +365,8 @@ class BaseImputer(ABC):
             )
             ledger_rows: list[dict] = []
             hyperparams = None
+            block_bytes = 0
+            n_blocks = 0
             for shape, indices in groups.items():
                 if prestacked is not None:
                     X3, mask3 = prestacked
@@ -394,6 +397,8 @@ class BaseImputer(ABC):
                     )
                 # Observed entries are ground truth per problem.
                 completed3[~mask3] = X3[~mask3]
+                n_blocks += 1
+                block_bytes += X3.nbytes + mask3.nbytes + completed3.nbytes
                 for pos, i in enumerate(indices):
                     results[i] = completed3[pos]
                 # Batched provenance: the quality stats for the whole
@@ -435,6 +440,12 @@ class BaseImputer(ABC):
             for row in ledger_rows:
                 row["elapsed_s"] = per_problem_s
             ledger.record_many("impute", ledger_rows)
+        get_accounting().record_kernel(
+            f"impute_block.{self.name}",
+            bytes_moved=block_bytes,
+            chunks=n_blocks,
+            scratch_allocations=n_blocks,
+        )
         metrics.counter(
             "repro_imputation_runs_total",
             "Imputation invocations per algorithm",

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability.resources import get_accounting
+
 
 def svd_block(stack: np.ndarray):
     """Thin SVD of every matrix in a ``(B, n, L)`` stack.
@@ -30,6 +32,12 @@ def svd_block(stack: np.ndarray):
     per iteration.  Everything else goes through the gufunc ``svd``.
     """
     B, n, L = stack.shape
+    get_accounting().record_kernel(
+        "svd_block",
+        bytes_moved=stack.nbytes,
+        chunks=1,
+        scratch_allocations=3,
+    )
     if n == 1:
         rows = stack[:, 0, :]
         s = np.linalg.norm(rows, axis=1)

@@ -19,6 +19,16 @@ The instrumentation substrate for every performance claim in the repro:
   PSI/KS scoring against a fit-time :class:`FeatureBaseline`, and the
   aggregated :class:`HealthSnapshot` JSON/Prometheus health document
   (the ``repro monitor`` subcommand);
+* :mod:`repro.observability.slo` — the SLO engine:
+  :class:`QuantileSketch` mergeable streaming quantiles and
+  :class:`SloTracker` multi-window burn-rate alerting over declarative
+  :class:`SloPolicy` objectives, with per-imputer/per-cluster slices;
+* :mod:`repro.observability.resources` — :class:`AccountingRegistry`
+  process/resource accounting: RSS high-water, live component byte
+  counts (series bank, caches, shared memory), and per-kernel counters
+  (bytes moved, chunks, scratch allocations, backend decisions);
+* :mod:`repro.observability.dashboard` — the ``repro top`` ANSI
+  dashboard and the ``repro bench trend`` regression-delta table;
 * :mod:`repro.observability.profiler` — :class:`SamplingProfiler`,
   a low-overhead thread/signal sampling profiler with collapsed-stack
   (flamegraph) output (the ``repro profile`` subcommand);
@@ -36,6 +46,13 @@ hot paths unconditionally and users pay only when they install a real
 :class:`use_metrics` context managers.
 """
 
+from repro.observability.dashboard import (
+    bench_trend_rows,
+    human_bytes,
+    load_snapshot,
+    render_bench_trend,
+    render_top,
+)
 from repro.observability.ledger import (
     ClusterAtlas,
     NULL_LEDGER,
@@ -71,6 +88,7 @@ from repro.observability.metrics import (
     MetricsRegistry,
     NULL_METRICS,
     NullMetricsRegistry,
+    build_info,
     get_metrics,
     set_metrics,
     use_metrics,
@@ -89,6 +107,12 @@ from repro.observability.profiler import (
     SamplingProfiler,
     parse_collapsed,
 )
+from repro.observability.resources import (
+    AccountingRegistry,
+    get_accounting,
+    resource_stamp,
+    sample_rss,
+)
 from repro.observability.serving import (
     DriftDetector,
     DriftReport,
@@ -96,6 +120,13 @@ from repro.observability.serving import (
     HealthSnapshot,
     InferenceMonitor,
     RollingWindow,
+)
+from repro.observability.slo import (
+    QuantileSketch,
+    SloAlert,
+    SloPolicy,
+    SloTracker,
+    default_policies,
 )
 from repro.observability.tracing import (
     NULL_SPAN,
@@ -130,6 +161,7 @@ __all__ = [
     "get_metrics",
     "set_metrics",
     "use_metrics",
+    "build_info",
     # observer
     "RaceObserver",
     "RecordingObserver",
@@ -146,6 +178,23 @@ __all__ = [
     "HealthSnapshot",
     "InferenceMonitor",
     "RollingWindow",
+    # slo
+    "QuantileSketch",
+    "SloPolicy",
+    "SloAlert",
+    "SloTracker",
+    "default_policies",
+    # resources
+    "AccountingRegistry",
+    "get_accounting",
+    "resource_stamp",
+    "sample_rss",
+    # dashboard
+    "render_top",
+    "render_bench_trend",
+    "bench_trend_rows",
+    "load_snapshot",
+    "human_bytes",
     # profiler
     "SamplingProfiler",
     "parse_collapsed",

@@ -1,0 +1,364 @@
+"""repro.observability.dashboard — the ``repro top`` live text dashboard.
+
+Renders a :class:`~repro.observability.serving.HealthSnapshot` document
+(live object or previously exported JSON) into a fixed-width ANSI
+terminal dashboard: SLO policy status with fast/slow burn rates,
+sketch-backed latency quantiles, throughput, recommendation mix,
+resource gauges (RSS + per-component live bytes), kernel counters, and
+cache hit rates.  The companion :func:`render_bench_trend` turns
+committed ``BENCH_*.json`` documents plus the CI baseline
+(``benchmarks/bench_baseline.json``) into a per-workload trend table
+with regression deltas — the human-readable face of
+``benchmarks/check_regression.py``.
+
+Everything here is plain string formatting: no curses, no third-party
+TUI.  The refresh loop simply re-prints the dashboard behind an ANSI
+clear (``ESC[2J ESC[H``), which degrades gracefully when piped to a
+file (``--once`` in CI produces a clean single frame).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+#: ANSI clear-screen + cursor-home prefix used by the refresh loops.
+ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def human_bytes(n) -> str:
+    """``1536`` -> ``'1.5 KiB'`` (fixed 4-significant rendering)."""
+    n = float(n or 0)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(n)} B"
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    return f"{n:.1f} TiB"  # pragma: no cover - unreachable
+
+
+def _fmt_ms(seconds) -> str:
+    if seconds is None:
+        return "-"
+    return f"{float(seconds) * 1000.0:.1f}ms"
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    """A ``[#####-----]`` gauge for a 0..1 fraction (clamped)."""
+    fraction = min(1.0, max(0.0, float(fraction)))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def load_snapshot(path) -> dict:
+    """Read a health-snapshot JSON document written by ``repro monitor``."""
+    path = pathlib.Path(path)
+    document = json.loads(path.read_text())
+    if not isinstance(document, dict):
+        raise ValueError(f"{path} does not contain a health snapshot")
+    return document
+
+
+def render_top(snapshot: dict, *, color: bool = False, width: int = 78) -> str:
+    """Render one dashboard frame from a health-snapshot ``dict``.
+
+    Accepts both a live ``HealthSnapshot.as_dict()`` and a re-loaded
+    export; every section degrades to a placeholder when its data is
+    missing, so old snapshots (pre-SLO schema) still render.
+    """
+    lines: list[str] = []
+    rule = "=" * width
+    thin = "-" * width
+
+    build = snapshot.get("build") or {}
+    head = (
+        f"repro top — v{build.get('version', '?')}"
+        f" @ {build.get('git_sha', 'unknown')}"
+    )
+    stamp = snapshot.get("generated_at", "-")
+    pad = max(1, width - len(head) - len(stamp))
+    lines.append(_paint(head, _BOLD, color) + " " * pad + _paint(stamp, _DIM, color))
+    lines.append(rule)
+
+    # -- throughput / latency -------------------------------------------
+    uptime = float(snapshot.get("uptime_s") or 0.0)
+    n_requests = int(snapshot.get("n_requests") or 0)
+    n_series = int(snapshot.get("n_series") or 0)
+    rps = n_requests / uptime if uptime > 0 else 0.0
+    sps = n_series / uptime if uptime > 0 else 0.0
+    lines.append(
+        f"uptime {uptime:8.1f}s   requests {n_requests:6d} ({rps:6.1f}/s)"
+        f"   series {n_series:6d} ({sps:6.1f}/s)"
+    )
+    latency = snapshot.get("latency") or {}
+    lines.append(
+        "request latency   "
+        f"p50 {_fmt_ms(latency.get('sketch_p50', latency.get('p50'))):>9}  "
+        f"p95 {_fmt_ms(latency.get('p95')):>9}  "
+        f"p99 {_fmt_ms(latency.get('sketch_p99', latency.get('p99'))):>9}  "
+        f"max {_fmt_ms(latency.get('max')):>9}"
+    )
+    lines.append(thin)
+
+    # -- SLO policies ---------------------------------------------------
+    slo = snapshot.get("slo")
+    lines.append(_paint("SLO", _BOLD, color))
+    if not slo:
+        lines.append("  (slo tracking disabled)")
+    else:
+        lines.append(
+            f"  {'policy':<14} {'objective':<34} {'burn f/s':>12} "
+            f"{'budget':>7} {'state':>6}"
+        )
+        for policy in slo.get("policies", ()):
+            alerting = bool(policy.get("alerting"))
+            state = "ALERT" if alerting else "ok"
+            state = _paint(
+                state, _RED if alerting else _GREEN, color
+            )
+            remaining = policy.get("budget_remaining")
+            lines.append(
+                f"  {policy.get('policy', '?'):<14} "
+                f"{policy.get('objective', '')[:34]:<34} "
+                f"{float(policy.get('fast_burn') or 0.0):5.1f}/"
+                f"{float(policy.get('slow_burn') or 0.0):5.1f} "
+                f"{'' if remaining is None else format(float(remaining), '6.1%'):>7} "
+                f"{state:>6}"
+            )
+        n_alerts = int(slo.get("n_alerts") or 0)
+        sketch = slo.get("latency_sketch") or {}
+        lines.append(
+            f"  events {int(slo.get('n_events') or 0):7d}   "
+            f"alerts fired {n_alerts:4d}   "
+            f"per-series p50 {_fmt_ms(sketch.get('p50'))} / "
+            f"p99 {_fmt_ms(sketch.get('p99'))}"
+        )
+        slices = slo.get("slices") or {}
+        worst = sorted(
+            slices.items(),
+            key=lambda kv: -sum((kv[1].get("bad") or {}).values()),
+        )[:4]
+        for key, row in worst:
+            bad = sum((row.get("bad") or {}).values())
+            lines.append(
+                f"    slice {key:<24} n {int(row.get('n') or 0):6d}  "
+                f"errors {int(row.get('errors') or 0):4d}  bad {bad:5d}  "
+                f"p99 {_fmt_ms(row.get('p99'))}"
+            )
+    lines.append(thin)
+
+    # -- resources ------------------------------------------------------
+    resources = snapshot.get("resources") or {}
+    process = resources.get("process") or {}
+    lines.append(_paint("RESOURCES", _BOLD, color))
+    rss = process.get("rss_bytes")
+    hwm = process.get("hwm_bytes")
+    if rss is not None:
+        frac = float(rss) / float(hwm) if hwm else 0.0
+        lines.append(
+            f"  rss {human_bytes(rss):>10}  hwm {human_bytes(hwm):>10}  "
+            f"[{_bar(frac)}]"
+        )
+    accounts = resources.get("accounts") or {}
+    for name in sorted(accounts):
+        row = accounts[name]
+        lines.append(
+            f"  {name:<16} {human_bytes(row.get('bytes')):>10} live  "
+            f"peak {human_bytes(row.get('peak_bytes')):>10}  "
+            f"items {int(row.get('items') or 0):6d}"
+        )
+    kernels = resources.get("kernels") or {}
+    if kernels:
+        lines.append(
+            f"  {'kernel':<22} {'calls':>7} {'moved':>10} "
+            f"{'chunks':>7} {'scratch':>8}"
+        )
+        for name in sorted(kernels):
+            row = kernels[name]
+            lines.append(
+                f"  {name:<22} {int(row.get('calls') or 0):7d} "
+                f"{human_bytes(row.get('bytes_moved')):>10} "
+                f"{int(row.get('chunks') or 0):7d} "
+                f"{int(row.get('scratch_allocations') or 0):8d}"
+            )
+    decisions = resources.get("backend_decisions") or {}
+    if decisions:
+        rendered = "  ".join(
+            f"{name}={count}" for name, count in sorted(decisions.items())
+        )
+        lines.append(f"  backend decisions: {rendered}")
+    lines.append(thin)
+
+    # -- caches / mix / alerts ------------------------------------------
+    lines.append(_paint("CACHES & MIX", _BOLD, color))
+    for name, stats in sorted((snapshot.get("caches") or {}).items()):
+        if not stats:
+            continue
+        rate = stats.get("hit_rate")
+        extra = (
+            f"  bytes {human_bytes(stats['bytes']):>10}"
+            if "bytes" in stats
+            else ""
+        )
+        lines.append(
+            f"  {name:<16} hit rate "
+            f"{'' if rate is None else format(float(rate), '6.1%'):>7}  "
+            f"hits {int(stats.get('hits') or 0):6d}  "
+            f"misses {int(stats.get('misses') or 0):6d}{extra}"
+        )
+    mix = (snapshot.get("recommendation_mix") or {}).get("fractions") or {}
+    if mix:
+        rendered = "  ".join(
+            f"{name} {float(frac):.0%}"
+            for name, frac in sorted(mix.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"  mix: {rendered}")
+    alerts = snapshot.get("alerts") or {}
+    hot = {k: v for k, v in alerts.items() if v}
+    if hot:
+        rendered = "  ".join(f"{k}={v}" for k, v in sorted(hot.items()))
+        lines.append("  " + _paint(f"alerts: {rendered}", _YELLOW, color))
+    else:
+        lines.append("  alerts: none")
+    drift = snapshot.get("drift")
+    if drift:
+        lines.append(
+            f"  drift: psi {float(drift.get('psi_max') or 0.0):.3f}  "
+            f"ks {float(drift.get('ks_max') or 0.0):.3f}  "
+            f"alerting {bool(drift.get('alerting'))}"
+        )
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# repro bench trend
+# ---------------------------------------------------------------------------
+
+def _timing_keys(arms: dict) -> tuple[str, ...]:
+    return tuple(
+        sorted(
+            key
+            for key, value in arms.items()
+            if key.endswith("_s") and isinstance(value, (int, float))
+        )
+    )
+
+
+def bench_trend_rows(
+    baseline: dict, fresh: dict, *, min_seconds: float = 0.01
+) -> list[dict]:
+    """Per-(workload, arm) trend rows comparing fresh timings to baseline.
+
+    Mirrors the arm discovery of ``benchmarks/check_regression.py``
+    (numeric ``*_s`` keys) so the table and the CI gate always agree on
+    what is measured.  Each row carries ``ratio`` (fresh/baseline; None
+    when either side is missing) and ``noise`` (both sides under
+    ``min_seconds``, ignored by the gate).
+    """
+    rows: list[dict] = []
+    for workload in sorted(set(baseline) | set(fresh)):
+        base_arms = baseline.get(workload) or {}
+        fresh_arms = fresh.get(workload) or {}
+        arms = sorted(
+            set(_timing_keys(base_arms)) | set(_timing_keys(fresh_arms))
+        )
+        for key in arms:
+            base = base_arms.get(key)
+            new = fresh_arms.get(key)
+            ratio = None
+            if base is not None and new is not None and float(base) > 0:
+                ratio = float(new) / float(base)
+            rows.append(
+                {
+                    "workload": workload,
+                    "arm": key,
+                    "baseline_s": None if base is None else float(base),
+                    "fresh_s": None if new is None else float(new),
+                    "ratio": ratio,
+                    "noise": (
+                        base is not None
+                        and new is not None
+                        and float(base) < min_seconds
+                        and float(new) < min_seconds
+                    ),
+                }
+            )
+    return rows
+
+
+def render_bench_trend(
+    baseline: dict,
+    fresh: dict,
+    *,
+    threshold: float = 1.5,
+    min_seconds: float = 0.01,
+    color: bool = False,
+    include_missing: bool = False,
+) -> str:
+    """The ``repro bench trend`` table: per-arm deltas with flags.
+
+    Flags: ``REGRESSED`` (ratio beyond ``threshold``, same bar as the CI
+    gate), ``improved`` (>=10% faster), ``noise`` (both arms under
+    ``min_seconds``), ``new``/``missing`` for one-sided entries.
+    Baseline workloads absent from the fresh documents are summarized in
+    the footer rather than listed (a trend run usually covers a subset
+    of the baseline); pass ``include_missing=True`` to list them — the
+    CI gate, not this table, is what fails on genuinely missing arms.
+    """
+    rows = bench_trend_rows(baseline, fresh, min_seconds=min_seconds)
+    n_missing = sum(1 for row in rows if row["fresh_s"] is None)
+    if not include_missing:
+        rows = [row for row in rows if row["fresh_s"] is not None]
+    out = [
+        f"{'workload':<22} {'arm':<14} {'baseline':>10} {'fresh':>10} "
+        f"{'delta':>8}  flag",
+        "-" * 74,
+    ]
+    n_regressed = 0
+    for row in rows:
+        base, new, ratio = row["baseline_s"], row["fresh_s"], row["ratio"]
+        if base is None:
+            flag, delta = "new", "-"
+        elif new is None:
+            flag, delta = "missing", "-"
+        else:
+            delta = f"{(ratio - 1.0) * +100.0:+.1f}%"
+            if row["noise"]:
+                flag = "noise"
+            elif ratio > threshold:
+                flag = _paint("REGRESSED", _RED, color)
+                n_regressed += 1
+            elif ratio <= 0.9:
+                flag = _paint("improved", _GREEN, color)
+            else:
+                flag = "ok"
+        out.append(
+            f"{row['workload']:<22} {row['arm']:<14} "
+            f"{'-' if base is None else format(base, '9.4f') + 's':>10} "
+            f"{'-' if new is None else format(new, '9.4f') + 's':>10} "
+            f"{delta:>8}  {flag}"
+        )
+    out.append("-" * 74)
+    verdict = (
+        f"{n_regressed} regression(s) beyond {threshold:.2f}x"
+        if n_regressed
+        else f"no regressions beyond {threshold:.2f}x"
+    )
+    tail = f"{len(rows)} arms compared — {verdict}"
+    if n_missing and not include_missing:
+        tail += f" ({n_missing} baseline-only arms not in this run)"
+    out.append(tail)
+    return "\n".join(out)

@@ -43,10 +43,22 @@ def _label_key(labels: dict | None) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    The spec requires ``\\`` -> ``\\\\``, ``"`` -> ``\\"`` and newline ->
+    ``\\n`` inside quoted label values; anything else is passed through.
+    Backslash must be escaped first or it would re-escape the others.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: _LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 
@@ -55,6 +67,78 @@ def _get_module_logger():
     from repro.observability.log import get_logger
 
     return get_logger(__name__)
+
+
+_BUILD_INFO: dict | None = None
+
+
+def build_info(*, refresh: bool = False) -> dict:
+    """Build identity of this process: package version + git sha.
+
+    Values fall back to ``"unknown"`` rather than raising — build
+    identity must never break an export path.  Resolution order: the
+    package's ``__version__`` (then installed distribution metadata) for
+    the version; the ``REPRO_BUILD_SHA`` environment variable (CI sets
+    it from the checkout) then ``git rev-parse`` for the sha.  Cached
+    after the first call; ``refresh=True`` re-resolves.
+    """
+    global _BUILD_INFO
+    if _BUILD_INFO is not None and not refresh:
+        return dict(_BUILD_INFO)
+    version = "unknown"
+    try:
+        import repro as _repro
+
+        version = str(getattr(_repro, "__version__", "unknown"))
+    except Exception:
+        pass
+    if version == "unknown":
+        try:
+            import importlib.metadata as _md
+
+            version = _md.version("repro")
+        except Exception:
+            pass
+    import os as _os
+
+    sha = _os.environ.get("REPRO_BUILD_SHA", "").strip() or "unknown"
+    if sha == "unknown":
+        try:
+            import pathlib as _pathlib
+            import subprocess as _subprocess
+
+            here = _pathlib.Path(__file__).resolve().parent
+            out = _subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=here,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+            if out.returncode == 0 and out.stdout.strip():
+                sha = out.stdout.strip()
+        except Exception:
+            pass
+    _BUILD_INFO = {"version": version, "git_sha": sha}
+    return dict(_BUILD_INFO)
+
+
+def render_build_info_lines(seen_names=()) -> list[str]:
+    """The ``repro_build_info`` exposition lines (empty if already emitted).
+
+    Shared by every Prometheus export path so scrape targets can always
+    join series on the build identity.  ``seen_names`` suppresses the
+    block when the caller's registry already carries the metric.
+    """
+    if "repro_build_info" in seen_names:
+        return []
+    info = build_info()
+    labels = _render_labels(_label_key(info))
+    return [
+        "# HELP repro_build_info Build identity of the exporting process",
+        "# TYPE repro_build_info gauge",
+        f"repro_build_info{labels} 1",
+    ]
 
 
 def sanitize_metric_name(name: str) -> str:
@@ -501,6 +585,7 @@ class MetricsRegistry:
                 lines.append(f"{name}_count{rendered} {summary['count']}")
             else:
                 lines.append(f"{name}{rendered} {inst.value}")
+        lines.extend(render_build_info_lines(seen_header))
         return "\n".join(lines) + ("\n" if lines else "")
 
     def export(self, path) -> pathlib.Path:

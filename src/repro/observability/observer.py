@@ -271,6 +271,11 @@ class ServingObserver:
         """The serving ensemble's circuit breaker quarantined a member
         pipeline (identified by its display name)."""
 
+    def on_slo_alert(self, alert) -> None:
+        """An SLO burn-rate alert fired (``alert`` is an
+        :class:`~repro.observability.slo.SloAlert`).  Like drift alerts
+        it fires once per excursion and re-arms on recovery."""
+
 
 @dataclass
 class RecordingServingObserver(ServingObserver):
@@ -304,6 +309,9 @@ class RecordingServingObserver(ServingObserver):
 
     def on_member_quarantined(self, member):
         self.events.append(("member_quarantined", {"member": member}))
+
+    def on_slo_alert(self, alert):
+        self.events.append(("slo_alert", {"alert": alert}))
 
 
 class LoggingObserver(RaceObserver):

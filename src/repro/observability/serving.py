@@ -44,8 +44,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.observability.log import get_logger
-from repro.observability.metrics import MetricsRegistry, get_metrics
+from repro.observability.metrics import MetricsRegistry, build_info, get_metrics
 from repro.observability.observer import ServingObserver
+from repro.observability.resources import get_accounting
+from repro.observability.slo import QuantileSketch, SloTracker
 from repro.observability.tracing import get_tracer
 
 _log = get_logger(__name__)
@@ -506,6 +508,9 @@ class InferenceMonitor:
         drift_window: int = 256,
         drift_min_samples: int = 64,
         observer: ServingObserver | None = None,
+        slo_tracker: SloTracker | None = None,
+        slo_policies=None,
+        enable_slo: bool = True,
     ):
         if not getattr(engine, "is_fitted", False):
             from repro.exceptions import NotFittedError
@@ -530,6 +535,17 @@ class InferenceMonitor:
                     min_samples=drift_min_samples,
                 )
         self.drift_detector = drift_detector
+        # SLO engine: streaming latency sketches (whole process lifetime,
+        # unlike the forgetting windows above) plus continuously evaluated
+        # burn-rate policies.  ``enable_slo=False`` turns the whole plane
+        # off (the overhead-benchmark baseline arm).
+        if slo_tracker is None and enable_slo:
+            slo_tracker = SloTracker(slo_policies)
+        self.slo_tracker = slo_tracker
+        #: Request-level latency sketch (the per-series sketch lives in
+        #: the tracker).  Sketch-backed p50/p99 survive far past the
+        #: rolling window's capacity.
+        self.latency_sketch = QuantileSketch()
         self.observers: list[ServingObserver] = []
         #: Requests served in degraded mode (members dropped or fallback).
         self.n_degraded = 0
@@ -547,10 +563,12 @@ class InferenceMonitor:
             self.add_observer(observer)
 
     def add_observer(self, observer: ServingObserver) -> None:
-        """Register a :class:`ServingObserver` for request/drift events."""
+        """Register a :class:`ServingObserver` for request/drift/SLO events."""
         self.observers.append(observer)
         if self.drift_detector is not None:
             self.drift_detector.add_observer(observer)
+        if self.slo_tracker is not None:
+            self.slo_tracker.add_observer(observer)
 
     # ------------------------------------------------------------------
     def recommend(self, series):
@@ -653,7 +671,26 @@ class InferenceMonitor:
                 self.recommendation_mix[rec.algorithm] = (
                     self.recommendation_mix.get(rec.algorithm, 0) + 1
                 )
-        self._update_scorecards(series_list, recommendations)
+        slice_keys = self._update_scorecards(series_list, recommendations)
+
+        # -- SLO plane ----------------------------------------------------
+        self.latency_sketch.update(elapsed)
+        if self.slo_tracker is not None:
+            # One SLO event per served series (the unit the scorecards
+            # and error budgets count in), evaluated once per request.
+            # A fallback answer counts as an error event.
+            error = detail is None
+            per_series = elapsed / n_series if n_series else elapsed
+            if slice_keys:
+                for keys in slice_keys:
+                    self.slo_tracker.record_latency(
+                        per_series, error=error, slices=keys, check=False
+                    )
+            else:
+                self.slo_tracker.record_latency(
+                    elapsed, error=error, check=False
+                )
+            self.slo_tracker.evaluate()
 
         # -- metrics registry (no-op unless installed) --------------------
         metrics = get_metrics()
@@ -681,8 +718,14 @@ class InferenceMonitor:
         return recommendations
 
     # ------------------------------------------------------------------
-    def _update_scorecards(self, series_list, recommendations) -> None:
-        """Accumulate per-imputer (and, with an atlas, per-cluster) cards."""
+    def _update_scorecards(self, series_list, recommendations) -> list:
+        """Accumulate per-imputer (and, with an atlas, per-cluster) cards.
+
+        Returns one tuple of slice keys per series (``imputer:<alg>``
+        plus ``cluster:<id>`` when an atlas assigned one) — the same
+        keys the scorecards aggregate under, reused by the SLO tracker's
+        per-slice budgets.
+        """
         atlas = getattr(self.engine, "cluster_atlas_", None)
         assignments = None
         if atlas is not None and len(atlas):
@@ -692,6 +735,7 @@ class InferenceMonitor:
                 atlas.assign(np.asarray(s.values, dtype=float))
                 for s in series_list
             ]
+        slice_keys: list[tuple] = []
         with self._mix_lock:
             for idx, rec in enumerate(recommendations):
                 card = self._imputer_cards.setdefault(
@@ -704,17 +748,20 @@ class InferenceMonitor:
                 card["confidence_sum"] += float(
                     rec.probabilities.get(rec.algorithm, 0.0)
                 )
-                if assignments is None or assignments[idx] is None:
-                    continue
-                assignment = assignments[idx]
-                cluster = self._cluster_cards.setdefault(
-                    str(assignment["cluster"]),
-                    {"n": 0, "degraded": 0, "ncc_sum": 0.0},
-                )
-                cluster["n"] += 1
-                if rec.degraded:
-                    cluster["degraded"] += 1
-                cluster["ncc_sum"] += float(assignment["ncc"])
+                keys = [f"imputer:{rec.algorithm}"]
+                if assignments is not None and assignments[idx] is not None:
+                    assignment = assignments[idx]
+                    cluster = self._cluster_cards.setdefault(
+                        str(assignment["cluster"]),
+                        {"n": 0, "degraded": 0, "ncc_sum": 0.0},
+                    )
+                    cluster["n"] += 1
+                    if rec.degraded:
+                        cluster["degraded"] += 1
+                    cluster["ncc_sum"] += float(assignment["ncc"])
+                    keys.append(f"cluster:{assignment['cluster']}")
+                slice_keys.append(tuple(keys))
+        return slice_keys
 
     def scorecard_summary(self) -> dict:
         """Aggregated per-imputer / per-cluster quality scorecards."""
@@ -788,6 +835,13 @@ class HealthSnapshot:
     alerts: dict = field(default_factory=dict)
     resilience: dict = field(default_factory=dict)
     scorecards: dict = field(default_factory=dict)
+    #: SLO engine status: lifetime latency sketch, per-policy burn rates,
+    #: per-slice budgets (``None`` when the monitor runs without SLOs).
+    slo: dict | None = None
+    #: Resource accounting: RSS, live component bytes, kernel counters.
+    resources: dict = field(default_factory=dict)
+    #: Build identity (version + git sha), mirrored as repro_build_info.
+    build: dict = field(default_factory=dict)
 
     @classmethod
     def collect(
@@ -852,13 +906,32 @@ class HealthSnapshot:
             "quarantined_members": quarantined,
             "process": resilience_stats(),
         }
+        tracker = monitor.slo_tracker
+        slo = tracker.status() if tracker is not None else None
+        # Sketch-backed quantiles ride along with the window summaries:
+        # the window forgets after ``capacity`` requests, the sketch
+        # covers the whole process lifetime in fixed memory.
+        latency = monitor.latency.summary()
+        if len(monitor.latency_sketch):
+            sketch_p50, sketch_p99 = monitor.latency_sketch.quantiles(
+                (0.5, 0.99)
+            )
+            latency["sketch_p50"] = sketch_p50
+            latency["sketch_p99"] = sketch_p99
+            latency["sketch_count"] = monitor.latency_sketch.count
+        series_latency = monitor.series_latency.summary()
+        if tracker is not None and len(tracker.sketch):
+            sketch_p50, sketch_p99 = tracker.sketch.quantiles((0.5, 0.99))
+            series_latency["sketch_p50"] = sketch_p50
+            series_latency["sketch_p99"] = sketch_p99
+            series_latency["sketch_count"] = tracker.sketch.count
         return cls(
             generated_at=_dt.datetime.now(_dt.timezone.utc).isoformat(),
             uptime_s=monitor.uptime,
             n_requests=monitor.n_requests,
             n_series=monitor.n_series,
-            latency=monitor.latency.summary(),
-            series_latency=monitor.series_latency.summary(),
+            latency=latency,
+            series_latency=series_latency,
             confidence=monitor.confidence.summary(),
             disagreement=monitor.disagreement.summary(),
             recommendation_mix={
@@ -870,12 +943,16 @@ class HealthSnapshot:
             backends=backends,
             alerts={
                 "drift_alerts": detector.n_alerts if detector else 0,
+                "slo_alerts": tracker.n_alerts if tracker is not None else 0,
                 "degraded_requests": monitor.n_degraded,
                 "fallback_requests": monitor.n_fallback,
                 "quarantined_members": len(quarantined),
             },
             resilience=resilience,
             scorecards=monitor.scorecard_summary(),
+            slo=slo,
+            resources=get_accounting().snapshot(),
+            build=build_info(),
         )
 
     def as_dict(self) -> dict:
@@ -895,6 +972,9 @@ class HealthSnapshot:
             "alerts": self.alerts,
             "resilience": self.resilience,
             "scorecards": self.scorecards,
+            "slo": self.slo,
+            "resources": self.resources,
+            "build": self.build,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -918,7 +998,10 @@ class HealthSnapshot:
             ("repro_serving_confidence", self.confidence),
             ("repro_serving_disagreement", self.disagreement),
         ):
-            for stat in ("p50", "p95", "p99", "mean"):
+            stats = ("p50", "p95", "p99", "mean")
+            if "sketch_p50" in summary:
+                stats = stats + ("sketch_p50", "sketch_p99")
+            for stat in stats:
                 registry.gauge(
                     prefix, f"Rolling-window {prefix}",
                     labels={"stat": stat},
@@ -1009,6 +1092,87 @@ class HealthSnapshot:
                 "repro_serving_cluster_ncc_mean",
                 "Mean NCC to the cluster representative", labels=labels,
             ).set(card.get("mean_ncc", 0.0))
+        # -- SLO engine ----------------------------------------------------
+        if self.slo:
+            registry.counter(
+                "repro_slo_events_total", "Events recorded by the SLO tracker"
+            ).inc(self.slo.get("n_events", 0))
+            registry.counter(
+                "repro_slo_alerts_total", "Burn-rate SLO alerts announced"
+            ).inc(self.slo.get("n_alerts", 0))
+            for status in self.slo.get("policies", ()):
+                labels = {"policy": status["policy"]}
+                registry.gauge(
+                    "repro_slo_burn_rate_fast",
+                    "Fast-window error-budget burn rate per policy",
+                    labels=labels,
+                ).set(status.get("fast_burn", 0.0))
+                registry.gauge(
+                    "repro_slo_burn_rate_slow",
+                    "Slow-window error-budget burn rate per policy",
+                    labels=labels,
+                ).set(status.get("slow_burn", 0.0))
+                registry.gauge(
+                    "repro_slo_budget_remaining",
+                    "Remaining error-budget fraction per policy (slow window)",
+                    labels=labels,
+                ).set(status.get("budget_remaining", 0.0))
+                registry.gauge(
+                    "repro_slo_alerting",
+                    "1 while the policy's burn-rate alert is active",
+                    labels=labels,
+                ).set(1.0 if status.get("alerting") else 0.0)
+        # -- resource accounting -------------------------------------------
+        if self.resources:
+            process = self.resources.get("process", {})
+            registry.gauge(
+                "repro_process_rss_bytes", "Resident set size"
+            ).set(process.get("rss_bytes", 0))
+            registry.gauge(
+                "repro_process_rss_hwm_bytes", "Resident set high-water mark"
+            ).set(process.get("tracked_hwm_bytes", process.get("hwm_bytes", 0)))
+            for component, account in self.resources.get("accounts", {}).items():
+                labels = {"component": component}
+                registry.gauge(
+                    "repro_resource_bytes",
+                    "Live bytes held per instrumented component",
+                    labels=labels,
+                ).set(account.get("bytes", 0))
+                registry.gauge(
+                    "repro_resource_peak_bytes",
+                    "Peak live bytes per instrumented component",
+                    labels=labels,
+                ).set(account.get("peak_bytes", 0))
+                registry.gauge(
+                    "repro_resource_items",
+                    "Live items held per instrumented component",
+                    labels=labels,
+                ).set(account.get("items", 0))
+            for kernel, counters in self.resources.get("kernels", {}).items():
+                labels = {"kernel": kernel}
+                registry.counter(
+                    "repro_kernel_calls_total",
+                    "Instrumented kernel invocations", labels=labels,
+                ).inc(counters.get("calls", 0))
+                registry.counter(
+                    "repro_kernel_bytes_moved_total",
+                    "Working-set bytes moved per kernel", labels=labels,
+                ).inc(counters.get("bytes_moved", 0))
+                registry.counter(
+                    "repro_kernel_chunks_total",
+                    "Blockwise chunks executed per kernel", labels=labels,
+                ).inc(counters.get("chunks", 0))
+                registry.counter(
+                    "repro_kernel_scratch_allocations_total",
+                    "Scratch allocations per kernel", labels=labels,
+                ).inc(counters.get("scratch_allocations", 0))
+            for backend, count in self.resources.get(
+                "backend_decisions", {}
+            ).items():
+                registry.counter(
+                    "repro_backend_decisions_total",
+                    "Executor backend resolutions", labels={"backend": backend},
+                ).inc(count)
         return registry.to_prometheus()
 
     def export(self, path):

@@ -23,11 +23,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pathlib
+import sys
 import threading
 
 import numpy as np
 
 from repro.observability import get_logger, get_metrics
+from repro.observability.resources import get_accounting
 
 _log = get_logger(__name__)
 
@@ -86,6 +88,8 @@ class FeatureCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Live bytes held in ``_mem`` by this instance (accounting).
+        self._bytes = 0
 
     @classmethod
     def persistent(cls) -> "FeatureCache":
@@ -114,6 +118,11 @@ class FeatureCache:
                     vector = None
                 else:
                     with self._lock:
+                        if key not in self._mem:
+                            self._bytes += vector.nbytes
+                            get_accounting().account_add(
+                                "feature_cache", vector.nbytes
+                            )
                         self._mem[key] = vector
         if vector is None:
             self.misses += 1
@@ -133,7 +142,17 @@ class FeatureCache:
         """Store ``vector`` under ``key`` (memory, plus disk if configured)."""
         vector = np.asarray(vector, dtype=float).copy()
         with self._lock:
+            old = self._mem.get(key)
             self._mem[key] = vector
+            delta = vector.nbytes - (old.nbytes if old is not None else 0)
+            self._bytes += delta
+        if old is None:
+            get_accounting().account_add("feature_cache", vector.nbytes)
+        elif delta:
+            if delta > 0:
+                get_accounting().account_add("feature_cache", delta, items=0)
+            else:
+                get_accounting().account_sub("feature_cache", -delta, items=0)
         if self.directory is not None:
             path = self.directory / f"{key}.npy"
             # Write-then-rename for atomicity; the tmp name keeps the
@@ -164,12 +183,18 @@ class FeatureCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "persistent": self.directory is not None,
+            "bytes": self._bytes,
         }
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop in-memory entries; ``disk=True`` also removes persisted files."""
         with self._lock:
+            dropped_bytes, dropped_items = self._bytes, len(self._mem)
             self._mem.clear()
+            self._bytes = 0
+        get_accounting().account_sub(
+            "feature_cache", dropped_bytes, items=dropped_items
+        )
         self.hits = 0
         self.misses = 0
         if disk and self.directory is not None:
@@ -201,6 +226,8 @@ class ScoreMemo:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Estimated live bytes held by this memo (accounting).
+        self._bytes = 0
 
     def get(self, key: tuple):
         """Cached :class:`PipelineScore` for ``key``, or ``None``."""
@@ -221,8 +248,16 @@ class ScoreMemo:
         return result
 
     def put(self, key: tuple, score) -> None:
+        # Scores are small objects; the shallow size is an estimate, but
+        # it keeps the memo's growth visible in the accounts.
+        nbytes = sys.getsizeof(score)
         with self._lock:
+            fresh = key not in self._store
             self._store[key] = score
+            if fresh:
+                self._bytes += nbytes
+        if fresh:
+            get_accounting().account_add("score_memo", nbytes)
 
     def __len__(self) -> int:
         with self._lock:
@@ -245,6 +280,12 @@ class ScoreMemo:
 
     def clear(self) -> None:
         with self._lock:
+            dropped_bytes, dropped_items = self._bytes, len(self._store)
             self._store.clear()
+            self._bytes = 0
+        if dropped_items:
+            get_accounting().account_sub(
+                "score_memo", dropped_bytes, items=dropped_items
+            )
         self.hits = 0
         self.misses = 0

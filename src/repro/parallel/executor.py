@@ -48,6 +48,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.exceptions import WorkerCrashError
 from repro.observability import get_logger, get_metrics, get_tracer
+from repro.observability.resources import get_accounting
 from repro.parallel.config import AUTO_SERIAL_MAX_TASKS, ParallelConfig
 from repro.resilience.stats import tick
 
@@ -231,6 +232,7 @@ class ExecutionEngine:
             est = self._cost_ewma[label]
         tail = items[len(head):]
         backend = cfg.resolve_backend(len(items), est)
+        get_accounting().record_backend_decision(backend)
         jobs = min(cfg.effective_jobs, len(items))
         chunk = cfg.resolve_chunk_size(len(items), est)
         metrics = get_metrics()
@@ -302,6 +304,9 @@ class ExecutionEngine:
         pool = self._process_pool()
         if pool is None:
             return self.map(direct, items, label=label)
+        # Record only on the shared-memory path: the fallbacks above run
+        # through ``map``, which records its own (re-resolved) decision.
+        get_accounting().record_backend_decision(backend)
         chunk = cfg.resolve_chunk_size(len(items), est)
         segments = {
             key: _shm.SharedArray.create(array)

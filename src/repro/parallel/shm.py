@@ -32,6 +32,8 @@ import threading
 
 import numpy as np
 
+from repro.observability.resources import get_accounting
+
 try:  # pragma: no cover - import succeeds on every supported platform
     from multiprocessing import resource_tracker, shared_memory
 except ImportError:  # pragma: no cover - exotic minimal builds
@@ -97,6 +99,9 @@ class SharedArray:
         view[...] = source
         with _REGISTRY_LOCK:
             _CREATED.add(shm.name)
+        registry = get_accounting()
+        registry.account_add("shared_memory", shm.size)
+        registry.record_kernel("shm_create", bytes_moved=source.nbytes)
         return cls(shm, view, owner=True)
 
     @property
@@ -143,7 +148,10 @@ class SharedArray:
     def unlink(self) -> None:
         """Destroy the segment (owner side; idempotent)."""
         with _REGISTRY_LOCK:
+            was_live = self._shm.name in _CREATED
             _CREATED.discard(self._shm.name)
+        if was_live:
+            get_accounting().account_sub("shared_memory", self._shm.size)
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - double unlink race

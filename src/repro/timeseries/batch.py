@@ -29,9 +29,12 @@ slabs instead of materializing an ``(n, n, fft)`` cube.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.observability.resources import get_accounting
 
 #: Scratch-memory cap (bytes) for one blockwise spectral product.  The
 #: inverse-FFT slab for a block of ``b`` rows against ``m`` columns at FFT
@@ -62,6 +65,12 @@ def reset_bank_cache_stats() -> None:
     """Zero the process-wide bank cache counters (tests / fresh monitoring)."""
     _BANK_CACHE_STATS["hits"] = 0
     _BANK_CACHE_STATS["misses"] = 0
+
+
+def _release_bank_bytes(holder: list) -> None:
+    """Finalizer of a garbage-collected bank: release its live bytes."""
+    get_accounting().account_sub("series_bank", holder[0])
+    holder[0] = 0
 
 
 def _clean_array(series) -> np.ndarray:
@@ -169,10 +178,14 @@ def ncc_cross(
     values = np.zeros((nx, ny))
     shifts = np.zeros((nx, ny), dtype=np.int64)
     rows_per_block = _block_rows(ny, size, block_bytes)
+    n_chunks = 0
+    scratch_bytes = 0
     for start in range(0, nx, rows_per_block):
         stop = min(nx, start + rows_per_block)
         spec = fx[start:stop][:, None, :] * fy_conj[None, :, :]
         cc = np.fft.irfft(spec, size, axis=2)
+        n_chunks += 1
+        scratch_bytes += spec.nbytes + cc.nbytes
         if L > 1:
             # Reorder to shifts -(L-1) .. (L-1), exactly like the scalar
             # `np.concatenate((cc[-(L-1):], cc[:L]))`.
@@ -188,6 +201,15 @@ def ncc_cross(
     np.divide(values, denom, out=values, where=nonzero)
     values[~nonzero] = 0.0
     shifts[~nonzero] = 0
+    get_accounting().record_kernel(
+        "ncc_cross",
+        bytes_moved=(
+            X.nbytes + Y.nbytes + values.nbytes + shifts.nbytes
+            + scratch_bytes
+        ),
+        chunks=n_chunks,
+        scratch_allocations=2 * n_chunks,
+    )
     return values, shifts
 
 
@@ -269,6 +291,17 @@ class SeriesBank:
         #: contents, keyed by caller-chosen hashable keys; see
         #: :meth:`cached`.  The rFFT banks live here too.
         self._derived: dict = {}
+        # Resource accounting: the bank's live bytes (base matrices now,
+        # derived arrays as ``cached`` builds them) are tracked in the
+        # shared ``series_bank`` account and released when the bank is
+        # garbage-collected.  The mutable holder lets ``cached`` grow the
+        # figure after the finalizer is registered.
+        held = self.raw.nbytes + self.znorm.nbytes + self.norms.nbytes
+        self._account_bytes = [held]
+        get_accounting().account_add("series_bank", held)
+        weakref.finalize(
+            self, _release_bank_bytes, self._account_bytes
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -342,6 +375,10 @@ class SeriesBank:
         _BANK_CACHE_STATS["misses"] += 1
         value = builder()
         self._derived[key] = value
+        nbytes = getattr(value, "nbytes", 0)
+        if nbytes:
+            self._account_bytes[0] += nbytes
+            get_accounting().account_add("series_bank", nbytes, items=0)
         return value
 
     def rfft(self, size: int | None = None) -> np.ndarray:
@@ -365,10 +402,18 @@ class SeriesBank:
         n, L = Z.shape
         out = np.empty((n, n))
         rows = max(1, int(block_bytes // max(1, n * 8)))
+        n_chunks = 0
         for start in range(0, n, rows):
             stop = min(n, start + rows)
             out[start:stop] = Z[start:stop] @ Z.T
+            n_chunks += 1
         out /= L
+        get_accounting().record_kernel(
+            "corr_matrix",
+            bytes_moved=Z.nbytes + out.nbytes,
+            chunks=n_chunks,
+            scratch_allocations=1,
+        )
         # Mirror the reference construction: values from the upper
         # triangle, exact symmetry, exact unit diagonal.
         upper = np.triu(out, k=1)

@@ -437,3 +437,183 @@ class TestLedgerCommands:
         code = main(["explain", "rep_nope", "--ledger", str(ledger_path)])
         assert code == 2
         assert "no repair record" in capsys.readouterr().err
+
+
+class TestTopCommand:
+    def test_top_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["top", "--snapshot", "h.json", "--once"])
+        assert callable(args.func)
+        assert args.once is True
+
+    def test_top_once_live_engine(self, serving_artifacts, capsys):
+        engine_path, data_path = serving_artifacts
+        code = main(
+            [
+                "top",
+                "--engine", str(engine_path),
+                "--data", str(data_path),
+                "--once", "--no-color",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "SLO" in out
+        assert "RESOURCES" in out
+        assert "\x1b[2J" not in out  # --once never clears the screen
+
+    def test_top_once_from_snapshot_file(
+        self, serving_artifacts, tmp_path, capsys
+    ):
+        engine_path, data_path = serving_artifacts
+        out_path = tmp_path / "health.json"
+        assert main(
+            [
+                "monitor",
+                "--engine", str(engine_path),
+                "--data", str(data_path),
+                "--out", str(out_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(["top", "--snapshot", str(out_path), "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "latency_p99" in out
+
+    def test_top_without_source_errors(self, capsys):
+        code = main(["top", "--once"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_top_loop_exits_cleanly_on_interrupt(
+        self, serving_artifacts, monkeypatch, capsys
+    ):
+        import time as _time
+
+        engine_path, data_path = serving_artifacts
+
+        def _interrupt(_seconds):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(_time, "sleep", _interrupt)
+        code = main(
+            ["top", "--engine", str(engine_path), "--data", str(data_path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "\x1b[2J" in captured.out  # at least one frame was drawn
+        assert "top stopped" in captured.err
+
+
+class TestMonitorWatch:
+    def test_watch_flag_registered(self):
+        args = build_parser().parse_args(
+            ["monitor", "--engine", "e.json", "--data", "d.csv",
+             "--watch", "2.5"]
+        )
+        assert args.watch == 2.5
+
+    def test_watch_loop_renders_and_exits_on_interrupt(
+        self, serving_artifacts, monkeypatch, capsys
+    ):
+        import time as _time
+
+        engine_path, data_path = serving_artifacts
+        calls = []
+
+        def _interrupt(seconds):
+            calls.append(seconds)
+            if len(calls) >= 2:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(_time, "sleep", _interrupt)
+        code = main(
+            [
+                "monitor",
+                "--engine", str(engine_path),
+                "--data", str(data_path),
+                "--watch", "1.0",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("\x1b[2J") == 2  # one clear per frame
+        assert "monitor stopped" in captured.err
+        assert len(calls) == 2
+
+
+class TestBenchTrendCommand:
+    def test_bench_trend_registered(self):
+        args = build_parser().parse_args(["bench", "trend"])
+        assert callable(args.func)
+
+    def test_bench_trend_renders_table(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"race": {"serial_s": 1.0}, "other": {"serial_s": 1.0}}
+        ))
+        fresh = tmp_path / "BENCH_race.json"
+        fresh.write_text(json.dumps({"race": {"serial_s": 2.0}}))
+        out_path = tmp_path / "trend.txt"
+        code = main(
+            [
+                "bench", "trend",
+                "--baseline", str(baseline),
+                "--fresh", str(fresh),
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "1 regression(s)" in out
+        assert "baseline-only" in out
+        assert "REGRESSED" in out_path.read_text()
+
+    def test_bench_trend_glob_and_missing_fresh(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"a": {"serial_s": 1.0}}))
+        for name, doc in (
+            ("BENCH_one.json", {"a": {"serial_s": 1.1}}),
+            ("BENCH_two.json", {"b": {"serial_s": 0.5}}),
+        ):
+            (tmp_path / name).write_text(json.dumps(doc))
+        code = main(
+            [
+                "bench", "trend",
+                "--baseline", str(baseline),
+                "--fresh", str(tmp_path / "BENCH_*.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+    def test_bench_trend_no_fresh_errors(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"a": {"serial_s": 1.0}}))
+        code = main(
+            [
+                "bench", "trend",
+                "--baseline", str(baseline),
+                "--fresh", str(tmp_path / "BENCH_none.json"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_trend_missing_baseline_errors(self, tmp_path, capsys):
+        code = main(
+            ["bench", "trend", "--baseline", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

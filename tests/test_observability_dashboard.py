@@ -1,0 +1,206 @@
+"""Tests for the ``repro top`` renderer and the bench trend table."""
+
+import json
+
+import pytest
+
+from repro.observability.dashboard import (
+    bench_trend_rows,
+    human_bytes,
+    load_snapshot,
+    render_bench_trend,
+    render_top,
+)
+
+
+def _snapshot_dict():
+    return {
+        "generated_at": "2026-01-01T00:00:00+00:00",
+        "uptime_s": 10.0,
+        "n_requests": 20,
+        "n_series": 40,
+        "latency": {
+            "count": 20, "p50": 0.004, "p95": 0.006, "p99": 0.0065,
+            "max": 0.007, "sketch_p50": 0.0041, "sketch_p99": 0.0066,
+        },
+        "slo": {
+            "n_events": 40,
+            "n_alerts": 1,
+            "latency_sketch": {"p50": 0.002, "p99": 0.003},
+            "policies": [
+                {
+                    "policy": "latency_p99",
+                    "objective": "p99 latency <= 1000ms over 5m/60m",
+                    "fast_burn": 20.0,
+                    "slow_burn": 8.0,
+                    "budget_remaining": 0.25,
+                    "alerting": True,
+                },
+                {
+                    "policy": "error_rate",
+                    "objective": "error rate <= 1.000% over 5m/60m",
+                    "fast_burn": 0.0,
+                    "slow_burn": 0.0,
+                    "budget_remaining": 1.0,
+                    "alerting": False,
+                },
+            ],
+            "slices": {
+                "imputer:cdrec": {
+                    "n": 30, "errors": 2, "p99": 0.004,
+                    "bad": {"latency_p99": 5},
+                },
+            },
+        },
+        "resources": {
+            "process": {
+                "rss_bytes": 100 * 1024 * 1024,
+                "hwm_bytes": 120 * 1024 * 1024,
+            },
+            "accounts": {
+                "series_bank": {
+                    "bytes": 2048, "peak_bytes": 4096, "items": 3,
+                },
+            },
+            "kernels": {
+                "ncc_cross": {
+                    "calls": 4, "bytes_moved": 1 << 20,
+                    "chunks": 8, "scratch_allocations": 8,
+                },
+            },
+            "backend_decisions": {"serial": 9, "process": 1},
+        },
+        "caches": {
+            "feature_cache": {
+                "hits": 30, "misses": 10, "hit_rate": 0.75, "bytes": 512,
+            },
+            "score_memo": None,
+        },
+        "recommendation_mix": {"fractions": {"cdrec": 0.8, "linear": 0.2}},
+        "alerts": {"slo_alerts": 1, "drift_alerts": 0},
+        "drift": {"psi_max": 0.1, "ks_max": 0.2, "alerting": False},
+        "build": {"version": "1.0.0", "git_sha": "abc1234"},
+    }
+
+
+class TestRenderTop:
+    def test_full_snapshot_renders_all_sections(self):
+        frame = render_top(_snapshot_dict())
+        assert "repro top — v1.0.0 @ abc1234" in frame
+        assert "latency_p99" in frame and "ALERT" in frame
+        assert "error_rate" in frame and "ok" in frame
+        assert "slice imputer:cdrec" in frame
+        assert "100.0 MiB" in frame  # rss
+        assert "ncc_cross" in frame and "1.0 MiB" in frame
+        assert "backend decisions: process=1  serial=9" in frame
+        assert "hit rate" in frame and "75.0%" in frame
+        assert "mix: cdrec 80%" in frame
+        assert "slo_alerts=1" in frame
+        # default rendering is color-free (CI artifacts stay clean)
+        assert "\x1b[" not in frame
+
+    def test_color_mode_emits_ansi(self):
+        frame = render_top(_snapshot_dict(), color=True)
+        assert "\x1b[31m" in frame  # the alerting policy is red
+
+    def test_degrades_on_minimal_snapshot(self):
+        frame = render_top({})
+        assert "slo tracking disabled" in frame
+        assert "alerts: none" in frame
+
+    def test_pre_slo_schema_snapshot_renders(self):
+        # Old exports (before the SLO plane) must still render.
+        frame = render_top(
+            {
+                "generated_at": "x",
+                "uptime_s": 1.0,
+                "n_requests": 1,
+                "n_series": 1,
+                "latency": {"p50": 0.001, "p95": 0.002, "p99": 0.003},
+            }
+        )
+        assert "1.0ms" in frame
+
+    def test_human_bytes(self):
+        assert human_bytes(0) == "0 B"
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(1536) == "1.5 KiB"
+        assert human_bytes(3 * 1024 * 1024) == "3.0 MiB"
+        assert human_bytes(None) == "0 B"
+
+    def test_load_snapshot_round_trip(self, tmp_path):
+        path = tmp_path / "health.json"
+        path.write_text(json.dumps(_snapshot_dict()))
+        assert load_snapshot(path)["n_requests"] == 20
+
+    def test_load_snapshot_rejects_non_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_snapshot(path)
+
+
+class TestBenchTrend:
+    BASELINE = {
+        "race": {"serial_s": 1.0, "parallel_s": 0.5, "n": 4},
+        "kernels": {"batched_s": 0.002},
+        "gone": {"serial_s": 2.0},
+    }
+    FRESH = {
+        "race": {"serial_s": 2.0, "parallel_s": 0.4},
+        "kernels": {"batched_s": 0.003},
+        "added": {"serial_s": 0.1},
+    }
+
+    def test_rows_cover_both_sides(self):
+        rows = bench_trend_rows(self.BASELINE, self.FRESH)
+        by_key = {(r["workload"], r["arm"]): r for r in rows}
+        assert by_key[("race", "serial_s")]["ratio"] == pytest.approx(2.0)
+        assert by_key[("race", "parallel_s")]["ratio"] == pytest.approx(0.8)
+        assert by_key[("kernels", "batched_s")]["noise"] is True
+        assert by_key[("gone", "serial_s")]["fresh_s"] is None
+        assert by_key[("added", "serial_s")]["baseline_s"] is None
+        # non-numeric / non-_s keys are not arms
+        assert ("race", "n") not in by_key
+
+    def test_render_flags(self):
+        table = render_bench_trend(self.BASELINE, self.FRESH)
+        assert "REGRESSED" in table     # race.serial_s at 2x
+        assert "improved" in table      # race.parallel_s at 0.8x
+        assert "noise" in table         # kernels under min_seconds
+        assert "new" in table           # added.serial_s
+        assert "1 regression(s)" in table
+        assert "baseline-only" in table  # gone.* summarized in footer
+        assert "gone" not in table.splitlines()[2:-2][0]
+
+    def test_include_missing_lists_baseline_only_arms(self):
+        table = render_bench_trend(
+            self.BASELINE, self.FRESH, include_missing=True
+        )
+        assert "missing" in table
+        assert any("gone" in line for line in table.splitlines())
+
+    def test_threshold_matches_ci_gate(self):
+        # At threshold 2.5 the 2.0x slowdown is not a regression.
+        table = render_bench_trend(
+            self.BASELINE, self.FRESH, threshold=2.5
+        )
+        assert "no regressions beyond 2.50x" in table
+
+    def test_agrees_with_check_regression(self):
+        # The table's REGRESSED flag must match the CI gate's verdict on
+        # the same documents (same arm discovery, same threshold).
+        import pathlib
+        import sys
+
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        sys.path.insert(0, str(repo_root / "benchmarks"))
+        try:
+            from check_regression import compare
+        finally:
+            sys.path.pop(0)
+        problems = compare(self.BASELINE, self.FRESH, 1.5)
+        flagged = {p.split(":")[0] for p in problems if "missing" not in p}
+        assert flagged == {"race.serial_s"}
+        table = render_bench_trend(self.BASELINE, self.FRESH)
+        assert table.count("REGRESSED") == len(flagged)

@@ -1,0 +1,292 @@
+"""Tests for the SLO engine: quantile sketch + burn-rate tracker."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.observability import RecordingServingObserver
+from repro.observability.slo import (
+    QuantileSketch,
+    SloPolicy,
+    SloTracker,
+    default_policies,
+)
+
+QS = (0.5, 0.95, 0.99)
+
+
+def _distributions(seed):
+    # Positive support throughout (like latencies): relative error is
+    # ill-defined where a quantile crosses zero.
+    rng = np.random.default_rng(seed)
+    return {
+        "normal": rng.normal(10.0, 3.0, size=10_000),
+        "lognormal": rng.lognormal(0.0, 1.0, size=10_000),
+        "uniform": rng.uniform(0.5, 10.5, size=10_000),
+        "exponential": rng.exponential(2.0, size=10_000),
+    }
+
+
+def _rel_err(estimate, exact, scale):
+    return abs(estimate - exact) / max(abs(exact), 1e-9 * scale)
+
+
+class TestQuantileSketch:
+    def test_exact_below_capacity(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=500)
+        sketch = QuantileSketch()
+        sketch.extend(data)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert sketch.quantile(q) == pytest.approx(
+                np.percentile(data, q * 100), abs=1e-12
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_parity_with_np_percentile(self, seed):
+        # Acceptance bar: p50/p95/p99 within 1% relative error of
+        # np.percentile on >= 3 distributions at n=10k.
+        for name, data in _distributions(seed).items():
+            sketch = QuantileSketch()
+            sketch.extend(data)
+            spread = float(np.ptp(data))
+            for q in QS:
+                exact = float(np.percentile(data, q * 100))
+                err = _rel_err(sketch.quantile(q), exact, spread)
+                assert err < 0.01, (
+                    f"{name} seed={seed} p{q * 100:g}: rel err {err:.4%}"
+                )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_merge_of_halves_matches_whole(self, seed):
+        for name, data in _distributions(seed).items():
+            left, right = QuantileSketch(), QuantileSketch()
+            left.extend(data[: len(data) // 2])
+            right.extend(data[len(data) // 2:])
+            merged = QuantileSketch().merge(left).merge(right)
+            assert merged.count == len(data)
+            spread = float(np.ptp(data))
+            for q in QS:
+                exact = float(np.percentile(data, q * 100))
+                err = _rel_err(merged.quantile(q), exact, spread)
+                assert err < 0.01, (
+                    f"merged {name} seed={seed} p{q * 100:g}: {err:.4%}"
+                )
+
+    def test_merge_folds_in_place_without_touching_other(self):
+        # merge() is an in-place fold: returns self, never mutates other.
+        rng = np.random.default_rng(3)
+        a, b = QuantileSketch(), QuantileSketch()
+        a.extend(rng.normal(size=100))
+        b.extend(rng.normal(size=100))
+        before_b = b.quantile(0.5)
+        merged = a.merge(b)
+        assert merged is a
+        assert a.count == 200
+        assert b.count == 100
+        assert b.quantile(0.5) == before_b
+
+    def test_picklable(self):
+        rng = np.random.default_rng(4)
+        data = rng.lognormal(size=20_000)
+        sketch = QuantileSketch()
+        sketch.extend(data)
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone.count == sketch.count
+        for q in QS:
+            assert clone.quantile(q) == sketch.quantile(q)
+        # The revived sketch keeps accepting updates (fresh lock).
+        clone.update(1.0)
+        assert clone.count == sketch.count + 1
+
+    def test_fixed_memory(self):
+        # Stored items stay bounded while the count grows unbounded.
+        sketch = QuantileSketch(k=128)
+        rng = np.random.default_rng(5)
+        sketch.extend(rng.normal(size=50_000))
+        stored = sum(len(level) for level in sketch._levels)
+        assert sketch.count == 50_000
+        assert stored < 128 * 8
+
+    def test_min_max_exact(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=30_000)
+        sketch = QuantileSketch(k=64)
+        sketch.extend(data)
+        assert sketch.quantile(0.0) == float(data.min())
+        assert sketch.quantile(1.0) == float(data.max())
+
+    def test_empty_and_validation(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.summary()["count"] == 0
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError):
+            QuantileSketch(k=2)
+
+    def test_summary_keys(self):
+        sketch = QuantileSketch()
+        sketch.extend([1.0, 2.0, 3.0])
+        summary = sketch.summary()
+        assert set(summary) == {
+            "count", "mean", "min", "max", "p50", "p95", "p99",
+        }
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+
+
+class TestSloPolicy:
+    def test_latency_constructor_maps_quantile_to_budget(self):
+        policy = SloPolicy.latency("p99", quantile=0.99, threshold_s=0.05)
+        assert policy.kind == "latency"
+        assert policy.budget == pytest.approx(0.01)
+        assert policy.threshold == pytest.approx(0.05)
+        assert "p99" in policy.describe()
+        assert "50ms" in policy.describe()
+
+    def test_error_rate_constructor(self):
+        policy = SloPolicy.error_rate("errors", budget=0.001)
+        assert policy.kind == "error_rate"
+        assert policy.budget == pytest.approx(0.001)
+        assert "0.100%" in policy.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(name="bad", kind="latency", budget=0.0, threshold=1.0)
+        with pytest.raises(ValueError):
+            SloPolicy(name="bad", kind="nope", budget=0.1, threshold=1.0)
+
+    def test_default_policies_have_unique_names(self):
+        names = [p.name for p in default_policies()]
+        assert len(names) == len(set(names)) >= 3
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _tracker(policies=None):
+    clock = _FakeClock()
+    tracker = SloTracker(
+        policies
+        or [SloPolicy.latency("lat_p99", quantile=0.99, threshold_s=0.1)],
+        clock=clock,
+    )
+    return tracker, clock
+
+
+class TestSloTracker:
+    def test_healthy_traffic_never_alerts(self):
+        tracker, clock = _tracker()
+        for _ in range(200):
+            tracker.record_latency(0.01, check=False)
+            clock.advance(1.0)
+        assert tracker.evaluate() == []
+        assert tracker.n_alerts == 0
+
+    def test_burn_rate_alert_fires_and_rearms_deterministically(self):
+        tracker, clock = _tracker()
+        observer = RecordingServingObserver()
+        tracker.add_observer(observer)
+
+        # Phase 1: sustained badness -> both windows burn -> one alert.
+        for _ in range(50):
+            tracker.record_latency(0.5, check=False)
+            clock.advance(1.0)
+        fired = tracker.evaluate()
+        assert [a.policy for a in fired] == ["lat_p99"]
+        assert fired[0].fast_burn >= tracker.policies[0].fast_burn
+        # Alert latches: continued badness does not re-fire.
+        tracker.record_latency(0.5, check=False)
+        assert tracker.evaluate() == []
+        assert tracker.n_alerts == 1
+
+        # Phase 2: recovery — healthy traffic pushes the fast window
+        # under its burn threshold, re-arming the policy.
+        for _ in range(400):
+            tracker.record_latency(0.01, check=False)
+            clock.advance(1.0)
+        assert tracker.evaluate() == []
+        status = tracker.status()["policies"][0]
+        assert status["alerting"] is False
+
+        # Phase 3: second excursion fires again.
+        for _ in range(50):
+            tracker.record_latency(0.5, check=False)
+            clock.advance(1.0)
+        assert [a.policy for a in tracker.evaluate()] == ["lat_p99"]
+        assert tracker.n_alerts == 2
+        events = [kind for kind, _ in observer.events]
+        assert events.count("slo_alert") == 2
+
+    def test_min_events_guard(self):
+        tracker, clock = _tracker()
+        for _ in range(5):  # below min_events=10
+            tracker.record_latency(9.9, check=False)
+            clock.advance(1.0)
+        assert tracker.evaluate() == []
+
+    def test_error_rate_policy(self):
+        tracker, clock = _tracker([SloPolicy.error_rate("err", budget=0.01)])
+        for i in range(100):
+            tracker.record_latency(0.01, error=i % 2 == 0, check=False)
+            clock.advance(1.0)
+        fired = tracker.evaluate()
+        assert [a.policy for a in fired] == ["err"]
+        assert fired[0].kind == "error_rate"
+
+    def test_slices_track_per_key_scorecards(self):
+        tracker, clock = _tracker()
+        for i in range(20):
+            tracker.record_latency(
+                0.5 if i % 2 else 0.01,
+                slices=("imputer:cdrec", "cluster:3"),
+                check=False,
+            )
+            clock.advance(1.0)
+        slices = tracker.status()["slices"]
+        assert set(slices) == {"imputer:cdrec", "cluster:3"}
+        row = slices["imputer:cdrec"]
+        assert row["n"] == 20
+        assert row["bad"]["lat_p99"] == 10
+
+    def test_slice_overflow_folds(self):
+        tracker, clock = _tracker()
+        tracker.max_slices = 4
+        for i in range(10):
+            tracker.record_latency(0.01, slices=(f"cluster:{i}",), check=False)
+        slices = tracker.status()["slices"]
+        assert "overflow" in slices
+        assert len(slices) <= 5  # 4 + overflow
+
+    def test_duplicate_policy_names_rejected(self):
+        with pytest.raises(ValueError):
+            SloTracker(
+                [
+                    SloPolicy.latency("x", threshold_s=0.1),
+                    SloPolicy.latency("x", threshold_s=0.2),
+                ]
+            )
+
+    def test_status_document_shape(self):
+        tracker, clock = _tracker()
+        tracker.record_latency(0.02, check=False)
+        status = tracker.status()
+        assert set(status) == {
+            "n_events", "n_alerts", "latency_sketch", "policies", "slices",
+        }
+        policy = status["policies"][0]
+        for key in (
+            "policy", "kind", "objective", "fast_burn", "slow_burn",
+            "budget_remaining", "alerting", "n_alerts",
+        ):
+            assert key in policy
