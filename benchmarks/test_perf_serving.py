@@ -1,0 +1,141 @@
+"""Perf — serving daemon throughput/latency across shard counts.
+
+Drives the same seeded :class:`LoadGenerator` burst through a running
+:class:`ServingDaemon` at 1, 4 and 16 shards (1 and 2 under
+``REPRO_BENCH_TINY``) and records requests/second and the sketch-backed
+p99 per configuration.  The timed section covers only steady-state
+serving — daemon startup, shard spawn and the shared-memory engine
+publish happen before the clock starts, and a small warm-up burst runs
+first so import/JIT costs land outside the measurement.
+
+Every response is asserted to be a 200 served in submission order, so
+the throughput numbers are known to come from successfully repaired
+series rather than shed load.
+
+Shard scaling is hardware-bound: process shards only help past one
+batch-worth of CPU, so the per-configuration documents record the
+machine's core count (``cpus``) alongside the timings and no speedup
+is asserted — the regression gate tracks each configuration's wall
+time against its own baseline instead.
+
+Writes the ``serving_Nshard`` workloads into ``BENCH_serving.json`` for
+the CI regression gate (``check_regression.py``) and the ``repro bench
+trend`` table.  Wall time is the gated arm (``wall_s``); req/s and
+p99 ride along as context.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro import ADarts, ModelRaceConfig, TimeSeries
+from repro.parallel.shm import shm_available
+from repro.pipeline.scoring import ScoreWeights
+from repro.serving import LoadGenerator, ServingDaemon, ServingTestClient
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+LENGTH = 96
+#: Same shard ladder in both modes so the regression gate always sees
+#: the same workload keys; TINY only shrinks the burst.
+SHARD_COUNTS = (1, 4, 16)
+N_REQUESTS = 48 if TINY else 192
+N_WARMUP = 8
+BENCH_JSON = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+)
+
+FAST_CONFIG = ModelRaceConfig(
+    n_partial_sets=2, n_folds=2, max_elite=2, random_state=0,
+    weights=ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0),
+)
+
+
+def _trained_engine():
+    rng = np.random.default_rng(17)
+    t = np.linspace(0, 4 * np.pi, LENGTH)
+    series, labels = [], []
+    for i in range(8 if TINY else 16):
+        values = np.sin(t * (1 + 0.05 * i)) + 0.05 * rng.normal(size=LENGTH)
+        series.append(TimeSeries(values, name=f"sine{i}"))
+        labels.append("linear")
+    for i in range(8 if TINY else 16):
+        series.append(
+            TimeSeries(0.5 * np.cumsum(rng.normal(size=LENGTH)), name=f"walk{i}")
+        )
+        labels.append("mean")
+    engine = ADarts(
+        config=FAST_CONFIG, classifier_names=["knn", "decision_tree"]
+    )
+    X = engine.extractor.extract_many(series)
+    engine.fit_features(X, np.array(labels))
+    return engine
+
+
+def _drive(daemon, requests):
+    """Submit one burst and return (wall_s, responses)."""
+    client = ServingTestClient(daemon)
+    start = time.perf_counter()
+    responses = client.send_many(requests, timeout=600.0)
+    return time.perf_counter() - start, responses
+
+
+def test_serving_throughput_by_shard_count():
+    engine = _trained_engine()
+    generator = LoadGenerator(seed=9, length=LENGTH, mode="repair")
+    warmup = generator.requests(N_WARMUP)
+    requests = generator.requests(N_REQUESTS, start=N_WARMUP)
+    backend = "process" if shm_available() else "inline"
+
+    doc = {}
+    if BENCH_JSON.exists():
+        try:
+            doc = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            doc = {}
+
+    lines = [f"backend     : {backend}, {N_REQUESTS} requests per burst"]
+    for n_shards in SHARD_COUNTS:
+        with ServingDaemon(
+            engine,
+            n_shards=n_shards,
+            shard_backend=backend,
+            max_batch=16,
+            max_delay_s=0.002,
+            max_pending=4 * N_REQUESTS,
+        ) as daemon:
+            _drive(daemon, warmup)
+            wall_s, responses = _drive(daemon, requests)
+            snapshot = daemon.health()
+
+        assert len(responses) == N_REQUESTS
+        assert [r.id for r in responses] == [r.id for r in requests]
+        assert all(r.status == 200 for r in responses), (
+            "throughput must be measured on served repairs, not shed load"
+        )
+
+        req_per_s = N_REQUESTS / wall_s
+        p99_ms = snapshot.latency["p99"] * 1000.0
+        lines.append(
+            f"{n_shards:>2} shard(s) : {wall_s:.3f}s wall, "
+            f"{req_per_s:7.1f} req/s, p99 {p99_ms:.2f}ms"
+        )
+        doc[f"serving_{n_shards}shard"] = {
+            "backend": backend,
+            "cpus": os.cpu_count(),
+            "length": LENGTH,
+            "n_requests": N_REQUESTS,
+            "p99_ms": round(p99_ms, 3),
+            # Named to dodge the gate's ``*_s`` timing-arm heuristic:
+            # throughput is higher-is-better.
+            "throughput_rps": round(req_per_s, 1),
+            "wall_s": round(wall_s, 4),
+        }
+
+    emit("Serving daemon throughput by shard count", lines)
+    BENCH_JSON.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -317,6 +317,117 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _serve_selfcheck(daemon, server, args) -> int:
+    """CI serving lane: seeded load through the real socket, zero tolerance.
+
+    Drives ``--selfcheck N`` requests from the shared
+    :class:`LoadGenerator` through the daemon's actual asyncio
+    front-end, prints a one-line verdict, optionally exports the final
+    :class:`HealthSnapshot`, and fails (exit 1) on *any* shed or error
+    response — at idle load the daemon has no excuse.
+    """
+    import socket as socket_mod
+    import threading
+
+    from repro.serving import decode_response, encode_request
+    from repro.serving.testing import LoadGenerator
+
+    generator = LoadGenerator(
+        args.seed, length=args.length, mode="repair"
+    )
+    requests = generator.requests(args.selfcheck)
+    responses = []
+
+    if isinstance(server.address, tuple):
+        conn = socket_mod.create_connection(server.address)
+    else:
+        conn = socket_mod.socket(socket_mod.AF_UNIX)
+        conn.connect(server.address)
+    with conn:
+        stream = conn.makefile("rwb")
+
+        def read_all() -> None:
+            for _ in range(len(requests)):
+                responses.append(decode_response(stream.readline()))
+
+        reader = threading.Thread(target=read_all, daemon=True)
+        reader.start()
+        for request in requests:
+            stream.write(encode_request(request) + b"\n")
+        stream.flush()
+        reader.join(timeout=120.0)
+
+    by_status: dict[int, int] = {}
+    for response in responses:
+        by_status[response.status] = by_status.get(response.status, 0) + 1
+    missing = len(requests) - len(responses)
+    n_bad = sum(v for k, v in by_status.items() if k != 200) + missing
+    snapshot = daemon.health()
+    if args.snapshot_out:
+        path = snapshot.export(args.snapshot_out)
+        print(f"wrote health snapshot to {path}", file=sys.stderr)
+    latency = snapshot.latency
+    print(
+        f"selfcheck: {len(responses)}/{len(requests)} responses, "
+        f"statuses {dict(sorted(by_status.items()))}, "
+        f"p50 {latency['p50'] * 1000:.2f}ms p99 {latency['p99'] * 1000:.2f}ms"
+    )
+    if n_bad:
+        print(
+            f"selfcheck FAILED: {n_bad} shed/error/missing responses "
+            "at idle load",
+            file=sys.stderr,
+        )
+        return 1
+    print("selfcheck OK")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import ServingDaemon, SocketServer
+
+    engine = _load_serving_engine(args)
+    daemon = ServingDaemon(
+        engine,
+        n_shards=args.shards,
+        shard_backend=args.shard_backend,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        max_pending=args.max_pending,
+    )
+    server = SocketServer(
+        daemon,
+        host=args.host,
+        # Self-check binds an ephemeral port so CI lanes never collide.
+        port=0 if args.selfcheck else args.port,
+        path=args.socket,
+    )
+    with daemon, server:
+        address = (
+            server.address
+            if isinstance(server.address, str)
+            else "{}:{}".format(*server.address)
+        )
+        print(
+            f"repro serve: {daemon.pool.n_shards} "
+            f"{daemon.pool.backend} shard(s) on {address}",
+            file=sys.stderr,
+        )
+        if args.selfcheck:
+            return _serve_selfcheck(daemon, server, args)
+        try:
+            import time
+
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        if args.snapshot_out:
+            path = daemon.health().export(args.snapshot_out)
+            print(f"wrote health snapshot to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_top(args) -> int:
     import time
 
@@ -667,6 +778,60 @@ def build_parser() -> argparse.ArgumentParser:
         "(clear screen between frames; Ctrl-C exits cleanly)",
     )
     monitor.set_defaults(func=_cmd_monitor)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded serving daemon (JSON-lines over a socket)",
+        parents=[common],
+    )
+    serve.add_argument("--engine", required=True, help="engine JSON path")
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="worker shard count (each attaches the engine via shm)",
+    )
+    serve.add_argument(
+        "--shard-backend", choices=("auto", "process", "inline"),
+        default="auto",
+        help="shard execution backend (auto: process when shm works)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="micro-batch size bound",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=5.0,
+        help="micro-batch coalescing budget in milliseconds",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="admission limit before requests are shed with a 503",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7653,
+        help="TCP port (0 = ephemeral; printed on startup)",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on a unix socket instead of TCP",
+    )
+    serve.add_argument(
+        "--selfcheck", type=int, default=None, metavar="N",
+        help="CI lane: serve N seeded requests through the real socket, "
+        "then exit non-zero on any shed/error response",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="selfcheck load-generator seed"
+    )
+    serve.add_argument(
+        "--length", type=int, default=96,
+        help="selfcheck series length",
+    )
+    serve.add_argument(
+        "--snapshot-out", default=None, metavar="PATH",
+        help="export the final HealthSnapshot JSON here",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     top = sub.add_parser(
         "top",

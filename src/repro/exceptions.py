@@ -71,5 +71,33 @@ class EnsembleError(ReproError, RuntimeError):
     """Every ensemble member failed; no vote could be produced."""
 
 
+# ---------------------------------------------------------------------------
+# Serving taxonomy (see repro.serving).
+#
+# ``OverloadedError`` maps to the daemon's typed 503 shed response; it is
+# the *expected* backpressure signal, not a bug.  ``ShardsExhaustedError``
+# is the terminal 500: the batch was resubmitted across every healthy
+# shard and failed on each one.
+# ---------------------------------------------------------------------------
+class ServingError(ReproError, RuntimeError):
+    """Base class for serving-daemon failures."""
+
+
+class ProtocolError(ServingError, ValueError):
+    """A malformed request/response line on the serving wire."""
+
+
+class OverloadedError(ServingError):
+    """The daemon shed a request (admission control / backpressure)."""
+
+
+class AllShardsQuarantinedError(OverloadedError):
+    """Every worker shard's circuit breaker is currently open."""
+
+
+class ShardsExhaustedError(ServingError):
+    """A batch failed on every shard it was (re)submitted to."""
+
+
 class EvaluationError(ReproError, RuntimeError):
     """A race evaluation failed under ``fail_fast`` semantics."""

@@ -430,27 +430,35 @@ class DriftDetector:
         metrics.gauge(
             "repro_drift_ks_max", "Max per-feature KS over the drift window"
         ).set(report.max_ks)
-        if report.triggered:
-            if not self._alert_active:
+        # Alert state transitions happen under the lock so concurrent
+        # ``check()`` calls (the serving daemon's dispatcher + a health
+        # poller) announce each excursion exactly once; the side effects
+        # (counter, log, observers) run outside it.
+        fire = False
+        with self._lock:
+            if report.triggered:
+                fire = not self._alert_active
                 self._alert_active = True
-                self.n_alerts += 1
-                metrics.counter(
-                    "repro_drift_alerts_total",
-                    "Drift threshold crossings announced",
-                ).inc()
-                _log.warning(
-                    "feature drift detected: max PSI %.3f (>%g) / max KS %.3f "
-                    "(worst feature %s, window %d)",
-                    report.max_psi,
-                    self.psi_threshold,
-                    report.max_ks,
-                    report.worst_feature,
-                    report.n_samples,
-                )
-                for observer in self._observers:
-                    observer.on_drift_alert(report)
-        else:
-            self._alert_active = False
+                if fire:
+                    self.n_alerts += 1
+            else:
+                self._alert_active = False
+        if fire:
+            metrics.counter(
+                "repro_drift_alerts_total",
+                "Drift threshold crossings announced",
+            ).inc()
+            _log.warning(
+                "feature drift detected: max PSI %.3f (>%g) / max KS %.3f "
+                "(worst feature %s, window %d)",
+                report.max_psi,
+                self.psi_threshold,
+                report.max_ks,
+                report.worst_feature,
+                report.n_samples,
+            )
+            for observer in self._observers:
+                observer.on_drift_alert(report)
         return report
 
 
@@ -643,16 +651,20 @@ class InferenceMonitor:
                 ).inc()
             for observer in self.observers:
                 observer.on_degraded(n_series, detail)
-        # Newly quarantined members are announced exactly once each.
+        # Newly quarantined members are announced exactly once each; the
+        # check-and-claim runs under the lock so concurrent callers can't
+        # both announce (and double-count) the same member.
         for member in getattr(ensemble, "quarantined_members", ()):
-            if member not in self._announced_quarantined:
+            with self._mix_lock:
+                if member in self._announced_quarantined:
+                    continue
                 self._announced_quarantined.add(member)
-                metrics.counter(
-                    "repro_serving_member_quarantines_total",
-                    "Ensemble members quarantined while serving",
-                ).inc()
-                for observer in self.observers:
-                    observer.on_member_quarantined(member)
+            metrics.counter(
+                "repro_serving_member_quarantines_total",
+                "Ensemble members quarantined while serving",
+            ).inc()
+            for observer in self.observers:
+                observer.on_member_quarantined(member)
 
         # -- windows ------------------------------------------------------
         self.latency.push(elapsed)

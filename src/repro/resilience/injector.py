@@ -65,6 +65,7 @@ KNOWN_SITES = (
     "imputer.impute",
     "executor.task",
     "ensemble.member",
+    "serving.shard",
 )
 
 

@@ -1,0 +1,61 @@
+"""repro.serving: the sharded repair-serving daemon.
+
+Layers, bottom up:
+
+- :mod:`repro.serving.protocol` — JSON-lines wire codec + typed
+  request/response objects (200/400/500/503).
+- :mod:`repro.serving.batching` — the pure micro-batch coalescing state
+  machine (size bound + latency bound, injectable clock).
+- :mod:`repro.serving.shards` — shared-memory engine publication and
+  the breaker-gated :class:`ShardPool` (resubmission, crash demotion).
+- :mod:`repro.serving.daemon` — the :class:`ServingDaemon` core and the
+  asyncio :class:`SocketServer` front-end (``repro serve``).
+- :mod:`repro.serving.testing` — the deterministic harness: in-process
+  :class:`ServingTestClient` + seeded :class:`LoadGenerator`.
+"""
+
+from repro.serving.batching import MicroBatcher
+from repro.serving.daemon import ServingDaemon, SocketServer
+from repro.serving.protocol import (
+    MODES,
+    STATUS_BAD_REQUEST,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    RepairRequest,
+    RepairResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.serving.shards import (
+    SharedEngine,
+    ShardPool,
+    attach_shared_engine,
+    serve_payload,
+)
+from repro.serving.testing import LoadGenerator, ServingTestClient
+
+__all__ = [
+    "MODES",
+    "STATUS_BAD_REQUEST",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "LoadGenerator",
+    "MicroBatcher",
+    "RepairRequest",
+    "RepairResponse",
+    "ServingDaemon",
+    "ServingTestClient",
+    "ShardPool",
+    "SharedEngine",
+    "SocketServer",
+    "attach_shared_engine",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "serve_payload",
+]

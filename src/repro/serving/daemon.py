@@ -1,0 +1,635 @@
+"""The serving daemon: intake → micro-batches → shards → responses.
+
+Concurrency layout (exactly one lock-free hand-off per request):
+
+- :meth:`ServingDaemon.submit` is thread-safe and non-blocking: it
+  applies admission control (typed 503 shed past ``max_pending``) and
+  appends the request to the intake queue with a
+  :class:`concurrent.futures.Future` the caller awaits.
+- One **dispatcher thread** drains the intake into the
+  :class:`~repro.serving.batching.MicroBatcher` and launches released
+  batches onto a small executor (one slot per shard), so shards serve
+  concurrently while coalescing stays single-threaded and deterministic.
+- Each batch runs on the :class:`~repro.serving.shards.ShardPool`
+  (breaker-gated, resubmitted on crash) and resolves its futures with
+  :class:`~repro.serving.protocol.RepairResponse` objects.
+
+The asyncio socket front-end (:class:`SocketServer`) is a thin adapter:
+one task per request line, ``await``-ing the submit future — all
+batching/backpressure logic lives in the synchronous core, which is what
+the deterministic test harness (:mod:`repro.serving.testing`) drives
+directly without sockets.
+
+Telemetry: per-request latency and per-series service latency feed a
+daemon-level :class:`~repro.observability.slo.SloTracker` (burn-rate
+alerts) and the per-shard sketches fold with
+:meth:`QuantileSketch.merge` into the fleet view surfaced by
+:meth:`ServingDaemon.health` — a full
+:class:`~repro.observability.serving.HealthSnapshot`, so ``repro top``,
+``to_prometheus()`` and the artifact exporters work unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.exceptions import (
+    AllShardsQuarantinedError,
+    OverloadedError,
+    ProtocolError,
+    ServingError,
+    ValidationError,
+)
+from repro.observability import get_logger, get_metrics
+from repro.observability.resources import get_accounting
+from repro.observability.slo import QuantileSketch, SloTracker
+from repro.serving.batching import MicroBatcher
+from repro.serving.protocol import (
+    STATUS_OK,
+    RepairRequest,
+    RepairResponse,
+    decode_request,
+    encode_response,
+)
+from repro.serving.shards import ShardPool
+
+_log = get_logger(__name__)
+
+
+class _Entry:
+    """One in-flight request: the request, its future, its arrival time."""
+
+    __slots__ = ("request", "future", "arrived")
+
+    def __init__(self, request: RepairRequest, future: Future, arrived: float):
+        self.request = request
+        self.future = future
+        self.arrived = arrived
+
+
+class ServingDaemon:
+    """Long-lived sharded repair service around one fitted engine.
+
+    Parameters
+    ----------
+    engine:
+        A fitted :class:`~repro.core.adarts.ADarts` engine.
+    n_shards:
+        Worker shard count (see :class:`ShardPool`).
+    shard_backend:
+        ``"auto"`` / ``"process"`` / ``"inline"``.
+    max_batch / max_delay_s:
+        Micro-batching budget (size bound / latency bound).
+    max_pending:
+        Admission limit on in-flight requests; beyond it ``submit``
+        resolves immediately with a typed 503 shed response.
+    breaker / injector / timeout_s:
+        Forwarded to the :class:`ShardPool`.
+    slo_policies:
+        Optional :class:`SloPolicy` list for the daemon-level tracker.
+    clock:
+        Monotonic clock for the batcher (inject a fake in tests).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        n_shards: int = 2,
+        shard_backend: str = "auto",
+        max_batch: int = 16,
+        max_delay_s: float = 0.005,
+        max_pending: int = 1024,
+        breaker=None,
+        injector=None,
+        timeout_s: float = 30.0,
+        slo_policies=None,
+        clock=time.monotonic,
+    ):
+        if max_pending < 1:
+            raise ValidationError("max_pending must be >= 1")
+        self.engine = engine
+        self.clock = clock
+        self.max_pending = int(max_pending)
+        self.pool = ShardPool(
+            engine,
+            n_shards,
+            backend=shard_backend,
+            breaker=breaker,
+            injector=injector,
+            timeout_s=timeout_s,
+        )
+        self.batcher = MicroBatcher(max_batch, max_delay_s, clock=clock)
+        self.slo = SloTracker(slo_policies, clock=clock)
+        #: Whole-request latency (arrival -> response) across the daemon.
+        self.request_sketch = QuantileSketch(512)
+        self.confidence_sketch = QuantileSketch(256)
+        self._intake: deque[_Entry] = deque()
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._dispatcher: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._stopping = False
+        self.started = False
+        self._started_at = 0.0
+        # Lifetime counters (all mutated under ``_cond``'s lock or from
+        # batch workers via ``_count``).
+        self.n_submitted = 0
+        self.n_served = 0
+        self.n_shed = 0
+        self.n_errors = 0
+        self.recommendation_mix: dict[str, int] = {}
+        self._count_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingDaemon":
+        if self.started:
+            return self
+        # Shard processes fork before any daemon thread exists.
+        self.pool.start()
+        self._stopping = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.pool.n_shards,
+            thread_name_prefix="repro-serve-batch",
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        self._started_at = time.monotonic()
+        self.started = True
+        _log.info(
+            "serving daemon up: %d %s shard(s), max_batch=%d, "
+            "max_delay=%.1fms, max_pending=%d",
+            self.pool.n_shards,
+            self.pool.backend,
+            self.batcher.max_batch,
+            self.batcher.max_delay_s * 1000,
+            self.max_pending,
+        )
+        return self
+
+    def stop(self) -> None:
+        if not self.started:
+            return
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        self._dispatcher.join(timeout=30.0)
+        self._executor.shutdown(wait=True)
+        self.pool.stop()
+        self.started = False
+
+    def __enter__(self) -> "ServingDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def uptime(self) -> float:
+        return time.monotonic() - self._started_at if self.started else 0.0
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet resolved."""
+        return self._in_flight
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(self, request: RepairRequest) -> Future:
+        """Admit one request; returns a Future of :class:`RepairResponse`.
+
+        Never blocks and never raises for load reasons: past
+        ``max_pending`` (or while stopping) the future resolves
+        immediately with a typed 503 shed response.
+        """
+        if not isinstance(request, RepairRequest):
+            raise ProtocolError(
+                f"submit() takes a RepairRequest, got {type(request).__name__}"
+            )
+        future: Future = Future()
+        with self._cond:
+            self.n_submitted += 1
+            if not self.started or self._stopping:
+                self.n_shed += 1
+                future.set_result(
+                    RepairResponse.shed_response(
+                        request.id, "daemon is not accepting requests"
+                    )
+                )
+                return future
+            if self._in_flight >= self.max_pending:
+                self.n_shed += 1
+                get_metrics().counter(
+                    "repro_serving_shed_total",
+                    "Requests shed by admission control",
+                    labels={"reason": "max_pending"},
+                ).inc()
+                future.set_result(
+                    RepairResponse.shed_response(
+                        request.id,
+                        f"daemon overloaded ({self._in_flight} pending)",
+                    )
+                )
+                return future
+            self._in_flight += 1
+            self._intake.append(
+                _Entry(request, future, float(self.clock()))
+            )
+            self._cond.notify()
+        return future
+
+    def submit_many(self, requests) -> list[Future]:
+        return [self.submit(r) for r in requests]
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._intake and not self._stopping:
+                    deadline = self.batcher.next_deadline
+                    if deadline is None:
+                        self._cond.wait()
+                    else:
+                        wait = max(0.0, deadline - float(self.clock()))
+                        self._cond.wait(wait if wait > 0 else 0.0005)
+                        break  # re-check the batcher's delay budget
+                if self._stopping and not self._intake and not len(
+                    self.batcher
+                ):
+                    break
+                entries = list(self._intake)
+                self._intake.clear()
+            now = float(self.clock())
+            for entry in entries:
+                released = self.batcher.offer(entry, now)
+                if released:
+                    self._launch(released)
+            released = self.batcher.poll(float(self.clock()))
+            if released:
+                self._launch(released)
+            if self._stopping:
+                released = self.batcher.flush()
+                if released:
+                    self._launch(released)
+        # Drain: anything still queued at shutdown resolves as shed.
+        released = self.batcher.flush()
+        if released:
+            self._launch(released)
+
+    def _launch(self, entries: list[_Entry]) -> None:
+        self._executor.submit(self._serve_batch, entries)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _resolve(self, entry: _Entry, response: RepairResponse) -> None:
+        with self._cond:
+            self._in_flight -= 1
+        if not entry.future.set_running_or_notify_cancel():
+            return
+        entry.future.set_result(response)
+
+    def _count(self, response: RepairResponse) -> None:
+        with self._count_lock:
+            if response.ok:
+                self.n_served += 1
+                if response.algorithm:
+                    self.recommendation_mix[response.algorithm] = (
+                        self.recommendation_mix.get(response.algorithm, 0) + 1
+                    )
+            elif response.shed:
+                self.n_shed += 1
+            else:
+                self.n_errors += 1
+
+    def _serve_batch(self, entries: list[_Entry]) -> None:
+        requests = [e.request for e in entries]
+        try:
+            results, shard_id, elapsed = self.pool.run_batch(requests)
+        except AllShardsQuarantinedError as exc:
+            self._finish_rejected(
+                entries,
+                RepairResponse.shed_response,
+                str(exc),
+                reason="quarantine",
+            )
+            return
+        except OverloadedError as exc:  # pragma: no cover - future-proofing
+            self._finish_rejected(
+                entries, RepairResponse.shed_response, str(exc),
+                reason="overload",
+            )
+            return
+        except ServingError as exc:
+            self._finish_rejected(
+                entries, RepairResponse.error_response, str(exc),
+                reason="exhausted",
+            )
+            return
+        except Exception as exc:  # defensive: never leave futures hanging
+            _log.exception("batch failed unexpectedly")
+            self._finish_rejected(
+                entries, RepairResponse.error_response,
+                f"{type(exc).__name__}: {exc}", reason="internal",
+            )
+            return
+
+        now = float(self.clock())
+        per_series = elapsed / max(1, len(entries))
+        for entry, row in zip(entries, results):
+            status = int(row.get("status", STATUS_OK))
+            if status == STATUS_OK:
+                response = RepairResponse(
+                    id=str(row["id"]),
+                    status=STATUS_OK,
+                    algorithm=row.get("algorithm"),
+                    ranking=tuple(row.get("ranking", ())),
+                    confidence=row.get("confidence"),
+                    degraded=bool(row.get("degraded", False)),
+                    values=row.get("values"),
+                    shard=shard_id,
+                    latency_s=now - entry.arrived,
+                )
+                if response.confidence is not None:
+                    self.confidence_sketch.update(float(response.confidence))
+            else:
+                response = RepairResponse.error_response(
+                    str(row.get("id", entry.request.id)),
+                    str(row.get("error", "bad request")),
+                    status=status,
+                )
+            self._count(response)
+            self.request_sketch.update(now - entry.arrived)
+            self.slo.record_latency(
+                per_series,
+                error=status != STATUS_OK,
+                slices=(
+                    f"shard:{shard_id}",
+                    f"imputer:{row.get('algorithm') or 'none'}",
+                ),
+                check=False,
+            )
+            self._resolve(entry, response)
+        self.slo.evaluate()
+
+    def _finish_rejected(
+        self, entries, factory, message: str, *, reason: str
+    ) -> None:
+        get_metrics().counter(
+            "repro_serving_shed_total",
+            "Requests shed by admission control",
+            labels={"reason": reason},
+        ).inc(len(entries))
+        for entry in entries:
+            response = factory(entry.request.id, message)
+            self._count(response)
+            self.slo.record_latency(0.0, error=True, check=False)
+            self._resolve(entry, response)
+        self.slo.evaluate()
+
+    # ------------------------------------------------------------------
+    # Health / introspection
+    # ------------------------------------------------------------------
+    def health(self):
+        """Daemon health as a :class:`HealthSnapshot` document.
+
+        Reuses the monitor's snapshot type directly — same JSON shape,
+        same Prometheus rendering, same ``repro top`` panels — with the
+        daemon's sharding story in ``scorecards["per_shard"]`` and the
+        per-shard latency sketches folded into ``series_latency``.
+        """
+        import datetime as _dt
+
+        from repro.observability.metrics import build_info
+        from repro.observability.serving import HealthSnapshot
+        from repro.parallel.executor import engine_stats
+        from repro.resilience.stats import resilience_stats
+        from repro.timeseries.batch import bank_cache_stats
+
+        pool_stats = self.pool.stats()
+        merged = self.pool.merged_sketch()
+        series_latency = merged.summary()
+        latency = self.request_sketch.summary()
+        with self._count_lock:
+            mix = dict(sorted(self.recommendation_mix.items()))
+            n_served = self.n_served
+            n_shed = self.n_shed
+            n_errors = self.n_errors
+        total_mix = sum(mix.values()) or 1
+        return HealthSnapshot(
+            generated_at=_dt.datetime.now(_dt.timezone.utc).isoformat(),
+            uptime_s=self.uptime,
+            n_requests=self.n_submitted,
+            n_series=n_served,
+            latency=latency,
+            series_latency=series_latency,
+            confidence=self.confidence_sketch.summary(),
+            disagreement=QuantileSketch(32).summary(),
+            recommendation_mix={
+                "counts": mix,
+                "fractions": {
+                    k: v / total_mix for k, v in mix.items()
+                },
+            },
+            drift=None,
+            caches={"series_bank": bank_cache_stats()},
+            backends=engine_stats(),
+            alerts={
+                "slo_alerts": self.slo.n_alerts,
+                "shed_requests": n_shed,
+                "error_requests": n_errors,
+                "quarantined_shards": len(pool_stats["quarantined"]),
+            },
+            resilience={
+                "degraded_requests": 0,
+                "fallback_requests": 0,
+                "quarantined_members": [
+                    f"shard-{i}" for i in pool_stats["quarantined"]
+                ],
+                "process": resilience_stats(),
+                "resubmissions": pool_stats["resubmissions"],
+                "demotions": pool_stats["demotions"],
+            },
+            scorecards={
+                "per_shard": pool_stats["per_shard"],
+                "batching": self.batcher.stats(),
+            },
+            slo=self.slo.status(),
+            resources=get_accounting().snapshot(),
+            build=build_info(),
+        )
+
+    def stats(self) -> dict:
+        """Compact counters for tests and the CLI summary line."""
+        with self._count_lock:
+            return {
+                "submitted": self.n_submitted,
+                "served": self.n_served,
+                "shed": self.n_shed,
+                "errors": self.n_errors,
+                "pending": self._in_flight,
+                "batching": self.batcher.stats(),
+                "pool": self.pool.stats(),
+            }
+
+
+# ---------------------------------------------------------------------------
+# asyncio socket front-end
+# ---------------------------------------------------------------------------
+class SocketServer:
+    """JSON-lines front-end for a :class:`ServingDaemon`.
+
+    Runs its own event loop on a background thread so the synchronous
+    daemon (and its tests) never touch asyncio.  One task per request
+    line — responses are written as each resolves, so a slow repair
+    never head-of-line-blocks a pipelined client; ordering is by ``id``
+    correlation, as the protocol specifies.
+    """
+
+    def __init__(
+        self,
+        daemon: ServingDaemon,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        path: str | None = None,
+    ):
+        self.daemon = daemon
+        self.host = host
+        self.port = int(port)
+        self.path = path
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self.address = None  # (host, port) or unix path once bound
+
+    # -- connection handling -------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        conn_task = asyncio.current_task()
+        self._conn_tasks.add(conn_task)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def answer(line: bytes) -> None:
+            try:
+                request = decode_request(line)
+            except ProtocolError as exc:
+                response = RepairResponse.error_response(
+                    "", str(exc), status=400
+                )
+            else:
+                response = await asyncio.wrap_future(
+                    self.daemon.submit(request)
+                )
+            async with write_lock:
+                writer.write(encode_response(response) + b"\n")
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(answer(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conn_tasks.discard(conn_task)
+            for task in tasks:
+                task.cancel()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        try:
+            if self.path is not None:
+                server = await asyncio.start_unix_server(
+                    self._handle_client, path=self.path
+                )
+                self.address = self.path
+            else:
+                server = await asyncio.start_server(
+                    self._handle_client, self.host, self.port
+                )
+                sock = server.sockets[0]
+                self.address = sock.getsockname()[:2]
+                self.port = self.address[1]
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        async with server:
+            await self._stop_event.wait()
+            # Stop accepting, then cancel connections still reading.
+            server.close()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        except BaseException:
+            if self._startup_error is None:  # pragma: no cover
+                _log.exception("socket server crashed")
+        finally:
+            self._loop.close()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "SocketServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-socket", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise ServingError(
+                f"socket server failed to start: {self._startup_error}"
+            )
+        _log.info("serving on %s", self.address)
+        return self
+
+    def stop(self) -> None:
+        if self._loop is None or self._stop_event is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        except RuntimeError:  # loop already closed
+            pass
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "SocketServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

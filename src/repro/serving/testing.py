@@ -1,0 +1,182 @@
+"""Deterministic serving test harness: in-process client + seeded load.
+
+The archetype of this subsystem is *testability*: everything the daemon
+does over a socket must be reproducible in-process with no I/O, no
+sleeps and no real clock.  Two pieces:
+
+:class:`ServingTestClient`
+    Submits directly to a :class:`ServingDaemon` (no sockets) and
+    resolves futures synchronously.  With ``via_wire=True`` every
+    request and response additionally round-trips through the JSON-lines
+    codec, so protocol encoding is exercised by the same assertions that
+    check repair results.
+
+:class:`LoadGenerator`
+    A seeded request factory shared by the unit tests, the chaos tests,
+    ``benchmarks/test_perf_serving.py`` and the CI serving lane
+    (``repro serve --selfcheck``).  Request *i* under seed *s* is
+    identical everywhere — series family, noise, and gap placement all
+    derive from ``(s, i)`` — which is what makes the daemon-vs-library
+    byte-identity check meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.protocol import (
+    RepairRequest,
+    RepairResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+
+class ServingTestClient:
+    """Socket-free client for a running :class:`ServingDaemon`."""
+
+    def __init__(self, daemon, *, via_wire: bool = False):
+        self.daemon = daemon
+        self.via_wire = bool(via_wire)
+
+    def _outbound(self, request: RepairRequest) -> RepairRequest:
+        if not self.via_wire:
+            return request
+        return decode_request(encode_request(request))
+
+    def _inbound(self, response: RepairResponse) -> RepairResponse:
+        if not self.via_wire:
+            return response
+        return decode_response(encode_response(response))
+
+    def request(
+        self,
+        values,
+        *,
+        mode: str = "repair",
+        request_id: str | None = None,
+        name: str = "series",
+        timeout: float = 60.0,
+    ) -> RepairResponse:
+        """Submit one request and block for its response."""
+        request = RepairRequest(
+            id=request_id if request_id is not None else "r0",
+            values=np.asarray(values, dtype=float),
+            mode=mode,
+            name=name,
+        )
+        return self.send(request, timeout=timeout)
+
+    def send(
+        self, request: RepairRequest, *, timeout: float = 60.0
+    ) -> RepairResponse:
+        future = self.daemon.submit(self._outbound(request))
+        return self._inbound(future.result(timeout=timeout))
+
+    def send_many(
+        self, requests, *, timeout: float = 120.0
+    ) -> list[RepairResponse]:
+        """Submit all requests up-front, then collect responses in order.
+
+        Submitting before collecting is what exercises coalescing: the
+        daemon sees a burst, not a lock-step sequence.
+        """
+        futures = [
+            self.daemon.submit(self._outbound(r)) for r in requests
+        ]
+        return [self._inbound(f.result(timeout=timeout)) for f in futures]
+
+
+class LoadGenerator:
+    """Seeded repair-request factory (identical across harnesses).
+
+    Parameters
+    ----------
+    seed:
+        Master seed; request *i* uses ``default_rng((seed, i))`` so any
+        subsequence can be regenerated independently.
+    length:
+        Series length (all requests share it so batches can ride the
+        shared-memory concat transport).
+    missing_fraction:
+        Width of the contiguous gap as a fraction of the series.
+    mode:
+        ``"repair"`` (default) or ``"recommend"``.
+    """
+
+    #: Distinct generator families — enough spread that a fitted engine
+    #: routes them to different imputers/clusters.
+    FAMILIES = ("sine", "walk", "ar1")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        length: int = 96,
+        missing_fraction: float = 0.15,
+        mode: str = "repair",
+    ):
+        self.seed = int(seed)
+        self.length = int(length)
+        self.missing_fraction = float(missing_fraction)
+        self.mode = mode
+
+    # -- one request ----------------------------------------------------
+    def series(self, i: int) -> np.ndarray:
+        """Deterministic faulty series #``i`` (NaN gap already applied)."""
+        rng = np.random.default_rng((self.seed, int(i)))
+        family = self.FAMILIES[int(i) % len(self.FAMILIES)]
+        t = np.arange(self.length, dtype=float)
+        if family == "sine":
+            period = 8.0 + 8.0 * rng.random()
+            values = np.sin(2 * np.pi * t / period) + 0.1 * rng.standard_normal(
+                self.length
+            )
+        elif family == "walk":
+            values = np.cumsum(0.3 * rng.standard_normal(self.length))
+        else:  # ar1
+            values = np.empty(self.length)
+            values[0] = rng.standard_normal()
+            noise = 0.2 * rng.standard_normal(self.length)
+            for j in range(1, self.length):
+                values[j] = 0.85 * values[j - 1] + noise[j]
+        gap = max(1, int(self.length * self.missing_fraction))
+        # Keep the first and last observation so every imputer has
+        # anchors; the gap start is seeded, not fixed.
+        start = 1 + int(rng.integers(0, max(1, self.length - gap - 1)))
+        values[start : start + gap] = np.nan
+        return values
+
+    def request(self, i: int) -> RepairRequest:
+        return RepairRequest(
+            id=f"req-{self.seed}-{int(i)}",
+            values=self.series(i),
+            mode=self.mode,
+            name=f"load-{int(i)}",
+        )
+
+    def requests(self, n: int, *, start: int = 0) -> list[RepairRequest]:
+        return [self.request(i) for i in range(start, start + int(n))]
+
+    # -- arrival process -------------------------------------------------
+    def arrival_offsets(
+        self, n: int, *, rate_hz: float = 2000.0, burstiness: float = 0.0
+    ) -> np.ndarray:
+        """Seconds-from-start arrival times for an ``n``-request run.
+
+        ``burstiness=0`` is a uniform arrival spacing; higher values mix
+        in exponential jitter (still fully seeded).  Benchmarks replay
+        these offsets against a real clock; property tests feed them to
+        a fake clock.
+        """
+        # Distinct stream from the per-request seeds (i is always >= 0).
+        rng = np.random.default_rng((self.seed, 0x0A221))
+        spacing = 1.0 / float(rate_hz)
+        gaps = np.full(int(n), spacing)
+        if burstiness > 0:
+            jitter = rng.exponential(spacing, size=int(n))
+            gaps = (1 - burstiness) * gaps + burstiness * jitter
+        offsets = np.cumsum(gaps)
+        return offsets - offsets[0]

@@ -75,6 +75,41 @@ def extractor():
     return FeatureExtractor()
 
 
+@pytest.fixture(scope="session")
+def serving_engine():
+    """A small fitted A-DARTS engine shared by the serving test suite.
+
+    Two well-separated families (sines -> linear, walks -> mean) with a
+    fast race config, so shard workers can refit the pipelines from the
+    exported document in well under a second.
+    """
+    from repro import ADarts, ModelRaceConfig
+    from repro.pipeline.scoring import ScoreWeights
+
+    rng = np.random.default_rng(42)
+    length = 96
+    t = np.linspace(0, 4 * np.pi, length)
+    series, labels = [], []
+    for i in range(10):
+        values = np.sin(t * (1 + 0.05 * i)) + 0.05 * rng.normal(size=length)
+        series.append(TimeSeries(values, name=f"sine{i}"))
+        labels.append("linear")
+    for i in range(10):
+        values = 0.5 * np.cumsum(rng.normal(size=length))
+        series.append(TimeSeries(values, name=f"walk{i}"))
+        labels.append("mean")
+    engine = ADarts(
+        config=ModelRaceConfig(
+            n_partial_sets=2, n_folds=2, max_elite=2, random_state=0,
+            weights=ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0),
+        ),
+        classifier_names=["knn", "decision_tree"],
+    )
+    X = engine.extractor.extract_many(series)
+    engine.fit_features(X, np.array(labels))
+    return engine
+
+
 @pytest.fixture
 def tiny_dataset():
     rows = np.vstack(

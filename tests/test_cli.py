@@ -508,6 +508,66 @@ class TestTopCommand:
         assert "top stopped" in captured.err
 
 
+class TestServeCommand:
+    def test_serve_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve", "--engine", "e.json"])
+        assert args.command == "serve"
+        assert args.shards == 2
+        assert args.shard_backend == "auto"
+        assert args.max_batch == 16
+        assert args.max_delay_ms == 5.0
+        assert args.max_pending == 1024
+        assert args.selfcheck is None
+
+    def test_serve_backend_choices_enforced(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--engine", "e.json", "--shard-backend", "bogus"]
+            )
+        assert "--shard-backend" in capsys.readouterr().err
+
+    def test_serve_requires_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        assert "--engine" in capsys.readouterr().err
+
+    def test_serve_selfcheck_roundtrip(
+        self, serving_artifacts, tmp_path, capsys
+    ):
+        """The CI lane: seeded requests through the real socket, exit 0,
+        snapshot exported — and a second run is reproducible."""
+        import json
+
+        engine_path, _ = serving_artifacts
+        snapshot_path = tmp_path / "serve_health.json"
+        code = main(
+            ["serve", "--engine", str(engine_path),
+             "--shards", "2", "--shard-backend", "inline",
+             "--max-batch", "8", "--max-delay-ms", "1",
+             "--selfcheck", "12", "--seed", "5",
+             "--snapshot-out", str(snapshot_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "selfcheck OK" in captured.out
+        assert "12/12 responses" in captured.out
+        assert "statuses {200: 12}" in captured.out
+        assert "2 inline shard(s)" in captured.err
+
+        doc = json.loads(snapshot_path.read_text())
+        assert doc["n_requests"] >= 1
+        assert doc["n_series"] == 12
+        assert doc["scorecards"]["batching"]["items"] == 12
+
+    def test_serve_selfcheck_bad_engine_errors(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--engine", str(tmp_path / "nope.json"),
+             "--selfcheck", "3"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestMonitorWatch:
     def test_watch_flag_registered(self):
         args = build_parser().parse_args(

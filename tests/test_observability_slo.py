@@ -290,3 +290,141 @@ class TestSloTracker:
             "budget_remaining", "alerting", "n_alerts",
         ):
             assert key in policy
+
+
+class TestShardFoldPattern:
+    """The serving daemon's fold: per-shard sketches merged into one
+    fleet view, and one tracker fed by N interleaved shard streams."""
+
+    def test_merged_shard_sketches_match_whole_stream(self):
+        rng = np.random.default_rng(7)
+        stream = rng.lognormal(mean=-4.0, sigma=0.8, size=20_000)
+        whole = QuantileSketch(1024)
+        for value in stream:
+            whole.update(value)
+        # Round-robin the same stream over 4 "shards", then fold.
+        shards = [QuantileSketch(1024) for _ in range(4)]
+        for i, value in enumerate(stream):
+            shards[i % 4].update(value)
+        merged = QuantileSketch(1024)
+        for sketch in shards:
+            merged.merge(sketch)
+        assert merged.count == whole.count == len(stream)
+        exact = np.quantile(stream, [0.5, 0.9, 0.99])
+        scale = float(stream.max() - stream.min())
+        for q, truth in zip((0.5, 0.9, 0.99), exact):
+            for view in (whole, merged):
+                assert _rel_err(view.quantile(q), truth, scale) < 0.02
+        # The documented 1% tolerance: the fold equals the whole stream.
+        for q in (0.5, 0.9, 0.99):
+            assert _rel_err(
+                merged.quantile(q), whole.quantile(q), scale
+            ) < 0.01
+
+    def test_merge_concurrent_with_updates(self):
+        """Folding shard sketches while shards keep writing is safe: no
+        lost counts, no crash — the daemon's health() runs live."""
+        import threading
+
+        shards = [QuantileSketch(128) for _ in range(4)]
+        n_per_shard = 5_000
+        stop = threading.Event()
+        merge_counts = []
+
+        def writer(sketch, seed):
+            rng = np.random.default_rng(seed)
+            for value in rng.random(n_per_shard):
+                sketch.update(value)
+
+        def folder():
+            while not stop.is_set():
+                merged = QuantileSketch(128)
+                for sketch in shards:
+                    merged.merge(sketch)
+                merge_counts.append(merged.count)
+
+        threads = [
+            threading.Thread(target=writer, args=(s, i))
+            for i, s in enumerate(shards)
+        ]
+        fold_thread = threading.Thread(target=folder)
+        fold_thread.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        fold_thread.join()
+        final = QuantileSketch(128)
+        for sketch in shards:
+            final.merge(sketch)
+        assert final.count == 4 * n_per_shard
+        assert merge_counts == sorted(merge_counts)  # counts only grow
+
+    def test_alerts_identical_one_stream_vs_merged_shards(self):
+        """Burn-rate alerts depend on the event multiset per bucket, not
+        on which shard delivered each event."""
+
+        def run(order):
+            tracker, clock = _tracker(
+                [SloPolicy.latency(
+                    "p99", quantile=0.99, threshold_s=0.1, min_events=10,
+                )]
+            )
+            fired = []
+            for second in range(120):
+                clock.advance(1.0)
+                for shard in order(second):
+                    # Each "shard" contributes one bad event per tick
+                    # once the outage starts at t=60.
+                    latency = 0.5 if second >= 60 else 0.01
+                    tracker.record_latency(
+                        latency, slices=(f"shard:{shard}",), check=False
+                    )
+                fired.extend(a.policy for a in tracker.evaluate())
+            return fired, tracker.n_alerts, tracker.status()
+
+        single, n_single, status_single = run(lambda s: [0, 0, 0, 0])
+        merged, n_merged, status_merged = run(
+            lambda s: [(s + k) % 4 for k in range(4)]
+        )
+        assert single == merged
+        assert n_single == n_merged == 1
+        for a, b in zip(
+            status_single["policies"], status_merged["policies"]
+        ):
+            assert a["fast_burn"] == b["fast_burn"]
+            assert a["slow_burn"] == b["slow_burn"]
+            assert a["n_alerts"] == b["n_alerts"]
+
+    def test_concurrent_record_latency_exact_counts(self):
+        """8 threads hammering one tracker lose no events or buckets."""
+        import threading
+
+        tracker, clock = _tracker()
+        n_threads, n_events = 8, 2_000
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            for value in rng.random(n_events):
+                tracker.record_latency(
+                    0.01 * value, slices=("shard:%d" % (seed % 4),),
+                    check=False,
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        status = tracker.status()
+        assert tracker.n_events == n_threads * n_events
+        assert tracker.sketch.count == n_threads * n_events
+        assert sum(
+            s["n"] for s in status["slices"].values()
+        ) == n_threads * n_events
+        for policy in status["policies"]:
+            assert policy["slow_events"] == n_threads * n_events

@@ -157,3 +157,71 @@ class TestCrashCleanup:
         assert os.path.exists(sentinel), "kill task never ran in a pool worker"
         assert engine.n_demotions == 1
         assert active_segments() == ()
+
+
+class TestSharedEngineLifecycle:
+    """The serving daemon's engine transport rides the same SharedArray
+    lifecycle rules: publish once, attach many, release exactly once."""
+
+    def test_publish_attach_release(self, serving_engine):
+        from repro.serving.shards import SharedEngine, attach_shared_engine
+        from repro.timeseries import TimeSeries
+
+        before = set(active_segments())
+        export = SharedEngine.publish(serving_engine)
+        created = set(active_segments()) - before
+        assert len(created) == 2  # JSON document + training matrix
+        assert export.nbytes > 0
+
+        # An attached engine answers like the original.
+        attached = attach_shared_engine(export.handle)
+        rng = np.random.default_rng(7)
+        t = np.linspace(0, 4 * np.pi, 96)
+        values = np.sin(t) + 0.05 * rng.normal(size=96)
+        values[30:45] = np.nan
+        series = TimeSeries(values, name="probe")
+        rec_a = serving_engine.recommend_many([series])[0]
+        rec_b = attached.recommend_many([series])[0]
+        assert rec_a.algorithm == rec_b.algorithm
+        assert list(rec_a.ranking) == list(rec_b.ranking)
+        fixed_a = serving_engine.repair_many([series], [rec_a])[0]
+        fixed_b = attached.repair_many([series], [rec_b])[0]
+        assert np.array_equal(
+            fixed_a.values, fixed_b.values, equal_nan=True
+        )
+
+        export.release()
+        assert set(active_segments()) & created == set()
+        # Release is idempotent.
+        export.release()
+
+    def test_attached_matrix_is_zero_copy(self, serving_engine):
+        from repro.parallel.shm import attach_cached
+        from repro.serving.shards import SharedEngine, attach_shared_engine
+
+        export = SharedEngine.publish(serving_engine)
+        try:
+            attached = attach_shared_engine(export.handle)
+            segment = attach_cached(tuple(export.handle["train_x"]))
+            X = attached._train_X
+            # The imported engine's matrix must alias the shared segment,
+            # not a per-worker copy: that is the zero-pickling claim.
+            assert np.shares_memory(X, segment.array)
+        finally:
+            export.release()
+
+    def test_pool_stop_unlinks_after_worker_crash(self, serving_engine):
+        """Killing a shard process outright must not leak segments."""
+        from repro.serving import LoadGenerator, ShardPool
+
+        before = set(active_segments())
+        pool = ShardPool(serving_engine, 2, backend="process")
+        with pool:
+            requests = LoadGenerator(seed=31, length=96).requests(4)
+            results, shard_id, _ = pool.run_batch(requests)
+            assert all(r["status"] == 200 for r in results)
+            # Simulate an external kill of one worker process.
+            victim = pool._shards[0].runner
+            victim._proc.terminate()
+            victim._proc.join(timeout=5)
+        assert set(active_segments()) == before

@@ -1,0 +1,207 @@
+"""Chaos tests: fault plans against the serving daemon's worker shards.
+
+Every scenario asserts the same contract from the ISSUE: a request is
+**resubmitted or shed, never silently dropped** — each submitted request
+gets exactly one response; crashes demote the shard (logged + counted);
+and the shared-memory segments are unlinked even when a worker died
+mid-batch.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AllShardsQuarantinedError, WorkerCrashError
+from repro.parallel.shm import active_segments, shm_available
+from repro.resilience import FaultInjector
+from repro.resilience.breaker import CircuitBreaker
+from repro.serving import (
+    LoadGenerator,
+    ServingDaemon,
+    ServingTestClient,
+    ShardPool,
+)
+
+pytestmark = pytest.mark.chaos
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shm unavailable"
+)
+
+
+def kill_plan(target: str, times: int = 1) -> FaultInjector:
+    return FaultInjector(
+        [{"site": "serving.shard", "kind": "kill",
+          "match": target, "times": times}],
+        seed=0,
+        name="chaos-kill",
+    )
+
+
+@needs_shm
+class TestWorkerCrash:
+    def test_killed_shard_resubmits_and_demotes(
+        self, serving_engine, caplog
+    ):
+        """A kill plan on shard-0: no request lost, shard demoted inline."""
+        generator = LoadGenerator(seed=21, length=96)
+        requests = generator.requests(40)
+        with caplog.at_level(logging.WARNING, logger="repro.serving.shards"):
+            with ServingDaemon(
+                serving_engine,
+                n_shards=2,
+                shard_backend="process",
+                max_batch=8,
+                max_delay_s=0.001,
+                injector=kill_plan("shard-0"),
+            ) as daemon:
+                client = ServingTestClient(daemon)
+                responses = client.send_many(requests, timeout=300.0)
+                pool_stats = daemon.pool.stats()
+
+        # Exactly one response per request, all served (resubmitted).
+        assert len(responses) == len(requests)
+        assert [r.id for r in responses] == [r.id for r in requests]
+        assert all(r.status == 200 for r in responses)
+
+        # The crash demoted shard 0 from process to inline, visibly.
+        assert pool_stats["demotions"] == 1
+        assert pool_stats["resubmissions"] >= 1
+        assert pool_stats["per_shard"]["0"]["backend"] == "inline"
+        assert pool_stats["per_shard"]["0"]["demoted"] is True
+        assert pool_stats["per_shard"]["1"]["backend"] == "process"
+        messages = [r.message for r in caplog.records]
+        assert any("resubmitting" in m for m in messages)
+        assert any("demoted to inline" in m for m in messages)
+
+        # Segments unlinked even though a worker died mid-batch.
+        assert active_segments() == ()
+
+    def test_hung_shard_times_out_and_batch_survives(self, serving_engine):
+        """A hang past ``timeout_s`` is treated exactly like a crash."""
+        injector = FaultInjector(
+            [{"site": "serving.shard", "kind": "hang",
+              "match": "shard-1", "times": 1, "duration": 15.0}],
+            seed=0,
+            name="chaos-hang",
+        )
+        generator = LoadGenerator(seed=22, length=96)
+        requests = generator.requests(24)
+        with ServingDaemon(
+            serving_engine,
+            n_shards=2,
+            shard_backend="process",
+            max_batch=8,
+            max_delay_s=0.001,
+            injector=injector,
+            timeout_s=2.0,
+        ) as daemon:
+            client = ServingTestClient(daemon)
+            responses = client.send_many(requests, timeout=300.0)
+            pool_stats = daemon.pool.stats()
+        assert all(r.status == 200 for r in responses)
+        assert len(responses) == len(requests)
+        assert pool_stats["resubmissions"] >= 1
+        assert pool_stats["demotions"] == 1  # timeouts demote too
+        assert active_segments() == ()
+
+
+class TestQuarantineShedding:
+    def test_all_shards_down_sheds_typed_503(self, serving_engine):
+        """Permanent crashes: requests get 500/503, never hang or drop."""
+        injector = FaultInjector(
+            [{"site": "serving.shard", "kind": "kill"}],  # every batch
+            seed=0,
+            name="chaos-kill-all",
+        )
+        generator = LoadGenerator(seed=23, length=96)
+        requests = generator.requests(12)
+        with ServingDaemon(
+            serving_engine,
+            n_shards=1,
+            shard_backend="inline",
+            max_batch=4,
+            max_delay_s=0.001,
+            injector=injector,
+            breaker=CircuitBreaker(threshold=2, name="chaos"),
+        ) as daemon:
+            client = ServingTestClient(daemon)
+            responses = client.send_many(requests, timeout=120.0)
+            stats = daemon.stats()
+
+        # One response per request; every one a typed failure.
+        assert len(responses) == len(requests)
+        statuses = {r.status for r in responses}
+        assert statuses <= {500, 503}
+        # Once the breaker opens, later batches shed with 503 + retry.
+        assert 503 in statuses
+        shed = [r for r in responses if r.status == 503]
+        assert all(r.retry_after_ms is not None for r in shed)
+        assert all("quarantined" in r.error for r in shed)
+        assert stats["shed"] + stats["errors"] == len(requests)
+        assert stats["served"] == 0
+
+    def test_pool_raises_typed_errors_directly(self, serving_engine):
+        """ShardPool surfaces the taxonomy without the daemon on top."""
+        injector = FaultInjector(
+            [{"site": "serving.shard", "kind": "kill"}],
+            seed=0,
+            name="chaos-pool",
+        )
+        pool = ShardPool(
+            serving_engine,
+            1,
+            backend="inline",
+            injector=injector,
+            breaker=CircuitBreaker(threshold=1, name="chaos-pool"),
+        )
+        request = LoadGenerator(seed=24, length=96).request(0)
+        with pool:
+            with pytest.raises(AllShardsQuarantinedError):
+                # First attempt fails (threshold=1 -> open), and with
+                # every shard quarantined the retry loop must shed.
+                pool.run_batch([request])
+            with pytest.raises(AllShardsQuarantinedError):
+                pool.run_batch([request])
+
+    def test_inline_kill_degrades_to_worker_crash_error(self):
+        """In the parent process a kill plan raises WorkerCrashError."""
+        injector = FaultInjector(
+            [{"site": "serving.shard", "kind": "kill"}], seed=0
+        )
+        with pytest.raises(WorkerCrashError):
+            injector.check("serving.shard", "shard-0", token=("batch", 1))
+
+
+@needs_shm
+class TestCrashRecoveryEndToEnd:
+    def test_post_demotion_results_stay_correct(self, serving_engine):
+        """Responses served by the demoted inline runner match the
+        library path — demotion changes the backend, not the answer."""
+        from repro.timeseries import TimeSeries
+
+        generator = LoadGenerator(seed=25, length=96)
+        requests = generator.requests(30)
+        with ServingDaemon(
+            serving_engine,
+            n_shards=1,
+            shard_backend="process",
+            max_batch=8,
+            max_delay_s=0.001,
+            injector=kill_plan("shard-0"),
+        ) as daemon:
+            client = ServingTestClient(daemon)
+            responses = client.send_many(requests, timeout=300.0)
+            assert daemon.pool.stats()["demotions"] == 1
+        assert all(r.status == 200 for r in responses)
+        series = [TimeSeries(r.values, name=r.name) for r in requests]
+        recommendations = serving_engine.recommend_many(series)
+        repaired = serving_engine.repair_many(series, recommendations)
+        for response, fixed in zip(responses, repaired):
+            assert np.array_equal(
+                response.values, fixed.values, equal_nan=True
+            )
+        assert active_segments() == ()

@@ -1,0 +1,315 @@
+"""End-to-end tests of the sharded serving daemon.
+
+The acceptance scenario: four process shards serve a seeded 500-request
+load whose responses must be identical to the library path
+(``ADarts.repair_many``), with zero per-request engine pickling —
+asserted through the :class:`AccountingRegistry` shared-memory counters
+(the engine's two segments are published once at startup and never
+again).  Around it: admission-control shedding, the JSON-lines socket
+front-end, and the HealthSnapshot/Prometheus surface.
+"""
+
+from __future__ import annotations
+
+import json
+import socket as socket_mod
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError, ValidationError
+from repro.observability.resources import get_accounting
+from repro.parallel.shm import active_segments, shm_available
+from repro.serving import (
+    LoadGenerator,
+    RepairRequest,
+    ServingDaemon,
+    ServingTestClient,
+    SocketServer,
+    decode_response,
+    encode_request,
+)
+from repro.timeseries import TimeSeries
+
+
+def library_repairs(engine, requests):
+    """The non-daemon reference path for the same inputs."""
+    series = [TimeSeries(r.values, name=r.name) for r in requests]
+    recommendations = engine.recommend_many(series)
+    return (
+        recommendations,
+        engine.repair_many(series, recommendations),
+    )
+
+
+class SlowEngine:
+    """Engine stub with a controllable per-batch service time."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+
+    def recommend_many(self, series_list):
+        class Rec:
+            algorithm = "stub"
+            ranking = ("stub",)
+            probabilities = {"stub": 1.0}
+            degraded = False
+
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return [Rec() for _ in series_list]
+
+    def repair_many(self, series_list, recommendations=None):
+        return [
+            s.with_values(np.nan_to_num(s.values)) for s in series_list
+        ]
+
+
+# ---------------------------------------------------------------------------
+# The acceptance E2E
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.skipif(not shm_available(), reason="POSIX shm unavailable")
+class TestFourShardAcceptance:
+    N_REQUESTS = 500
+
+    def test_500_requests_parity_and_zero_pickling(self, serving_engine):
+        generator = LoadGenerator(seed=9, length=96)
+        requests = generator.requests(self.N_REQUESTS)
+
+        accounting = get_accounting()
+        before_start = accounting.snapshot()
+        with ServingDaemon(
+            serving_engine,
+            n_shards=4,
+            shard_backend="process",
+            max_batch=16,
+            max_delay_s=0.002,
+        ) as daemon:
+            after_start = accounting.snapshot()
+            client = ServingTestClient(daemon)
+            responses = client.send_many(requests, timeout=600.0)
+            after_load = accounting.snapshot()
+            stats = daemon.stats()
+
+        def shm_counters(snapshot):
+            account = snapshot["accounts"].get("shared_memory", {})
+            kernel = snapshot["kernels"].get("shm_create", {})
+            return (
+                account.get("allocations", 0),
+                kernel.get("calls", 0),
+            )
+
+        # Startup publishes exactly two segments (engine doc + matrix)...
+        start_allocs, start_creates = (
+            np.subtract(shm_counters(after_start), shm_counters(before_start))
+        )
+        assert start_allocs == 2
+        assert start_creates == 2
+        # ...and 500 requests publish nothing further: the engine is
+        # never pickled or re-exported per request.
+        load_allocs, load_creates = (
+            np.subtract(shm_counters(after_load), shm_counters(after_start))
+        )
+        assert load_allocs == 0
+        assert load_creates == 0
+
+        # Nothing dropped, nothing shed, responses in request order.
+        assert len(responses) == self.N_REQUESTS
+        assert [r.id for r in responses] == [r.id for r in requests]
+        assert all(r.status == 200 for r in responses)
+        assert stats["shed"] == 0 and stats["errors"] == 0
+        assert {r.shard for r in responses} == {0, 1, 2, 3}
+
+        # Byte-identical to the library path.
+        recommendations, repaired = library_repairs(serving_engine, requests)
+        for response, rec, fixed in zip(responses, recommendations, repaired):
+            assert response.algorithm == rec.algorithm
+            assert list(response.ranking) == list(rec.ranking)
+            assert np.array_equal(
+                response.values, fixed.values, equal_nan=True
+            )
+
+        # Engine segments are gone once the daemon stops.
+        assert active_segments() == ()
+
+
+# ---------------------------------------------------------------------------
+# Daemon behaviour on the stub engine (fast)
+# ---------------------------------------------------------------------------
+class TestDaemonCore:
+    def make_daemon(self, **kwargs):
+        kwargs.setdefault("n_shards", 1)
+        kwargs.setdefault("shard_backend", "inline")
+        kwargs.setdefault("max_batch", 4)
+        kwargs.setdefault("max_delay_s", 0.001)
+        return ServingDaemon(SlowEngine(), **kwargs)
+
+    def test_submit_type_checked(self):
+        with self.make_daemon() as daemon:
+            with pytest.raises(ProtocolError):
+                daemon.submit({"id": "x", "values": [1.0]})
+
+    def test_submit_before_start_sheds(self):
+        daemon = self.make_daemon()
+        response = daemon.submit(
+            RepairRequest(id="r", values=np.ones(8))
+        ).result(timeout=5)
+        assert response.status == 503
+        assert response.retry_after_ms is not None
+
+    def test_max_pending_sheds_with_typed_503(self):
+        with self.make_daemon(
+            max_pending=4, shard_backend="inline",
+            max_batch=64, max_delay_s=0.2,
+        ) as daemon:
+            daemon.engine.delay_s = 0.2
+            futures = [
+                daemon.submit(
+                    RepairRequest(id=f"r{i}", values=np.ones(8))
+                )
+                for i in range(32)
+            ]
+            responses = [f.result(timeout=30) for f in futures]
+        statuses = {r.status for r in responses}
+        shed = [r for r in responses if r.status == 503]
+        assert statuses <= {200, 503}
+        assert shed, "admission control never engaged"
+        assert all(r.retry_after_ms is not None for r in shed)
+        assert all(
+            "overloaded" in r.error or "not accepting" in r.error
+            for r in shed
+        )
+        # Every admitted request was served: nothing dropped.
+        assert len(responses) == 32
+
+    def test_bad_series_gets_400_without_failing_batch(self, serving_engine):
+        with ServingDaemon(
+            serving_engine, n_shards=1, shard_backend="inline",
+            max_batch=4, max_delay_s=0.001,
+        ) as daemon:
+            client = ServingTestClient(daemon)
+            good = LoadGenerator(seed=1, length=96).request(0)
+            bad = RepairRequest(id="bad", values=np.full(4, np.nan))
+            responses = client.send_many([good, bad, good])
+        assert [r.status for r in responses] == [200, 400, 200]
+        assert "invalid series" in responses[1].error
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ServingDaemon(SlowEngine(), max_pending=0)
+        with pytest.raises(ValidationError):
+            ServingDaemon(SlowEngine(), n_shards=0)
+        with pytest.raises(ValidationError):
+            ServingDaemon(SlowEngine(), shard_backend="quantum")
+
+    def test_health_snapshot_renders(self, serving_engine):
+        with ServingDaemon(
+            serving_engine, n_shards=2, shard_backend="inline",
+            max_batch=8, max_delay_s=0.001,
+        ) as daemon:
+            client = ServingTestClient(daemon)
+            client.send_many(LoadGenerator(seed=2, length=96).requests(12))
+            snapshot = daemon.health()
+        document = json.loads(snapshot.to_json())
+        assert document["n_requests"] == 12
+        assert set(document["scorecards"]["per_shard"]) == {"0", "1"}
+        assert document["scorecards"]["batching"]["items"] == 12
+        assert document["slo"]["n_events"] == 12
+        assert document["alerts"]["shed_requests"] == 0
+        prom = snapshot.to_prometheus()
+        assert "repro_serving_requests_total 12" in prom
+        assert "repro_slo_burn_rate_fast" in prom
+
+    def test_health_snapshot_feeds_dashboard(self, serving_engine):
+        from repro.observability.dashboard import render_top
+
+        with ServingDaemon(
+            serving_engine, n_shards=1, shard_backend="inline",
+            max_batch=4, max_delay_s=0.001,
+        ) as daemon:
+            client = ServingTestClient(daemon)
+            client.send_many(LoadGenerator(seed=3, length=96).requests(4))
+            frame = render_top(daemon.health().as_dict(), color=False)
+        assert "SLO" in frame or "latency" in frame.lower()
+
+    def test_merged_shard_sketch_matches_fleet_view(self, serving_engine):
+        with ServingDaemon(
+            serving_engine, n_shards=2, shard_backend="inline",
+            max_batch=4, max_delay_s=0.001,
+        ) as daemon:
+            client = ServingTestClient(daemon)
+            client.send_many(LoadGenerator(seed=4, length=96).requests(16))
+            merged = daemon.pool.merged_sketch()
+            per_shard = [s.sketch for s in daemon.pool._shards]
+        assert merged.count == sum(s.count for s in per_shard)
+        assert merged.count == 16
+
+
+# ---------------------------------------------------------------------------
+# Socket front-end
+# ---------------------------------------------------------------------------
+class TestSocketServer:
+    def test_roundtrip_and_malformed_lines(self, serving_engine):
+        generator = LoadGenerator(seed=5, length=96)
+        requests = generator.requests(6)
+        with ServingDaemon(
+            serving_engine, n_shards=1, shard_backend="inline",
+            max_batch=4, max_delay_s=0.001,
+        ) as daemon:
+            with SocketServer(daemon, port=0) as server:
+                with socket_mod.create_connection(server.address) as conn:
+                    stream = conn.makefile("rwb")
+                    for request in requests:
+                        stream.write(encode_request(request) + b"\n")
+                    stream.write(b"this is not json\n")
+                    stream.flush()
+                    responses = [
+                        decode_response(stream.readline())
+                        for _ in range(len(requests) + 1)
+                    ]
+        by_id = {r.id: r for r in responses}
+        for request in requests:
+            assert by_id[request.id].status == 200
+        garbage = by_id[""]
+        assert garbage.status == 400
+        assert "JSON" in garbage.error
+
+    def test_concurrent_clients(self, serving_engine):
+        generator = LoadGenerator(seed=6, length=96)
+        with ServingDaemon(
+            serving_engine, n_shards=2, shard_backend="inline",
+            max_batch=8, max_delay_s=0.001,
+        ) as daemon:
+            with SocketServer(daemon, port=0) as server:
+                results = {}
+
+                def client(offset):
+                    requests = generator.requests(8, start=offset)
+                    with socket_mod.create_connection(
+                        server.address
+                    ) as conn:
+                        stream = conn.makefile("rwb")
+                        for request in requests:
+                            stream.write(encode_request(request) + b"\n")
+                        stream.flush()
+                        got = [
+                            decode_response(stream.readline())
+                            for _ in requests
+                        ]
+                    results[offset] = (requests, got)
+
+                threads = [
+                    threading.Thread(target=client, args=(k,))
+                    for k in (0, 100, 200)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=60)
+        assert set(results) == {0, 100, 200}
+        for requests, got in results.values():
+            assert {r.id for r in got} == {r.id for r in requests}
+            assert all(r.status == 200 for r in got)

@@ -1,0 +1,181 @@
+"""Thread-safety regression tests for the monitor/drift serving plane.
+
+The serving daemon is the first genuinely multi-threaded caller of
+:class:`InferenceMonitor` — its batch executor can run
+``recommend_many`` from several threads at once.  These tests hammer one
+monitor from 8 threads and assert the bookkeeping is *exact*: ledger row
+counts, request/series counters, recommendation-mix totals, and
+once-per-excursion alert announcement (previously racy check-then-act
+on ``_announced_quarantined`` and ``DriftDetector._alert_active``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    InferenceMonitor,
+    RecordingServingObserver,
+    RepairLedger,
+    read_ledger,
+    use_ledger,
+)
+from repro.observability.serving import DriftDetector
+from repro.timeseries import TimeSeries
+
+N_THREADS = 8
+N_CALLS = 6
+BATCH = 4
+LENGTH = 96
+
+
+def _request_batches(seed: int):
+    """Per-thread request batches (faulty in-distribution series)."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 4 * np.pi, LENGTH)
+    batches = []
+    for call in range(N_CALLS):
+        batch = []
+        for j in range(BATCH):
+            values = np.sin(t * (1 + 0.05 * j)) + 0.05 * rng.normal(
+                size=LENGTH
+            )
+            values[20 + call : 35 + call] = np.nan
+            batch.append(TimeSeries(values, name=f"s{seed}-{call}-{j}"))
+        batches.append(batch)
+    return batches
+
+
+def _hammer(monitor, n_threads=N_THREADS):
+    """Run ``recommend_many`` concurrently; re-raise any worker error."""
+    errors = []
+
+    def worker(seed):
+        try:
+            for batch in _request_batches(seed):
+                out = monitor.recommend_many(batch)
+                assert len(out) == len(batch)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestMonitorHammer:
+    def test_counters_and_ledger_rows_exact(self, serving_engine, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        monitor = InferenceMonitor(serving_engine, window=64)
+        expected_requests = N_THREADS * N_CALLS
+        expected_series = expected_requests * BATCH
+
+        with use_ledger(RepairLedger(path)):
+            _hammer(monitor)
+
+        assert monitor.n_requests == expected_requests
+        assert monitor.n_series == expected_series
+        assert sum(monitor.recommendation_mix.values()) == expected_series
+        # One provenance row per served series, none lost or duplicated.
+        rows = [r for r in read_ledger(path) if r["kind"] == "repair"]
+        assert len(rows) == expected_series
+        assert len({r["id"] for r in rows}) == expected_series
+
+        snapshot = monitor.snapshot()
+        assert snapshot.n_requests == expected_requests
+        assert snapshot.n_series == expected_series
+        mix = snapshot.recommendation_mix["counts"]
+        assert sum(mix.values()) == expected_series
+
+    def test_drift_detector_counts_exact_under_hammer(self, serving_engine):
+        detector = DriftDetector(
+            serving_engine.feature_baseline_,
+            window_size=128,
+            min_samples=16,
+        )
+        monitor = InferenceMonitor(
+            serving_engine, window=64, drift_detector=detector
+        )
+        _hammer(monitor)
+        # Every series pushed exactly one vector into the drift window.
+        assert detector._total == N_THREADS * N_CALLS * BATCH
+        # The hammer traffic is one persistent excursion relative to the
+        # training baseline: exactly ONE alert, no matter how many
+        # threads raced the check (once-per-excursion announcement).
+        assert detector.n_alerts == 1
+
+
+class TestOncePerExcursionUnderConcurrency:
+    def test_concurrent_checks_announce_one_alert(self, serving_engine):
+        """16 threads racing ``check()`` on a drifted window announce
+        the excursion exactly once (the old check-then-act could fire
+        an alert per thread)."""
+        detector = DriftDetector(
+            serving_engine.feature_baseline_,
+            window_size=64,
+            min_samples=8,
+            psi_threshold=0.1,
+            ks_threshold=0.2,
+        )
+        observer = RecordingServingObserver()
+        detector.add_observer(observer)
+        rng = np.random.default_rng(3)
+        # Fill the window with far-out-of-distribution vectors without
+        # triggering check() yet: write rows under the detector's lock
+        # via update() on a still-cold window... min_samples=8, so only
+        # the first 7 updates stay silent; batch the rest in one call.
+        n_features = serving_engine.feature_baseline_.n_features
+        shifted = 300.0 + 80.0 * rng.normal(size=(64, n_features))
+        report = detector.update(shifted)
+        assert report is not None and report.triggered
+        n_after_fill = detector.n_alerts
+        assert n_after_fill == 1
+
+        barrier = threading.Barrier(16)
+
+        def racer():
+            barrier.wait()
+            detector.check()
+
+        threads = [threading.Thread(target=racer) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Still the same single excursion: no double announcements.
+        assert detector.n_alerts == 1
+        assert len(observer.of_type("drift_alert")) == 1
+
+    def test_member_quarantine_announced_once(self, serving_engine):
+        """Concurrent recommend_many calls seeing the same quarantined
+        ensemble member announce it exactly once."""
+
+        class QuarantinedEnsemble:
+            """Wraps the engine's ensemble, reporting one quarantine."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.quarantined_members = ("member-7",)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        monitor = InferenceMonitor(serving_engine, window=64)
+        observer = RecordingServingObserver()
+        monitor.add_observer(observer)
+        original = serving_engine._ensemble
+        serving_engine._ensemble = QuarantinedEnsemble(original)
+        try:
+            _hammer(monitor)
+        finally:
+            serving_engine._ensemble = original
+        quarantines = observer.of_type("member_quarantined")
+        assert [q["member"] for q in quarantines] == ["member-7"]
