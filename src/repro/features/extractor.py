@@ -318,7 +318,29 @@ class FeatureExtractor:
             "repro_features_extract_many_seconds",
             "Wall seconds per extract_many batch",
         ).time():
-            if bank is not None:
+            if bank is not None and bank.on_disk:
+                # Out-of-core: stream scratch-cap-sized row blocks off
+                # the memmap and drop their pages after each pass, so
+                # peak RSS tracks the block size, not the corpus.  The
+                # per-row features are row-independent, so blockwise
+                # results match the one-shot call exactly; the bank's
+                # derived-array memo is skipped (it would pin
+                # corpus-sized spectra in RAM).
+                span.set_tag("mode", "bank-outofcore")
+                from repro.timeseries.batch import DEFAULT_BLOCK_BYTES
+
+                rows = max(
+                    1, int(DEFAULT_BLOCK_BYTES // max(1, bank.length * 24))
+                )
+                matrix = np.empty((bank.n, self.n_features), dtype=float)
+                for start in range(0, bank.n, rows):
+                    stop = min(bank.n, start + rows)
+                    matrix[start:stop] = self.extract_block(
+                        bank.raw[start:stop]
+                    )
+                    bank.release_pages()
+                span.set_tag("block_rows", rows)
+            elif bank is not None:
                 span.set_tag("mode", "bank")
                 matrix = self.extract_block(bank.raw, bank=bank)
             elif batched and not self.use_missing_pattern:

@@ -179,6 +179,17 @@ def render_top(snapshot: dict, *, color: bool = False, width: int = 78) -> str:
             f"peak {human_bytes(row.get('peak_bytes')):>10}  "
             f"items {int(row.get('items') or 0):6d}"
         )
+    bank_resident = (accounts.get("series_bank") or {}).get("bytes") or 0
+    bank_disk = (accounts.get("series_bank_disk") or {}).get("bytes") or 0
+    if bank_disk:
+        # Out-of-core banks: make the resident-vs-spilled split explicit
+        # (the accounts above show it only as two unrelated rows).
+        total = bank_resident + bank_disk
+        lines.append(
+            f"  bank storage: {human_bytes(bank_resident)} resident / "
+            f"{human_bytes(bank_disk)} on disk  "
+            f"[{_bar(bank_resident / total if total else 0.0)}]"
+        )
     kernels = resources.get("kernels") or {}
     if kernels:
         lines.append(
@@ -199,6 +210,16 @@ def render_top(snapshot: dict, *, color: bool = False, width: int = 78) -> str:
             f"{name}={count}" for name, count in sorted(decisions.items())
         )
         lines.append(f"  backend decisions: {rendered}")
+    workers = {
+        name: stats["workers"]
+        for name, stats in sorted((snapshot.get("backends") or {}).items())
+        if isinstance(stats, dict) and stats.get("workers")
+    }
+    if workers:
+        rendered = "  ".join(
+            f"{name}={int(count)}" for name, count in workers.items()
+        )
+        lines.append(f"  backend workers (peak): {rendered}")
     lines.append(thin)
 
     # -- caches / mix / alerts ------------------------------------------

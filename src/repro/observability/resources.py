@@ -256,6 +256,7 @@ def resource_stamp() -> dict:
         "rss_bytes": rss["rss_bytes"],
         "rss_hwm_bytes": rss["tracked_hwm_bytes"],
         "series_bank_bytes": registry.account_bytes("series_bank"),
+        "series_bank_disk_bytes": registry.account_bytes("series_bank_disk"),
         "feature_cache_bytes": registry.account_bytes("feature_cache"),
         "score_memo_bytes": registry.account_bytes("score_memo"),
         "shared_memory_bytes": registry.account_bytes("shared_memory"),

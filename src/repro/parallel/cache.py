@@ -155,12 +155,27 @@ class FeatureCache:
                 get_accounting().account_sub("feature_cache", -delta, items=0)
         if self.directory is not None:
             path = self.directory / f"{key}.npy"
-            # Write-then-rename for atomicity; the tmp name keeps the
-            # ``.npy`` ending so ``np.save`` does not append another one.
+            # fsync-then-rename for atomicity *and* durability: a rename
+            # alone leaves a window where a crash (or a killed worker)
+            # publishes a name pointing at unflushed data — a truncated
+            # entry that poisons every later run sharing the directory.
+            # The tmp name keeps the ``.npy`` ending so ``np.save`` does
+            # not append another one.
             tmp = path.with_name(f"{key}.tmp.npy")
             try:
-                np.save(tmp, vector)
+                with tmp.open("wb") as fh:
+                    np.save(fh, vector)
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 tmp.replace(path)
+                try:  # best effort: persist the rename itself
+                    dir_fd = os.open(self.directory, os.O_RDONLY)
+                    try:
+                        os.fsync(dir_fd)
+                    finally:
+                        os.close(dir_fd)
+                except OSError:
+                    pass
             except OSError as exc:  # disk full / read-only: stay memory-only
                 _log.warning("feature cache write failed for %s: %s", path, exc)
 

@@ -1,0 +1,426 @@
+"""Pluggable "cluster" backend: manifest-driven worker processes.
+
+The serial/thread/process backends of
+:class:`~repro.parallel.ExecutionEngine` all live inside one Python
+process tree.  This module is the seam that lets the same ``map`` batches
+fan out across *independent* worker processes — spawned locally today,
+remote machines later — without the callers changing:
+
+* a **blob store** keeps every large array input content-addressed on
+  disk (``<sha1>.npy``, written atomically), so N fold tasks sharing one
+  training matrix ship the matrix once, not N times;
+* a **task manifest** is a self-contained JSON document naming the
+  function, the items, and the blob root — anything a fresh
+  ``repro worker`` process needs to run its slice of the batch;
+* the **worker protocol** reuses the JSON-lines codec idiom of
+  :mod:`repro.serving.protocol`: one result line per task with an ``id``
+  and a ``status`` (200/500), flushed as produced, so a parent (or a
+  future remote scheduler) can stream results.
+
+Values cross the boundary through :func:`encode_value` /
+:func:`decode_value`: JSON scalars pass through, ndarrays become blob
+references (byte-exact — ``.npy`` serialization round-trips bit
+patterns), ``functools.partial`` of module-level callables is encoded
+structurally so its array keywords are content-addressed too, and
+anything else falls back to pickle (base64) — still exact, just not
+shareable or human-readable.
+
+Infrastructure failures (worker died, output missing or truncated)
+raise :class:`ClusterUnavailableError`; the engine demotes the batch to
+the process backend the same way process crashes demote to threads.
+Ordinary task exceptions are pickled into the result line and re-raised
+in the parent with their original type, matching in-process semantics.
+"""
+
+from __future__ import annotations
+
+import base64
+import functools
+import hashlib
+import importlib
+import io
+import json
+import os
+import pathlib
+import pickle
+import subprocess
+import sys
+import tempfile
+import traceback
+
+import numpy as np
+
+from repro.observability import get_logger
+
+_log = get_logger(__name__)
+
+#: Manifest layout version.
+MANIFEST_VERSION = 1
+
+#: Result-line status codes (mirrors ``repro.serving.protocol``).
+STATUS_OK = 200
+STATUS_ERROR = 500
+
+#: Default wall-clock budget for one worker process (seconds).
+WORKER_TIMEOUT = float(os.environ.get("REPRO_CLUSTER_TIMEOUT", 600.0))
+
+
+class ClusterUnavailableError(RuntimeError):
+    """The cluster backend infrastructure failed (not a task error).
+
+    Raised when a worker process dies, produces truncated output, or
+    cannot be spawned at all.  The engine treats it like a process-pool
+    crash: demote the batch and resubmit.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed blob store
+# ---------------------------------------------------------------------------
+class BlobStore:
+    """Content-addressed ``.npy`` files under one directory.
+
+    ``put_array`` serializes the array, names the file by the sha1 of
+    those exact bytes, and writes it atomically (temp file + rename) —
+    so concurrent writers of the same content are idempotent and a
+    killed writer can't leave a truncated blob behind.  ``get_array``
+    memory-maps on demand-sized reads are unnecessary here: task inputs
+    are loaded once per worker.
+    """
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def put_array(self, array: np.ndarray) -> str:
+        buf = io.BytesIO()
+        np.save(buf, np.ascontiguousarray(array))
+        payload = buf.getvalue()
+        digest = hashlib.sha1(payload).hexdigest()
+        path = self.root / f"{digest}.npy"
+        if not path.exists():
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=digest, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        return digest
+
+    def get_array(self, digest: str) -> np.ndarray:
+        path = self.root / f"{digest}.npy"
+        if not path.exists():
+            raise ClusterUnavailableError(f"missing blob {digest}")
+        return np.load(path, allow_pickle=False)
+
+
+# ---------------------------------------------------------------------------
+# Value codec
+# ---------------------------------------------------------------------------
+def _encode_callable(fn) -> dict | None:
+    """Structural encoding for module-level callables, else ``None``."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        return None
+    try:
+        if _resolve_callable(module, qualname) is not fn:
+            return None
+    except (ImportError, AttributeError):
+        return None
+    return {"__callable__": [module, qualname]}
+
+
+def _resolve_callable(module: str, qualname: str):
+    obj = importlib.import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def encode_value(value, store: BlobStore):
+    """JSON-encode an arbitrary task value (see module docstring)."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        if value.dtype.hasobject:
+            # Object arrays (label vectors) need pickle on load; keep
+            # them out of the blob store so workers can always read
+            # blobs with ``allow_pickle=False``.
+            return {
+                "__pickle__": base64.b64encode(pickle.dumps(value)).decode()
+            }
+        return {"__blob__": store.put_array(value)}
+    if isinstance(value, np.generic):
+        # Numpy scalars subclass Python numbers; pickle keeps the exact
+        # dtype so round-tripped results compare byte-identical.
+        return {"__pickle__": base64.b64encode(pickle.dumps(value)).decode()}
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v, store) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v, store) for v in value]
+    if isinstance(value, dict) and all(isinstance(k, str) for k in value):
+        return {"__map__": {k: encode_value(v, store) for k, v in value.items()}}
+    if isinstance(value, functools.partial):
+        fn = _encode_callable(value.func)
+        if fn is not None:
+            return {
+                "__partial__": {
+                    "fn": fn,
+                    "args": [encode_value(v, store) for v in value.args],
+                    "keywords": {
+                        k: encode_value(v, store)
+                        for k, v in value.keywords.items()
+                    },
+                }
+            }
+    if callable(value):
+        fn = _encode_callable(value)
+        if fn is not None:
+            return fn
+    return {"__pickle__": base64.b64encode(pickle.dumps(value)).decode()}
+
+
+def decode_value(value, store: BlobStore):
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v, store) for v in value]
+    if not isinstance(value, dict):
+        return value
+    if "__blob__" in value:
+        return store.get_array(value["__blob__"])
+    if "__pickle__" in value:
+        return pickle.loads(base64.b64decode(value["__pickle__"]))
+    if "__tuple__" in value:
+        return tuple(decode_value(v, store) for v in value["__tuple__"])
+    if "__map__" in value:
+        return {k: decode_value(v, store) for k, v in value["__map__"].items()}
+    if "__callable__" in value:
+        return _resolve_callable(*value["__callable__"])
+    if "__partial__" in value:
+        spec = value["__partial__"]
+        return functools.partial(
+            decode_value(spec["fn"], store),
+            *[decode_value(v, store) for v in spec["args"]],
+            **{k: decode_value(v, store) for k, v in spec["keywords"].items()},
+        )
+    raise ClusterUnavailableError(f"unknown manifest value tag: {sorted(value)}")
+
+
+# ---------------------------------------------------------------------------
+# Manifests and the worker loop
+# ---------------------------------------------------------------------------
+def write_manifest(
+    path, fn, items: list, ids: list[int], store: BlobStore, label: str
+) -> None:
+    """Write one worker's task manifest (atomic)."""
+    document = {
+        "version": MANIFEST_VERSION,
+        "label": label,
+        "blob_root": str(store.root),
+        "fn": encode_value(fn, store),
+        "items": [
+            {"id": task_id, "item": encode_value(item, store)}
+            for task_id, item in zip(ids, items)
+        ],
+    }
+    path = pathlib.Path(path)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(document))
+    tmp.replace(path)
+
+
+def run_manifest(manifest_path, out_stream) -> int:
+    """Execute a manifest; emit one JSON result line per task.
+
+    The worker entry point (``repro worker``).  Each line carries the
+    task ``id``, a ``status``, and either the encoded ``result`` or the
+    pickled exception — flushed as produced so the parent can stream.
+    Returns the number of failed tasks (the worker's exit code).
+    """
+    manifest = json.loads(pathlib.Path(manifest_path).read_text())
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise ClusterUnavailableError(
+            f"unsupported manifest version {manifest.get('version')!r}"
+        )
+    store = BlobStore(manifest["blob_root"])
+    fn = decode_value(manifest["fn"], store)
+    failures = 0
+    for entry in manifest["items"]:
+        task_id = entry["id"]
+        try:
+            result = fn(decode_value(entry["item"], store))
+            line = {
+                "id": task_id,
+                "status": STATUS_OK,
+                "result": encode_value(result, store),
+            }
+        except Exception as exc:  # noqa: BLE001 - ferried to the parent
+            failures += 1
+            try:
+                blob = base64.b64encode(pickle.dumps(exc)).decode()
+            except Exception:  # noqa: BLE001 - unpicklable exception
+                blob = None
+            line = {
+                "id": task_id,
+                "status": STATUS_ERROR,
+                "error": repr(exc),
+                "exception": blob,
+                "traceback": traceback.format_exc(),
+            }
+        out_stream.write(json.dumps(line) + "\n")
+        out_stream.flush()
+    return failures
+
+
+def _worker_env() -> dict:
+    """Subprocess environment with ``repro`` importable."""
+    import repro
+
+    env = dict(os.environ)
+    src_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else os.pathsep.join([src_root, existing])
+    )
+    return env
+
+
+def dispatch(
+    fn,
+    items: list,
+    *,
+    jobs: int,
+    label: str = "parallel.map",
+    workdir=None,
+    timeout: float | None = None,
+) -> list:
+    """Fan ``items`` out across ``repro worker`` processes.
+
+    Items are split into up to ``jobs`` contiguous slices, one manifest
+    and one worker process per slice; results are reassembled by task id
+    into input order.  Any worker-level failure (bad exit, truncated
+    output) raises :class:`ClusterUnavailableError` so the engine can
+    demote; a task-level exception is re-raised with its original type.
+    """
+    if not items:
+        return []
+    jobs = max(1, min(int(jobs), len(items)))
+    timeout = WORKER_TIMEOUT if timeout is None else timeout
+    own_workdir = workdir is None
+    if own_workdir:
+        workdir = tempfile.mkdtemp(prefix="repro-cluster-")
+    workdir = pathlib.Path(workdir)
+    store = BlobStore(workdir / "blobs")
+    bounds = np.linspace(0, len(items), jobs + 1).astype(int)
+    procs = []
+    try:
+        for w in range(jobs):
+            lo, hi = int(bounds[w]), int(bounds[w + 1])
+            if lo == hi:
+                continue
+            manifest = workdir / f"manifest_{w}.json"
+            out_path = workdir / f"results_{w}.jsonl"
+            write_manifest(
+                manifest, fn, items[lo:hi], list(range(lo, hi)), store, label
+            )
+            try:
+                proc = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--manifest",
+                        str(manifest),
+                        "--out",
+                        str(out_path),
+                    ],
+                    env=_worker_env(),
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.PIPE,
+                )
+            except OSError as exc:
+                raise ClusterUnavailableError(
+                    f"cannot spawn cluster worker: {exc}"
+                ) from exc
+            procs.append((proc, out_path, hi - lo))
+
+        results: dict[int, object] = {}
+        for proc, out_path, expected in procs:
+            try:
+                _, stderr = proc.communicate(timeout=timeout)
+            except subprocess.TimeoutExpired as exc:
+                proc.kill()
+                proc.communicate()
+                raise ClusterUnavailableError(
+                    f"cluster worker timed out after {timeout}s"
+                ) from exc
+            lines = []
+            if out_path.exists():
+                lines = [
+                    line
+                    for line in out_path.read_text().splitlines()
+                    if line.strip()
+                ]
+            if len(lines) < expected:
+                # A complete worker writes one line per task even when
+                # tasks fail — fewer lines means the process itself died.
+                tail = (stderr or b"").decode(errors="replace")[-2000:]
+                raise ClusterUnavailableError(
+                    f"cluster worker exited with {proc.returncode} after "
+                    f"{len(lines)}/{expected} results: {tail}"
+                )
+            for line in lines:
+                try:
+                    entry = json.loads(line)
+                except ValueError as exc:
+                    raise ClusterUnavailableError(
+                        f"corrupt cluster result line: {line[:120]!r}"
+                    ) from exc
+                if entry.get("status") == STATUS_OK:
+                    results[entry["id"]] = decode_value(entry["result"], store)
+                else:
+                    _raise_task_error(entry)
+        missing = [i for i in range(len(items)) if i not in results]
+        if missing:
+            raise ClusterUnavailableError(
+                f"cluster batch is missing task ids {missing[:8]}"
+            )
+        return [results[i] for i in range(len(items))]
+    finally:
+        for proc, _, _ in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        if own_workdir:
+            import shutil
+
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _raise_task_error(entry: dict):
+    """Re-raise a worker-side task exception with its original type."""
+    blob = entry.get("exception")
+    if blob:
+        try:
+            exc = pickle.loads(base64.b64decode(blob))
+        except Exception:  # noqa: BLE001 - fall through to RuntimeError
+            exc = None
+        if isinstance(exc, BaseException):
+            raise exc
+    raise RuntimeError(
+        f"cluster task {entry.get('id')} failed: {entry.get('error')}\n"
+        f"{entry.get('traceback', '')}"
+    )

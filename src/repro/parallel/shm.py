@@ -169,15 +169,91 @@ def attach_cached(handle: tuple) -> SharedArray:
 
     Pool workers run many tasks against the same corpus segment; caching
     the attachment keeps the per-task cost at one dict lookup.
+
+    Segment names are recycled by the OS, so a cached mapping is only
+    reused when its geometry still matches the incoming handle: a
+    same-named segment recreated with a different shape or dtype (a new
+    batch after the old segment was unlinked) drops the stale mapping
+    and re-attaches instead of serving a view into the wrong memory.
     """
     name = handle[0]
+    shape = tuple(handle[1])
+    dtype = np.dtype(handle[2]).str
     with _REGISTRY_LOCK:
         seg = _ATTACHED.get(name)
-    if seg is None or seg.array is None:
+    if seg is not None:
+        stale = (
+            seg.array is None
+            or tuple(seg.handle[1]) != shape
+            or np.dtype(seg.handle[2]).str != dtype
+        )
+        if stale:
+            with _REGISTRY_LOCK:
+                if _ATTACHED.get(name) is seg:
+                    del _ATTACHED[name]
+            seg.close()
+            seg = None
+    if seg is None:
         seg = SharedArray.attach(handle)
         with _REGISTRY_LOCK:
             _ATTACHED[name] = seg
     return seg
+
+
+#: Per-process cache of attached file memmaps, keyed by mmap handle.
+_MMAPPED: dict[tuple, np.ndarray] = {}
+
+
+def mmap_handle(array) -> tuple | None:
+    """Picklable descriptor of a whole-file ``.npy`` memmap, else ``None``.
+
+    Disk-backed :class:`~repro.timeseries.batch.SeriesBank` matrices are
+    already files — copying them into a shared-memory segment would
+    defeat the out-of-core path, so the process backend ships
+    ``("__mmap__", path, dtype, shape, offset)`` and workers re-map the
+    file read-only instead.
+    """
+    import os as _os
+
+    if not isinstance(array, np.memmap):
+        return None
+    filename = getattr(array, "filename", None)
+    if filename is None or not array.flags.c_contiguous:
+        return None
+    try:
+        file_size = _os.path.getsize(filename)
+    except OSError:
+        return None
+    # Only whole-array mappings: slices inherit the parent's offset, so a
+    # row block would silently re-map the wrong region.  A full mapping
+    # covers the file exactly from its offset to the end.
+    if array.size * array.itemsize + int(array.offset) != file_size:
+        return None
+    return (
+        "__mmap__",
+        str(filename),
+        array.dtype.str,
+        tuple(array.shape),
+        int(array.offset),
+    )
+
+
+def attach_mmap_cached(handle: tuple) -> np.ndarray:
+    """Re-map a :func:`mmap_handle` file once per process and reuse it."""
+    key = (handle[1], handle[2], tuple(handle[3]), int(handle[4]))
+    with _REGISTRY_LOCK:
+        arr = _MMAPPED.get(key)
+    if arr is None:
+        arr = np.memmap(
+            key[0],
+            dtype=np.dtype(key[1]),
+            mode="r",
+            shape=key[2],
+            offset=key[3],
+        )
+        with _REGISTRY_LOCK:
+            _MMAPPED[key] = arr
+    return arr
 
 
 def clear_attach_cache() -> None:
@@ -185,6 +261,7 @@ def clear_attach_cache() -> None:
     with _REGISTRY_LOCK:
         segments = list(_ATTACHED.values())
         _ATTACHED.clear()
+        _MMAPPED.clear()
     for seg in segments:
         seg.close()
 
@@ -205,10 +282,14 @@ def call_with_handles(fn, handles: dict, item):
     """Run ``fn(item, **arrays)`` with arrays attached from shared memory.
 
     The process-backend binding: ``handles`` maps keyword names to
-    :attr:`SharedArray.handle` tuples, attached (once per worker) via
-    :func:`attach_cached`.
+    :attr:`SharedArray.handle` tuples — or :func:`mmap_handle`
+    descriptors for disk-backed arrays — attached once per worker via
+    the per-process caches.
     """
-    arrays = {
-        key: attach_cached(handle).array for key, handle in handles.items()
-    }
+    arrays = {}
+    for key, handle in handles.items():
+        if handle and handle[0] == "__mmap__":
+            arrays[key] = attach_mmap_cached(handle)
+        else:
+            arrays[key] = attach_cached(handle).array
     return fn(item, **arrays)

@@ -29,12 +29,18 @@ slabs instead of materializing an ``(n, n, fft)`` cube.
 
 from __future__ import annotations
 
+import json
+import mmap as _mmap
+import pathlib
 import weakref
 
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.observability.resources import get_accounting
+
+#: On-disk bank layout version (``meta.json`` of a memmap bank directory).
+BANK_FORMAT_VERSION = 1
 
 #: Scratch-memory cap (bytes) for one blockwise spectral product.  The
 #: inverse-FFT slab for a block of ``b`` rows against ``m`` columns at FFT
@@ -71,6 +77,13 @@ def _release_bank_bytes(holder: list) -> None:
     """Finalizer of a garbage-collected bank: release its live bytes."""
     get_accounting().account_sub("series_bank", holder[0])
     holder[0] = 0
+
+
+def _release_bank_disk_bytes(holder: list) -> None:
+    """Finalizer of a garbage-collected memmap bank: release its disk bytes."""
+    if holder[0]:
+        get_accounting().account_sub("series_bank_disk", holder[0])
+        holder[0] = 0
 
 
 def _clean_array(series) -> np.ndarray:
@@ -287,21 +300,31 @@ class SeriesBank:
         self.znorm = znorm_rows(matrix)
         #: Row norms of the z-normed matrix (0.0 marks constant rows).
         self.norms = np.linalg.norm(self.znorm, axis=1)
+        #: Bank directory for disk-backed banks; ``None`` for in-RAM banks.
+        self.path: pathlib.Path | None = None
         #: Generic memo of arrays derived from the (immutable) bank
         #: contents, keyed by caller-chosen hashable keys; see
         #: :meth:`cached`.  The rFFT banks live here too.
         self._derived: dict = {}
+        self._register_accounting(
+            self.raw.nbytes + self.znorm.nbytes + self.norms.nbytes, 0
+        )
+
+    def _register_accounting(self, resident: int, disk: int) -> None:
         # Resource accounting: the bank's live bytes (base matrices now,
         # derived arrays as ``cached`` builds them) are tracked in the
-        # shared ``series_bank`` account and released when the bank is
-        # garbage-collected.  The mutable holder lets ``cached`` grow the
-        # figure after the finalizer is registered.
-        held = self.raw.nbytes + self.znorm.nbytes + self.norms.nbytes
-        self._account_bytes = [held]
-        get_accounting().account_add("series_bank", held)
-        weakref.finalize(
-            self, _release_bank_bytes, self._account_bytes
-        )
+        # shared ``series_bank`` account — memmap banks charge their
+        # on-disk arrays to ``series_bank_disk`` instead — and released
+        # when the bank is garbage-collected.  The mutable holders let
+        # ``cached`` grow the figures after the finalizers are registered.
+        registry = get_accounting()
+        self._account_bytes = [resident]
+        self._disk_bytes = [disk]
+        registry.account_add("series_bank", resident)
+        weakref.finalize(self, _release_bank_bytes, self._account_bytes)
+        if disk:
+            registry.account_add("series_bank_disk", disk)
+        weakref.finalize(self, _release_bank_disk_bytes, self._disk_bytes)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -322,6 +345,208 @@ class SeriesBank:
         return cls(np.vstack([a[:min_len] for a in arrays]))
 
     # ------------------------------------------------------------------
+    # Out-of-core (memmap) banks
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path,
+        series_list,
+        *,
+        length: int | None = None,
+        n_series: int | None = None,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+    ) -> "SeriesBank":
+        """Build a disk-backed bank under the ``path`` directory.
+
+        Series are cleaned exactly like :meth:`from_series` but written
+        straight into an on-disk memmap one at a time, so peak RAM is one
+        series plus one z-norm block — never the corpus.  ``path`` ends
+        up holding ``meta.json``, ``raw.npy``, ``znorm.npy`` and
+        ``norms.npy`` (plus rFFT banks as kernels request them); reopen
+        it later — or from another process — with :meth:`open`.
+
+        Parameters
+        ----------
+        series_list:
+            A sequence of series (two passes: one to find the common
+            minimum length, one to write), or a single-pass iterable
+            when both ``length`` and ``n_series`` are given.
+        length, n_series:
+            Explicit bank geometry for single-pass iterables.  Rows
+            longer than ``length`` are truncated; shorter rows are an
+            error (the sequence form derives the common minimum length
+            instead).
+        """
+        from numpy.lib.format import open_memmap
+
+        path = pathlib.Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        if length is None or n_series is None:
+            series_list = list(series_list)
+            if not series_list:
+                raise ValidationError(
+                    "cannot build a SeriesBank from no series"
+                )
+            n = len(series_list)
+            min_len = min(_clean_array(s).shape[0] for s in series_list)
+            if length is not None:
+                min_len = min(min_len, int(length))
+            if min_len == 0:
+                raise ValidationError("cannot bank zero-length series")
+            L = min_len
+        else:
+            n, L = int(n_series), int(length)
+            if n <= 0 or L <= 0:
+                raise ValidationError(
+                    f"bank geometry must be positive, got ({n}, {L})"
+                )
+        raw = open_memmap(
+            path / "raw.npy", mode="w+", dtype=np.float64, shape=(n, L)
+        )
+        written = 0
+        for i, series in enumerate(series_list):
+            if i >= n:
+                raise ValidationError(
+                    f"more than the declared {n} series were provided"
+                )
+            arr = _clean_array(series)
+            if arr.shape[0] < L:
+                raise ValidationError(
+                    f"series {i} is shorter ({arr.shape[0]}) than the "
+                    f"bank length {L}"
+                )
+            row = arr[:L]
+            if np.isnan(row).any():
+                raise ValidationError(
+                    "SeriesBank matrix must be NaN-free (series "
+                    f"{i} still contains NaN after cleaning)"
+                )
+            raw[i] = row
+            written += 1
+        if written != n:
+            raise ValidationError(
+                f"expected {n} series, got {written}"
+            )
+        znorm = open_memmap(
+            path / "znorm.npy", mode="w+", dtype=np.float64, shape=(n, L)
+        )
+        norms = np.empty(n)
+        rows = max(1, int(block_bytes // max(1, L * 8 * 2)))
+        n_chunks = 0
+        for start in range(0, n, rows):
+            stop = min(n, start + rows)
+            block = znorm_rows(raw[start:stop])
+            znorm[start:stop] = block
+            norms[start:stop] = np.linalg.norm(block, axis=1)
+            n_chunks += 1
+        raw.flush()
+        znorm.flush()
+        np.save(path / "norms.npy", norms)
+        meta = {"version": BANK_FORMAT_VERSION, "n": n, "length": L}
+        # meta.json is written last, atomically: a crash mid-create
+        # leaves a directory that ``open`` rejects instead of a
+        # truncated bank that serves garbage.
+        tmp = path / "meta.json.tmp"
+        tmp.write_text(json.dumps(meta))
+        tmp.replace(path / "meta.json")
+        del raw, znorm
+        get_accounting().record_kernel(
+            "bank_create",
+            bytes_moved=2 * n * L * 8 + norms.nbytes,
+            chunks=n_chunks,
+            scratch_allocations=1,
+        )
+        return cls.open(path)
+
+    @classmethod
+    def open(cls, path) -> "SeriesBank":
+        """Reopen a disk-backed bank created by :meth:`create`.
+
+        The raw and z-normed matrices (and any rFFT banks derived later)
+        are read-only memmaps: kernels stream them blockwise and the
+        corpus never has to fit in RAM.  On-disk bytes are charged to the
+        ``series_bank_disk`` account; only the row norms are resident.
+        """
+        path = pathlib.Path(path)
+        meta_path = path / "meta.json"
+        if not meta_path.exists():
+            raise ValidationError(
+                f"{path} does not contain a series bank (missing meta.json)"
+            )
+        try:
+            meta = json.loads(meta_path.read_text())
+        except ValueError as exc:
+            raise ValidationError(f"unreadable bank metadata: {exc}") from None
+        if meta.get("version") != BANK_FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported bank format version {meta.get('version')!r}"
+            )
+        raw = np.load(path / "raw.npy", mmap_mode="r")
+        znorm = np.load(path / "znorm.npy", mmap_mode="r")
+        norms = np.load(path / "norms.npy")
+        shape = (int(meta.get("n", -1)), int(meta.get("length", -1)))
+        if raw.shape != shape or znorm.shape != shape or norms.shape != shape[:1]:
+            raise ValidationError(
+                f"series bank files under {path} disagree with meta.json"
+            )
+        bank = object.__new__(cls)
+        bank.raw = raw
+        bank.znorm = znorm
+        bank.norms = norms
+        bank.path = path
+        bank._derived = {}
+        bank._register_accounting(norms.nbytes, raw.nbytes + znorm.nbytes)
+        return bank
+
+    @property
+    def on_disk(self) -> bool:
+        """Whether this bank's matrices are disk-backed memmaps."""
+        return self.path is not None
+
+    def handle(self) -> tuple:
+        """Picklable descriptor of a disk-backed bank.
+
+        Workers rebuild a zero-copy bank from it with :meth:`attach`; the
+        pickle moves ~bytes of path, not the corpus.  In-RAM banks have
+        no standalone handle — use :meth:`share` for those.
+        """
+        if not self.on_disk:
+            raise ValidationError(
+                "in-RAM banks have no standalone handle; use share()"
+            )
+        return ("memmap", str(self.path))
+
+    def release_pages(self) -> None:
+        """Drop this process's resident pages of every on-disk array.
+
+        ``madvise(MADV_DONTNEED)`` on the read-only file mappings: the
+        data stays in the OS page cache, but the process's RSS no longer
+        charges for it.  Blockwise kernels call this between passes so
+        the out-of-core path's peak RSS tracks the scratch cap, not the
+        corpus.  No-op for in-RAM banks and platforms without madvise.
+        """
+        if not self.on_disk:
+            return
+        advice = getattr(_mmap, "MADV_DONTNEED", None)
+        if advice is None:  # pragma: no cover - platform-dependent
+            return
+        arrays = [self.raw, self.znorm]
+        arrays.extend(
+            value
+            for value in self._derived.values()
+            if isinstance(value, np.memmap)
+        )
+        for arr in arrays:
+            mapping = getattr(arr, "_mmap", None)
+            if mapping is None:
+                continue
+            try:
+                mapping.madvise(advice)
+            except (OSError, ValueError):  # pragma: no cover - best effort
+                return
+
+    # ------------------------------------------------------------------
     def share(self):
         """Copy the raw matrix into a shared-memory segment.
 
@@ -336,12 +561,19 @@ class SeriesBank:
 
     @classmethod
     def attach(cls, handle) -> "SeriesBank":
-        """Rebuild a bank from a :meth:`share` handle without copying.
+        """Rebuild a bank from a :meth:`share` or :meth:`handle` handle.
 
-        The raw matrix is a view into the shared segment (kept mapped by
-        the per-process attach cache); derived arrays (z-norm, rFFT
-        banks) are computed locally as usual.
+        Shared-memory handles map the segment without copying (kept
+        mapped by the per-process attach cache) and derive z-norm/rFFT
+        locally; ``("memmap", path)`` handles from :meth:`handle` simply
+        reopen the disk-backed bank.
         """
+        if (
+            isinstance(handle, tuple)
+            and len(handle) == 2
+            and handle[0] == "memmap"
+        ):
+            return cls.open(handle[1])
         from repro.parallel.shm import attach_cached
 
         return cls(attach_cached(handle).array)
@@ -377,17 +609,83 @@ class SeriesBank:
         self._derived[key] = value
         nbytes = getattr(value, "nbytes", 0)
         if nbytes:
-            self._account_bytes[0] += nbytes
-            get_accounting().account_add("series_bank", nbytes, items=0)
+            # Disk-resident derivations (rFFT banks of a memmap bank)
+            # are charged to the on-disk account, not resident RAM.
+            if isinstance(value, np.memmap):
+                self._disk_bytes[0] += nbytes
+                get_accounting().account_add(
+                    "series_bank_disk", nbytes, items=0
+                )
+            else:
+                self._account_bytes[0] += nbytes
+                get_accounting().account_add("series_bank", nbytes, items=0)
         return value
 
     def rfft(self, size: int | None = None) -> np.ndarray:
-        """Cached ``rfft(znorm, size, axis=1)`` bank (one FFT per series)."""
+        """Cached ``rfft(znorm, size, axis=1)`` bank (one FFT per series).
+
+        On-disk banks stream the FFT to a memmap next to the matrices so
+        the spectral bank never has to fit in RAM either.
+        """
         if size is None:
             size = _fft_size(self.length)
+        if self.on_disk:
+            return self.cached(
+                ("rfft", size),
+                lambda: self._disk_spectrum(f"rfft_{size}.npy", size, conj=False),
+            )
         return self.cached(
             ("rfft", size), lambda: np.fft.rfft(self.znorm, size, axis=1)
         )
+
+    def rfft_conj(self, size: int | None = None) -> np.ndarray:
+        """Conjugate rFFT bank of an on-disk bank, itself stored on disk.
+
+        ``ncc_matrix`` needs ``conj(rfft(znorm))`` for every row;
+        materializing the conjugate of a memmapped spectrum would pull
+        the whole bank into RAM, so disk-backed banks keep a second
+        memmap with the conjugate precomputed.  In-RAM banks just
+        conjugate the cached spectrum.
+        """
+        if size is None:
+            size = _fft_size(self.length)
+        if not self.on_disk:
+            return np.conj(self.rfft(size))
+        return self.cached(
+            ("rfftc", size),
+            lambda: self._disk_spectrum(f"rfftc_{size}.npy", size, conj=True),
+        )
+
+    def _disk_spectrum(self, filename: str, size: int, *, conj: bool):
+        """Build (or reopen) an on-disk rFFT bank, blockwise.
+
+        The spectrum is computed in scratch-cap-sized row blocks into a
+        temp file and atomically renamed, then reopened read-only — so a
+        crash mid-build never leaves a half-written bank behind, and a
+        bank directory can be shared by many worker processes that each
+        reuse the first build.
+        """
+        from numpy.lib.format import open_memmap
+
+        target = self.path / filename
+        if not target.exists():
+            n = self.n
+            n_bins = size // 2 + 1
+            tmp = self.path / (filename + ".tmp")
+            out = open_memmap(
+                tmp, mode="w+", dtype=np.complex128, shape=(n, n_bins)
+            )
+            # 8B input row + 16B spectrum row + FFT scratch ~ 3x spectrum.
+            per_row = self.length * 8 + n_bins * 16 * 3
+            rows = max(1, int(DEFAULT_BLOCK_BYTES // per_row))
+            for start in range(0, n, rows):
+                stop = min(n, start + rows)
+                block = np.fft.rfft(self.znorm[start:stop], size, axis=1)
+                out[start:stop] = np.conj(block) if conj else block
+            out.flush()
+            del out
+            tmp.replace(target)
+        return np.load(target, mmap_mode="r")
 
     # ------------------------------------------------------------------
     def corr_matrix(
@@ -407,6 +705,8 @@ class SeriesBank:
             stop = min(n, start + rows)
             out[start:stop] = Z[start:stop] @ Z.T
             n_chunks += 1
+            if self.on_disk:
+                self.release_pages()
         out /= L
         get_accounting().record_kernel(
             "corr_matrix",
@@ -438,7 +738,7 @@ class SeriesBank:
         discarded work (close to a 2x saving on square matrices).
         """
         fz = self.rfft()
-        fz_conj = np.conj(fz)
+        fz_conj = self.rfft_conj()
         n = self.n
         values = np.zeros((n, n))
         shifts = np.zeros((n, n), dtype=np.int64)
@@ -455,6 +755,8 @@ class SeriesBank:
             )
             values[start:stop, start:] = block_v
             shifts[start:stop, start:] = block_s
+            if self.on_disk:
+                self.release_pages()
         upper = np.triu(values, k=1)
         values = upper + upper.T
         np.fill_diagonal(values, 1.0)

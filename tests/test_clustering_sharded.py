@@ -1,0 +1,209 @@
+"""Shard-and-merge clustering tests: exact K=1 identity with the
+single-shard algorithm, label parity on well-separated corpora across
+shard counts, bounded divergence on noisy corpora, determinism, and the
+ClusterLabeler shards/bank_path wiring."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.incremental import IncrementalClustering, ShardedClustering
+from repro.clustering.labeling import ClusterLabeler
+from repro.exceptions import ValidationError
+from repro.timeseries.series import TimeSeries
+
+
+def _canonical(labels):
+    """Relabel clusters by first occurrence so orderings compare equal."""
+    mapping = {}
+    out = []
+    for lab in labels:
+        if lab not in mapping:
+            mapping[lab] = len(mapping)
+        out.append(mapping[lab])
+    return out
+
+
+def _grouped_corpus(n_groups, group_size, seed, length=96, noise=0.03):
+    """Well-separated sinusoid groups, shuffled: the parity family.
+
+    Groups are tight (small size, low noise, distinct frequency AND
+    offset), so every reasonable partition recovers them — the regime
+    where shard-and-merge must agree with the single-shard algorithm.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 4 * np.pi, length)
+    series, truth = [], []
+    for g in range(n_groups):
+        base = np.sin(t * (g + 1)) + 3.0 * g
+        for _ in range(group_size):
+            series.append(
+                TimeSeries(base + noise * rng.normal(size=length))
+            )
+            truth.append(g)
+    order = rng.permutation(len(series))
+    return [series[i] for i in order], [truth[i] for i in order]
+
+
+def _coassignment_agreement(labels_a, labels_b):
+    """Fraction of series pairs on whose co-membership both agree."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    iu = np.triu_indices(len(a), k=1)
+    same_a = (a[:, None] == a[None, :])[iu]
+    same_b = (b[:, None] == b[None, :])[iu]
+    return float(np.mean(same_a == same_b))
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            ShardedClustering(n_shards=0)
+        with pytest.raises(ValidationError):
+            ShardedClustering(merge_passes=-1)
+
+    def test_inherits_single_shard_validation(self):
+        with pytest.raises(ValidationError):
+            ShardedClustering(delta=1.5)
+
+
+class TestSingleShardIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_k1_identical_to_incremental(self, seed):
+        series, _ = _grouped_corpus(4, 5, seed)
+        single = IncrementalClustering(random_state=0).fit(series)
+        sharded = ShardedClustering(n_shards=1, random_state=0).fit(series)
+        np.testing.assert_array_equal(sharded.labels_, single.labels_)
+        assert sharded.clusters_ == single.clusters_
+
+
+class TestShardMergeParity:
+    """The small-corpus parity suite pinned by the issue: on corpora of
+    well-separated groups (<=256 series), shard-and-merge must produce
+    the same partition as the single-shard algorithm for every shard
+    count."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("n_shards", [2, 3, 4])
+    def test_labels_identical_small_corpus(self, n_shards, seed):
+        series, _ = _grouped_corpus(5, 5, seed)
+        single = IncrementalClustering(random_state=0).fit(series)
+        sharded = ShardedClustering(
+            n_shards=n_shards, random_state=0
+        ).fit(series)
+        assert _canonical(sharded.labels_) == _canonical(single.labels_)
+
+    @pytest.mark.parametrize("n_shards", [2, 6, 8])
+    def test_labels_identical_larger_corpus(self, n_shards):
+        # 42 groups x 6 = 252 series, the <=256 ceiling of the suite.
+        series, _ = _grouped_corpus(42, 6, seed=7)
+        single = IncrementalClustering(random_state=0).fit(series)
+        sharded = ShardedClustering(
+            n_shards=n_shards, random_state=0
+        ).fit(series)
+        assert _canonical(sharded.labels_) == _canonical(single.labels_)
+
+    def test_parity_with_prebuilt_bank(self, tmp_path):
+        """A disk-backed bank feeding merge representatives changes
+        nothing about the partition."""
+        from repro.timeseries.batch import SeriesBank
+
+        series, _ = _grouped_corpus(4, 6, seed=9)
+        bank = SeriesBank.create(tmp_path / "bank", series)
+        with_bank = ShardedClustering(n_shards=3, random_state=0).fit(
+            series, bank=bank
+        )
+        without = ShardedClustering(n_shards=3, random_state=0).fit(series)
+        np.testing.assert_array_equal(with_bank.labels_, without.labels_)
+
+
+class TestBoundedDivergence:
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_noisy_corpus_agreement_bounded(self, n_shards):
+        """On noisier corpora shard-and-merge may legitimately differ,
+        but the partitions must stay structurally close."""
+        series, truth = _grouped_corpus(6, 8, seed=11, noise=0.25)
+        single = IncrementalClustering(random_state=0).fit(series)
+        sharded = ShardedClustering(
+            n_shards=n_shards, random_state=0
+        ).fit(series)
+        agreement = _coassignment_agreement(sharded.labels_, single.labels_)
+        assert agreement >= 0.85
+        # And both stay anchored to the generating groups.
+        assert _coassignment_agreement(sharded.labels_, truth) >= 0.85
+
+    def test_merge_passes_zero_skips_merge_stage(self, monkeypatch):
+        """merge_passes=0 disables the representative-merge stage (the
+        final global refinement still runs, so labels stay valid)."""
+        series, _ = _grouped_corpus(3, 6, seed=5)
+        sharded = ShardedClustering(n_shards=3, merge_passes=0, random_state=0)
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("merge stage ran despite merge_passes=0")
+
+        monkeypatch.setattr(sharded, "_merge_across_shards", _boom)
+        sharded.fit(series)
+        assert sharded.labels_ is not None
+        assert len(sharded.labels_) == len(series)
+
+
+class TestDeterminism:
+    def test_same_seed_same_partition(self):
+        series, _ = _grouped_corpus(4, 6, seed=13)
+        a = ShardedClustering(n_shards=4, random_state=0).fit(series)
+        b = ShardedClustering(n_shards=4, random_state=0).fit(series)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+    def test_shards_clamped_to_corpus(self):
+        series, _ = _grouped_corpus(1, 4, seed=0)
+        fitted = ShardedClustering(n_shards=64, random_state=0).fit(series)
+        assert fitted.labels_ is not None
+        assert len(fitted.labels_) == len(series)
+
+
+class TestLabelerWiring:
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValidationError):
+            ClusterLabeler(shards=0)
+
+    def test_make_clustering_respects_shards(self):
+        labeler = ClusterLabeler(shards=3)
+        clustering = labeler._make_clustering()
+        assert isinstance(clustering, ShardedClustering)
+        assert clustering.n_shards == 3
+        assert not isinstance(
+            ClusterLabeler()._make_clustering(), ShardedClustering
+        )
+
+    def test_template_parameters_forwarded(self):
+        template = IncrementalClustering(
+            delta=0.6, split_ratio=0.3, min_cluster_size=2, random_state=7
+        )
+        labeler = ClusterLabeler(shards=2, clustering=template)
+        clustering = labeler._make_clustering()
+        assert isinstance(clustering, ShardedClustering)
+        assert clustering.delta == 0.6
+        assert clustering.min_cluster_size == 2
+        assert clustering.random_state == 7
+
+    def test_fit_clustering_creates_and_reuses_bank(self, tmp_path):
+        series, _ = _grouped_corpus(3, 5, seed=17)
+        labeler = ClusterLabeler(shards=2, bank_path=tmp_path / "banks")
+        fitted = labeler._fit_clustering("My Dataset/1", series)
+        assert fitted.labels_ is not None
+        bank_dirs = list((tmp_path / "banks").iterdir())
+        assert len(bank_dirs) == 1
+        assert (bank_dirs[0] / "meta.json").exists()
+        assert "/" not in bank_dirs[0].name  # sanitized
+        # Second fit reopens the existing bank rather than rebuilding.
+        before = (bank_dirs[0] / "raw.npy").stat().st_mtime_ns
+        again = labeler._fit_clustering("My Dataset/1", series)
+        after = (bank_dirs[0] / "raw.npy").stat().st_mtime_ns
+        assert before == after
+        np.testing.assert_array_equal(again.labels_, fitted.labels_)
+
+    def test_unsharded_labeler_ignores_bank_path(self, tmp_path):
+        series, _ = _grouped_corpus(2, 5, seed=19)
+        labeler = ClusterLabeler(shards=1, bank_path=tmp_path / "banks")
+        fitted = labeler._fit_clustering("plain", series)
+        assert fitted.labels_ is not None
+        assert not (tmp_path / "banks").exists()

@@ -98,8 +98,8 @@ class TestAccountingRegistry:
         stamp = resource_stamp()
         assert set(stamp) == {
             "rss_bytes", "rss_hwm_bytes", "series_bank_bytes",
-            "feature_cache_bytes", "score_memo_bytes",
-            "shared_memory_bytes",
+            "series_bank_disk_bytes", "feature_cache_bytes",
+            "score_memo_bytes", "shared_memory_bytes",
         }
         assert stamp["rss_bytes"] > 0
 

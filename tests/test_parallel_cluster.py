@@ -1,0 +1,342 @@
+"""Cluster backend tests: the value codec, the content-addressed blob
+store, manifest execution, ``repro worker`` subprocess dispatch, engine
+integration (byte-identical with the process backend), and demotion on
+infrastructure failure."""
+
+import functools
+import io
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.parallel import ExecutionEngine, ParallelConfig
+from repro.parallel.cluster import (
+    BlobStore,
+    ClusterUnavailableError,
+    STATUS_ERROR,
+    STATUS_OK,
+    _raise_task_error,
+    decode_value,
+    dispatch,
+    encode_value,
+    run_manifest,
+    write_manifest,
+)
+from repro.timeseries.batch import SeriesBank
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return BlobStore(tmp_path / "blobs")
+
+
+def _roundtrip(value, store):
+    return decode_value(json.loads(json.dumps(encode_value(value, store))), store)
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value", [None, True, False, 3, -1.5, "text", [1, 2, "a"], {"k": 1}]
+    )
+    def test_json_scalars_pass_through(self, value, store):
+        assert _roundtrip(value, store) == value
+
+    def test_ndarray_byte_exact(self, store):
+        rng = np.random.default_rng(0)
+        arr = rng.normal(size=(5, 7))
+        arr[0, 0] = np.nan
+        out = _roundtrip(arr, store)
+        assert out.tobytes() == np.ascontiguousarray(arr).tobytes()
+        assert out.dtype == arr.dtype
+
+    def test_numpy_scalar_keeps_dtype(self, store):
+        out = _roundtrip(np.float32(1.5), store)
+        assert isinstance(out, np.float32) and out == np.float32(1.5)
+        out64 = _roundtrip(np.int64(7), store)
+        assert isinstance(out64, np.int64) and out64 == 7
+
+    def test_object_array_roundtrips_without_blob(self, store):
+        labels = np.array(["cdrec", "knn"], dtype=object)
+        encoded = encode_value(labels, store)
+        assert "__pickle__" in encoded  # never a blob: workers load
+        out = _roundtrip(labels, store)  # blobs with allow_pickle=False
+        assert list(out) == list(labels) and out.dtype == object
+
+    def test_nested_tuples_and_maps(self, store):
+        value = {"pair": (np.arange(3.0), {"w": (1, 2.5)}), "n": 4}
+        out = _roundtrip(value, store)
+        assert out["n"] == 4
+        np.testing.assert_array_equal(out["pair"][0], np.arange(3.0))
+        assert out["pair"][1] == {"w": (1, 2.5)}
+        assert isinstance(out["pair"], tuple)
+
+    def test_module_level_callable(self, store):
+        assert _roundtrip(np.linalg.norm, store) is np.linalg.norm
+
+    def test_classmethod_callable(self, store):
+        assert _roundtrip(SeriesBank.from_series, store)([np.ones(4)]).n == 1
+
+    def test_partial_arrays_become_blobs(self, store):
+        matrix = np.arange(20.0).reshape(4, 5)
+        task = functools.partial(_norm_of_row, matrix=matrix)
+        encoded = encode_value(task, store)
+        assert "__partial__" in encoded
+        assert "__blob__" in encoded["__partial__"]["keywords"]["matrix"]
+        out = _roundtrip(task, store)
+        assert out(2) == _norm_of_row(2, matrix=matrix)
+
+    def test_unknown_tag_is_infrastructure_error(self, store):
+        with pytest.raises(ClusterUnavailableError):
+            decode_value({"__nope__": 1}, store)
+
+
+class TestBlobStore:
+    def test_content_addressing_dedups(self, store):
+        arr = np.arange(16.0)
+        a = store.put_array(arr)
+        b = store.put_array(arr.copy())
+        assert a == b
+        files = list(store.root.iterdir())
+        assert [f.name for f in files] == [f"{a}.npy"]
+        np.testing.assert_array_equal(store.get_array(a), arr)
+
+    def test_no_temp_files_left_behind(self, store):
+        for seed in range(4):
+            store.put_array(np.random.default_rng(seed).normal(size=32))
+        assert not list(store.root.glob("*.tmp"))
+
+    def test_missing_blob_is_infrastructure_error(self, store):
+        with pytest.raises(ClusterUnavailableError, match="missing blob"):
+            store.get_array("0" * 40)
+
+
+class TestRunManifest:
+    def test_results_in_order_with_status(self, tmp_path, store):
+        items = [np.full(4, float(i)) for i in range(3)]
+        manifest = tmp_path / "m.json"
+        write_manifest(manifest, np.linalg.norm, items, [10, 11, 12], store, "t")
+        out = io.StringIO()
+        failures = run_manifest(manifest, out)
+        assert failures == 0
+        lines = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert [l["id"] for l in lines] == [10, 11, 12]
+        assert all(l["status"] == STATUS_OK for l in lines)
+        results = [decode_value(l["result"], store) for l in lines]
+        assert results == [float(np.linalg.norm(v)) for v in items]
+
+    def test_task_exception_is_pickled_with_type(self, tmp_path, store):
+        manifest = tmp_path / "m.json"
+        # from_series([]) raises ValidationError inside the task.
+        write_manifest(
+            manifest, SeriesBank.from_series, [[]], [0], store, "t"
+        )
+        out = io.StringIO()
+        assert run_manifest(manifest, out) == 1
+        entry = json.loads(out.getvalue().splitlines()[0])
+        assert entry["status"] == STATUS_ERROR
+        assert "traceback" in entry
+        with pytest.raises(ValidationError):
+            _raise_task_error(entry)
+
+    def test_unknown_manifest_version_rejected(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({"version": 99, "items": []}))
+        with pytest.raises(ClusterUnavailableError, match="version"):
+            run_manifest(manifest, io.StringIO())
+
+
+class TestDispatch:
+    def test_results_match_local_execution(self):
+        rng = np.random.default_rng(1)
+        items = [rng.normal(size=16) for _ in range(6)]
+        out = dispatch(np.linalg.norm, items, jobs=2, label="t")
+        assert out == [float(np.linalg.norm(v)) for v in items]
+
+    def test_empty_batch(self):
+        assert dispatch(np.linalg.norm, [], jobs=2) == []
+
+    def test_task_error_reraised_with_original_type(self):
+        with pytest.raises(ValidationError):
+            dispatch(SeriesBank.from_series, [[]], jobs=1)
+
+    def test_workdir_cleaned_up(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("TMPDIR", str(tmp_path))
+        import tempfile
+
+        tempfile.tempdir = None  # re-read TMPDIR
+        try:
+            dispatch(np.linalg.norm, [np.ones(4)], jobs=1)
+        finally:
+            tempfile.tempdir = None
+        assert not list(tmp_path.glob("repro-cluster-*"))
+
+
+def _norm_of_row(index, *, matrix):
+    return float(np.linalg.norm(matrix[index]))
+
+
+class TestEngineIntegration:
+    def _engine(self, n_jobs=2):
+        return ExecutionEngine(
+            ParallelConfig(n_jobs=n_jobs, backend="cluster")
+        )
+
+    def test_map_matches_process_backend(self):
+        rng = np.random.default_rng(2)
+        items = [rng.normal(size=24) for _ in range(8)]
+        with self._engine() as engine:
+            via_cluster = engine.map(np.linalg.norm, items, label="cluster-t")
+        with ExecutionEngine(
+            ParallelConfig(n_jobs=2, backend="process")
+        ) as engine:
+            via_process = engine.map(np.linalg.norm, items, label="cluster-t")
+        assert via_cluster == via_process  # exact float equality
+        assert engine.n_demotions == 0
+
+    def test_worker_count_recorded(self):
+        from repro.parallel import engine_stats, reset_engine_stats
+
+        reset_engine_stats()
+        with self._engine(n_jobs=2) as engine:
+            engine.map(np.linalg.norm, [np.ones(4)] * 4, label="cluster-w")
+        stats = engine_stats()
+        assert engine.n_demotions == 0
+        assert stats["cluster"]["workers"] == 2
+        assert stats["cluster"]["tasks"] == 4
+
+    def test_infrastructure_failure_demotes_to_process(self, monkeypatch):
+        from repro.parallel import cluster as cluster_mod
+
+        def _down(*args, **kwargs):
+            raise ClusterUnavailableError("simulated outage")
+
+        monkeypatch.setattr(cluster_mod, "dispatch", _down)
+        rng = np.random.default_rng(3)
+        items = [rng.normal(size=16) for _ in range(6)]
+        with self._engine() as engine:
+            out = engine.map(np.linalg.norm, items, label="cluster-down")
+        assert out == [float(np.linalg.norm(v)) for v in items]
+        assert engine.n_demotions == 1
+
+    def test_shared_arrays_flow_through_cluster(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.normal(size=(6, 12))
+        with self._engine() as engine:
+            out = engine.map(
+                _norm_of_row,
+                list(range(6)),
+                label="cluster-shared",
+                shared={"matrix": matrix},
+            )
+        assert engine.n_demotions == 0
+        assert out == [_norm_of_row(i, matrix=matrix) for i in range(6)]
+
+
+class TestEndToEndParity:
+    """The acceptance gate: extraction and race folds run end-to-end
+    through ``repro worker`` with byte-identical results."""
+
+    def test_extraction_byte_identical(self):
+        from repro.datasets import load_category
+        from repro.features import FeatureExtractor
+
+        datasets = load_category("Water", n_series=6, n_datasets=1)
+        series = [s for d in datasets for s in d.series]
+        reference = FeatureExtractor().extract_many(series)
+        cfg = ParallelConfig(n_jobs=2, backend="cluster")
+        extractor = FeatureExtractor(parallel=cfg)
+        fanned = extractor.extract_many(series)
+        assert reference.tobytes() == fanned.tobytes()
+
+    def test_race_folds_identical(self):
+        from repro.core.config import ModelRaceConfig
+        from repro.core.modelrace import ModelRace
+        from repro.pipeline.pipeline import make_seed_pipelines
+        from repro.pipeline.scoring import ScoreWeights
+
+        rng = np.random.default_rng(7)
+        n, d = 60, 5
+        X = rng.normal(size=(n, d))
+        y = np.array(["cdrec", "knn"], dtype=object)[rng.integers(0, 2, n)]
+        X[y == "cdrec"] += 1.2
+        data = (X[20:], y[20:], X[:20], y[:20])
+
+        def _run(parallel):
+            config = ModelRaceConfig(
+                n_partial_sets=1,
+                n_folds=2,
+                max_elite=3,
+                weights=ScoreWeights(alpha=0.5, beta=0.25, gamma=0.0),
+                random_state=0,
+                parallel=parallel or ParallelConfig(),
+            )
+            seeds = make_seed_pipelines(["knn", "gaussian_nb"])
+            return ModelRace(config).run(seeds, *data)
+
+        serial = _run(None)
+        clustered = _run(ParallelConfig(n_jobs=2, backend="cluster"))
+        assert [p.config_key() for p in serial.elite] == [
+            p.config_key() for p in clustered.elite
+        ]
+        assert serial.scores == clustered.scores  # exact float equality
+        assert serial.n_evaluations == clustered.n_evaluations
+
+
+class TestWorkerCli:
+    def _spawn(self, argv):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src, env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def test_worker_writes_results_file(self, tmp_path, store):
+        items = [np.full(3, float(i)) for i in range(2)]
+        manifest = tmp_path / "m.json"
+        write_manifest(manifest, np.linalg.norm, items, [0, 1], store, "cli")
+        out_path = tmp_path / "results.jsonl"
+        proc = self._spawn(
+            ["worker", "--manifest", str(manifest), "--out", str(out_path)]
+        )
+        assert proc.returncode == 0, proc.stderr
+        lines = [json.loads(l) for l in out_path.read_text().splitlines()]
+        assert [l["id"] for l in lines] == [0, 1]
+        assert all(l["status"] == STATUS_OK for l in lines)
+
+    def test_worker_streams_to_stdout(self, tmp_path, store):
+        manifest = tmp_path / "m.json"
+        write_manifest(manifest, np.linalg.norm, [np.ones(4)], [5], store, "cli")
+        proc = self._spawn(["worker", "--manifest", str(manifest)])
+        assert proc.returncode == 0, proc.stderr
+        entry = json.loads(proc.stdout.splitlines()[-1])
+        assert entry["id"] == 5 and entry["status"] == STATUS_OK
+
+    def test_worker_exit_code_counts_failures(self, tmp_path, store):
+        manifest = tmp_path / "m.json"
+        write_manifest(
+            manifest,
+            SeriesBank.from_series,
+            [[], [np.ones(4)]],
+            [0, 1],
+            store,
+            "cli",
+        )
+        out_path = tmp_path / "results.jsonl"
+        proc = self._spawn(
+            ["worker", "--manifest", str(manifest), "--out", str(out_path)]
+        )
+        assert proc.returncode == 1
+        lines = [json.loads(l) for l in out_path.read_text().splitlines()]
+        assert [l["status"] for l in lines] == [STATUS_ERROR, STATUS_OK]

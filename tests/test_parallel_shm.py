@@ -159,6 +159,115 @@ class TestCrashCleanup:
         assert active_segments() == ()
 
 
+class TestAttachCacheStaleness:
+    """Regression: segment names are recycled by the OS, so the attach
+    cache must never serve a mapping whose geometry no longer matches
+    the incoming handle."""
+
+    def test_same_name_different_geometry_reattaches(self):
+        from repro.parallel.shm import attach_cached, clear_attach_cache
+
+        clear_attach_cache()
+        seg = SharedArray.create(np.arange(16.0).reshape(4, 4))
+        try:
+            cached = attach_cached(seg.handle)
+            assert cached.array.shape == (4, 4)
+            # A recycled name arrives with different geometry: the stale
+            # mapping must be dropped, not served as-is.
+            recycled = (seg.handle[0], (2, 2), seg.handle[2])
+            fresh = attach_cached(recycled)
+            assert fresh is not cached
+            assert fresh.array.shape == (2, 2)
+            np.testing.assert_array_equal(
+                fresh.array, np.arange(4.0).reshape(2, 2)
+            )
+            # And the fresh mapping is what the cache now holds.
+            assert attach_cached(recycled) is fresh
+        finally:
+            clear_attach_cache()
+            seg.close()
+            seg.unlink()
+
+    def test_dtype_mismatch_reattaches(self):
+        from repro.parallel.shm import attach_cached, clear_attach_cache
+
+        clear_attach_cache()
+        seg = SharedArray.create(np.arange(8.0))
+        try:
+            cached = attach_cached(seg.handle)
+            recycled = (seg.handle[0], (16,), np.dtype(np.float32).str)
+            fresh = attach_cached(recycled)
+            assert fresh is not cached
+            assert fresh.array.dtype == np.float32
+        finally:
+            clear_attach_cache()
+            seg.close()
+            seg.unlink()
+
+    def test_closed_cached_segment_reattaches(self):
+        from repro.parallel.shm import attach_cached, clear_attach_cache
+
+        clear_attach_cache()
+        seg = SharedArray.create(np.ones(6))
+        try:
+            cached = attach_cached(seg.handle)
+            cached.close()  # e.g. torn down by an earlier batch
+            fresh = attach_cached(seg.handle)
+            assert fresh is not cached
+            np.testing.assert_array_equal(fresh.array, np.ones(6))
+        finally:
+            clear_attach_cache()
+            seg.close()
+            seg.unlink()
+
+
+class TestFeatureCacheDurability:
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        from repro.parallel import FeatureCache
+
+        cache = FeatureCache(tmp_path)
+        for i in range(4):
+            cache.put(f"key{i}", np.arange(8.0) + i)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [f"key{i}.npy" for i in range(4)]
+
+    def test_put_is_fsynced_before_rename(self, tmp_path, monkeypatch):
+        """The published name must only ever point at flushed bytes."""
+        import repro.parallel.cache as cache_mod
+        from repro.parallel import FeatureCache
+
+        order = []
+        real_fsync = os.fsync
+        real_replace = cache_mod.pathlib.Path.replace
+
+        def spy_fsync(fd):
+            order.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(self, target):
+            order.append(("replace", target.name))
+            return real_replace(self, target)
+
+        monkeypatch.setattr(cache_mod.os, "fsync", spy_fsync)
+        monkeypatch.setattr(cache_mod.pathlib.Path, "replace", spy_replace)
+        FeatureCache(tmp_path).put("abc", np.arange(4.0))
+        assert order[0] == "fsync"  # file data flushed first
+        assert ("replace", "abc.npy") in order
+        np.testing.assert_array_equal(
+            np.load(tmp_path / "abc.npy"), np.arange(4.0)
+        )
+
+    def test_reload_after_put(self, tmp_path):
+        from repro.parallel import FeatureCache
+
+        FeatureCache(tmp_path).put("vec", np.linspace(0, 1, 5))
+        fresh = FeatureCache(tmp_path)  # a new process
+        np.testing.assert_array_equal(
+            fresh.get("vec"), np.linspace(0, 1, 5)
+        )
+        assert fresh.misses == 0
+
+
 class TestSharedEngineLifecycle:
     """The serving daemon's engine transport rides the same SharedArray
     lifecycle rules: publish once, attach many, release exactly once."""
